@@ -1,0 +1,182 @@
+//! Criterion microbenchmarks over the machinery behind every figure:
+//! meta-tag probes (Fig 4), routine assembly/encode (the toolflow),
+//! DRAM timing (the substrate), walker end-to-end throughput (Fig 14),
+//! and the energy model (Figs 15/16).
+
+use criterion::{criterion_group, criterion_main, BatchSize, Criterion};
+use std::hint::black_box;
+
+use xcache_core::{MetaAccess, MetaKey, MetaTagArray, XCache, XCacheConfig};
+use xcache_dsa::widx;
+use xcache_energy::EnergyModel;
+use xcache_isa::asm::assemble;
+use xcache_mem::{DramConfig, DramModel, MemReq, MemoryPort};
+use xcache_sim::{Cycle, Stats};
+use xcache_workloads::{CsrMatrix, HashIndex, QueryClass, SparsePattern};
+
+fn bench_metatag_probe(c: &mut Criterion) {
+    let mut tags = MetaTagArray::new(1024, 8);
+    let mut stats = Stats::new();
+    for k in 0..4096u64 {
+        let _ = tags.alloc(MetaKey(k), xcache_isa::StateId::DEFAULT, &mut stats);
+    }
+    let mut k = 0u64;
+    c.bench_function("metatag_probe_hit_mix", |b| {
+        b.iter(|| {
+            k = (k + 97) % 8192;
+            black_box(tags.probe(MetaKey(k), &mut stats))
+        });
+    });
+}
+
+fn bench_assembler(c: &mut Criterion) {
+    c.bench_function("assemble_widx_walker", |b| {
+        b.iter(|| black_box(widx::walker()));
+    });
+    let program = widx::walker();
+    let actions: Vec<_> = program
+        .routines
+        .iter()
+        .flat_map(|r| r.actions.clone())
+        .collect();
+    c.bench_function("encode_microcode", |b| {
+        b.iter(|| black_box(xcache_isa::encode(&actions).expect("encodable")));
+    });
+}
+
+fn bench_dram(c: &mut Criterion) {
+    c.bench_function("dram_read_roundtrip", |b| {
+        b.iter_batched(
+            || {
+                let mut d = DramModel::new(DramConfig::default());
+                d.memory_mut().write_u64(0x40, 1);
+                d
+            },
+            |mut d| {
+                d.try_request(Cycle(0), MemReq::read(1, 0x40, 64)).expect("queued");
+                let mut now = Cycle(0);
+                loop {
+                    d.tick(now);
+                    if let Some(r) = d.take_response(now) {
+                        break black_box(r);
+                    }
+                    now = now.next();
+                }
+            },
+            BatchSize::SmallInput,
+        );
+    });
+}
+
+fn bench_walker_throughput(c: &mut Criterion) {
+    // End-to-end: 512 Zipf probes through a small Widx X-Cache.
+    let mut preset = QueryClass::Q22.preset().scaled_down(50);
+    preset.probes = 512;
+    let workload = widx::WidxWorkload::from_preset(&preset, 7);
+    let geometry = XCacheConfig {
+        sets: 64,
+        ways: 4,
+        data_sectors: 256,
+        ..XCacheConfig::widx()
+    };
+    c.bench_function("widx_xcache_512_probes", |b| {
+        b.iter(|| black_box(widx::run_xcache(&workload, Some(geometry.clone()))));
+    });
+}
+
+fn bench_hit_pipeline(c: &mut Criterion) {
+    // Steady-state hit servicing: one resident key, repeated loads.
+    let program = assemble(
+        r#"
+        walker one
+        states Default, Wait
+        regs 2
+        params base
+        routine start {
+            allocR
+            allocM
+            mul r0, key, 32
+            add r0, r0, base
+            dram_read r0, 32
+            yield Wait
+        }
+        routine fill {
+            allocD r1, 1
+            filld r1, 4
+            updatem r1, r1
+            respond
+            retire
+        }
+        on Default, Miss -> start
+        on Wait, Fill -> fill
+    "#,
+    )
+    .expect("valid");
+    let mut dram = DramModel::new(DramConfig::default());
+    dram.memory_mut().write_u64(0x1000, 9);
+    let cfg = XCacheConfig::test_tiny().with_params(vec![0x1000]);
+    let mut xc = XCache::new(cfg, program, dram).expect("valid");
+    // Warm the entry.
+    let mut now = Cycle(0);
+    xc.try_access(now, MetaAccess::Load { id: 0, key: MetaKey::new(0) })
+        .expect("queued");
+    loop {
+        xc.tick(now);
+        if xc.take_response(now).is_some() {
+            break;
+        }
+        now = now.next();
+    }
+    let mut id = 1u64;
+    c.bench_function("xcache_hit_service", |b| {
+        b.iter(|| {
+            let _ = xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(0) });
+            id += 1;
+            xc.tick(now);
+            now = now.next();
+            black_box(xc.take_response(now))
+        });
+    });
+}
+
+fn bench_workload_generators(c: &mut Criterion) {
+    c.bench_function("rmat_generate_10k", |b| {
+        b.iter(|| black_box(CsrMatrix::generate(1024, 1024, 10_000, SparsePattern::RMat, 1)));
+    });
+    c.bench_function("hashindex_build_10k", |b| {
+        b.iter(|| black_box(HashIndex::build(10_000, 2.0)));
+    });
+    let m = CsrMatrix::generate(256, 256, 4_000, SparsePattern::RMat, 2);
+    c.bench_function("spgemm_reference_multiply", |b| {
+        b.iter(|| black_box(m.multiply(&m)));
+    });
+}
+
+fn bench_energy_model(c: &mut Criterion) {
+    let mut preset = QueryClass::Q22.preset().scaled_down(50);
+    preset.probes = 256;
+    let w = widx::WidxWorkload::from_preset(&preset, 7);
+    let g = XCacheConfig {
+        sets: 64,
+        ways: 4,
+        data_sectors: 256,
+        ..XCacheConfig::widx()
+    };
+    let report = widx::run_xcache(&w, Some(g.clone()));
+    let model = EnergyModel::new();
+    c.bench_function("energy_breakdown", |b| {
+        b.iter(|| black_box(model.xcache_energy(&report.stats, &g)));
+    });
+}
+
+criterion_group!(
+    benches,
+    bench_metatag_probe,
+    bench_assembler,
+    bench_dram,
+    bench_walker_throughput,
+    bench_hit_pipeline,
+    bench_workload_generators,
+    bench_energy_model
+);
+criterion_main!(benches);

@@ -1,0 +1,42 @@
+//! Ablation: replacement policy of the comparison address cache
+//! (LRU / FIFO / random) on the Widx probe stream.
+//!
+//! Not in the paper (it fixes LRU); this quantifies how much the §8
+//! comparison depends on that choice.
+
+use xcache_bench::{render_table, scale, widx_geometry, widx_workload};
+use xcache_dsa::widx;
+use xcache_workloads::QueryClass;
+
+fn main() {
+    let scale = scale();
+    println!("Ablation 1: address-cache replacement policy, Widx TPC-H-19 (scale 1/{scale})\n");
+    let w = widx_workload(QueryClass::Q19, scale, 7);
+    let g = widx_geometry(scale);
+    let x = widx::run_xcache(&w, Some(g.clone()));
+
+    let mut rows = Vec::new();
+    for (name, policy) in [
+        ("LRU", xcache_mem::ReplacementPolicy::Lru),
+        ("FIFO", xcache_mem::ReplacementPolicy::Fifo),
+        ("Random", xcache_mem::ReplacementPolicy::Random(42)),
+    ] {
+        let mut cache_cfg = widx::matched_address_cache_config(&g);
+        cache_cfg.policy = policy;
+        let a = widx::run_address_cache_with_policy(&w, &g, cache_cfg);
+        rows.push(vec![
+            name.to_owned(),
+            a.cycles.to_string(),
+            a.dram_accesses().to_string(),
+            format!("{:.2}x", x.speedup_over(&a)),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &["policy", "addr-cache cyc", "addr DRAM", "X-Cache speedup"],
+            &rows
+        )
+    );
+    println!("\nX-Cache reference: {} cycles, {} DRAM accesses", x.cycles, x.dram_accesses());
+}

@@ -1,0 +1,117 @@
+//! Ablation: the §6 hierarchy compositions on the Widx workload —
+//! plain X-Cache over DRAM, MXA (X-Cache over an address cache), and MX
+//! (a walker-less MetaL1 over the X-Cache).
+
+use xcache_bench::{render_table, scale, widx_geometry, widx_workload};
+use xcache_core::hierarchy::{MetaL1Config, MetaPort};
+use xcache_core::{MetaAccess, MetaKey, XCache};
+use xcache_dsa::common::apply_image;
+use xcache_dsa::widx;
+use xcache_mem::{AddressCache, DramConfig, DramModel, MainMemory};
+use xcache_sim::Cycle;
+use xcache_workloads::hashidx::NODE_BYTES;
+use xcache_workloads::QueryClass;
+
+fn main() {
+    let scale = scale();
+    println!("Ablation 2: hierarchy compositions (Widx TPC-H-19, scale 1/{scale})\n");
+    let w = widx_workload(QueryClass::Q19, scale, 7);
+    let g = widx_geometry(scale);
+
+    // Plain X-Cache over DRAM (the Figure 14 configuration).
+    let plain = widx::run_xcache(&w, Some(g.clone()));
+
+    // MXA: the walker's DRAM traffic filters through an address cache.
+    let layout = w.index.layout(0x10_0000);
+    let mut mem = MainMemory::new();
+    apply_image(&mut mem, &layout.segments);
+    let dram = DramModel::with_memory(DramConfig::default(), mem.clone());
+    let l2 = AddressCache::new(widx::matched_address_cache_config(&g), dram);
+    let mut cfg = g.clone();
+    cfg.hash_latency = w.hash_latency;
+    cfg = cfg.with_params(vec![layout.bucket_base, NODE_BYTES, layout.buckets - 1]);
+    let mut mxa = XCache::new(cfg.clone(), widx::walker(), l2).expect("mxa builds");
+    let mxa_cycles = drive(&mut mxa, &w);
+
+    // MX: a small walker-less L1 in front of the X-Cache.
+    let dram = DramModel::with_memory(DramConfig::default(), mem);
+    let l2 = XCache::new(cfg, widx::walker(), dram).expect("l2 builds");
+    let mut mx = xcache_core::hierarchy::MetaL1::new(
+        MetaL1Config {
+            sets: 32,
+            ways: 2,
+            words_per_sector: 4,
+            data_sectors: 64,
+            hit_latency: 1,
+            queue_depth: 16,
+        },
+        l2,
+    );
+    let mx_cycles = drive_meta(&mut mx, &w);
+
+    let rows = vec![
+        vec!["X-Cache over DRAM".to_owned(), plain.cycles.to_string(), "1.00x".to_owned()],
+        vec![
+            "MXA: X-Cache over A$".to_owned(),
+            mxa_cycles.to_string(),
+            format!("{:.2}x", plain.cycles as f64 / mxa_cycles as f64),
+        ],
+        vec![
+            "MX: MetaL1 + X-Cache".to_owned(),
+            mx_cycles.to_string(),
+            format!("{:.2}x", plain.cycles as f64 / mx_cycles as f64),
+        ],
+    ];
+    print!("{}", render_table(&["hierarchy", "cycles", "vs plain"], &rows));
+    println!("\n(MXA filters walker refetches; MX adds a 1-cycle hit level for hot keys)");
+}
+
+fn drive<D: xcache_mem::MemoryPort>(xc: &mut XCache<D>, w: &widx::WidxWorkload) -> u64 {
+    let mut now = Cycle(0);
+    let (mut next, mut done) = (0usize, 0usize);
+    let total = w.probes.len();
+    while done < total {
+        while next < total {
+            let a = MetaAccess::Load {
+                id: next as u64,
+                key: MetaKey::new(w.probes[next]),
+            };
+            if xc.try_access(now, a).is_err() {
+                break;
+            }
+            next += 1;
+        }
+        xc.tick(now);
+        while xc.take_response(now).is_some() {
+            done += 1;
+        }
+        now = now.next();
+        assert!(now.raw() < 100_000_000, "mxa deadlock");
+    }
+    now.raw()
+}
+
+fn drive_meta<P: MetaPort>(p: &mut P, w: &widx::WidxWorkload) -> u64 {
+    let mut now = Cycle(0);
+    let (mut next, mut done) = (0usize, 0usize);
+    let total = w.probes.len();
+    while done < total {
+        while next < total {
+            let a = MetaAccess::Load {
+                id: next as u64,
+                key: MetaKey::new(w.probes[next]),
+            };
+            if p.try_access(now, a).is_err() {
+                break;
+            }
+            next += 1;
+        }
+        p.tick(now);
+        while p.take_response(now).is_some() {
+            done += 1;
+        }
+        now = now.next();
+        assert!(now.raw() < 100_000_000, "mx deadlock");
+    }
+    now.raw()
+}

@@ -1,0 +1,49 @@
+//! Ablation: chain-node side-caching (`insertm`) in the Widx walker.
+//!
+//! "X-Cache caches the actual nodes in the hash table and tags them with
+//! the hash keys" (§5) — our walker side-inserts every chain node it
+//! touches under that node's own key, at LRU priority. This harness
+//! quantifies the design choice by running the same workload with a
+//! walker that only caches the matched node.
+
+use xcache_bench::{pct, render_table, scale, widx_geometry, widx_workload};
+use xcache_dsa::widx;
+use xcache_workloads::QueryClass;
+
+fn main() {
+    let scale = scale();
+    println!("Ablation 3: insertm chain-node side-caching (scale 1/{scale})\n");
+    let mut rows = Vec::new();
+    for class in QueryClass::all() {
+        let w = widx_workload(class, scale, 7);
+        let g = widx_geometry(scale);
+        let with = widx::run_xcache(&w, Some(g.clone()));
+        let without = widx::run_xcache_with_walker(&w, Some(g), widx::walker_no_sideinsert());
+        let hr = |r: &xcache_dsa::RunReport| {
+            r.stats.get("xcache.hit") as f64
+                / (r.stats.get("xcache.hit") + r.stats.get("xcache.miss")).max(1) as f64
+        };
+        rows.push(vec![
+            class.name().to_owned(),
+            with.cycles.to_string(),
+            pct(hr(&with)),
+            without.cycles.to_string(),
+            pct(hr(&without)),
+            format!("{:.2}x", without.cycles as f64 / with.cycles as f64),
+        ]);
+    }
+    print!(
+        "{}",
+        render_table(
+            &[
+                "query",
+                "with insertm",
+                "hit rate",
+                "without",
+                "hit rate",
+                "insertm gain",
+            ],
+            &rows
+        )
+    );
+}

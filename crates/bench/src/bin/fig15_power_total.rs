@@ -1,0 +1,37 @@
+//! Figure 15: total power, X-Cache vs address-based cache, per DSA.
+//!
+//! Paper shape target: address-based caches consume 26-79% more power
+//! than X-Cache (walking eliminated, fewer on-chip accesses).
+
+use xcache_bench::{pct, render_table, run_all_dsas, scale};
+use xcache_energy::EnergyModel;
+
+fn main() {
+    let scale = scale();
+    println!("Figure 15: total power breakdown (scale 1/{scale}, lower is better)\n");
+    let model = EnergyModel::new();
+    let runs = run_all_dsas(scale, 7);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let x = model.xcache_energy(&r.xcache.stats, &r.geometry);
+            let a = model.address_cache_energy(&r.addr.stats, 64);
+            let x_mw = x.avg_power_mw(r.xcache.cycles);
+            let a_mw = a.avg_power_mw(r.addr.cycles);
+            vec![
+                r.name.clone(),
+                format!("{:.3}", x_mw),
+                format!("{:.3}", a_mw),
+                pct((a_mw - x_mw) / x_mw),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["DSA / input", "X-Cache [mW]", "AddrCache [mW]", "addr overhead"],
+            &rows
+        )
+    );
+    println!("\n(paper: address caches consume 26-79% more power than X-Cache)");
+}

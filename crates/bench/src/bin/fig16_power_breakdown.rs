@@ -1,0 +1,49 @@
+//! Figure 16: breakdown of RAM and controller power within X-Cache.
+//!
+//! Paper shape targets: data storage dominates (66-89%); meta-tags are
+//! 1.5-6.6% of the data RAM energy; the controller (walking + routines +
+//! registers) is ~24% of the total; the routine RAM — the price of
+//! programmability — is under 4.2%.
+
+use xcache_bench::{pct, render_table, run_all_dsas, scale};
+use xcache_energy::EnergyModel;
+
+fn main() {
+    let scale = scale();
+    println!("Figure 16: X-Cache RAM + controller power breakdown (scale 1/{scale})\n");
+    let model = EnergyModel::new();
+    let runs = run_all_dsas(scale, 7);
+    let rows: Vec<Vec<String>> = runs
+        .iter()
+        .map(|r| {
+            let b = model.xcache_energy(&r.xcache.stats, &r.geometry);
+            vec![
+                r.name.clone(),
+                pct(b.fraction(b.data_ram_pj)),
+                pct(b.fraction(b.meta_tag_pj)),
+                pct(b.fraction(b.routine_ram_pj)),
+                pct(b.fraction(b.xreg_pj)),
+                pct(b.fraction(b.action_logic_pj + b.agen_pj)),
+                pct(b.fraction(b.controller_pj())),
+                pct(b.meta_tag_pj / b.data_ram_pj.max(1e-12)),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &[
+                "DSA / input",
+                "Data RAM",
+                "Meta-tags",
+                "Rtn RAM",
+                "X-Reg",
+                "Exec+AGEN",
+                "Controller",
+                "tags/data",
+            ],
+            &rows
+        )
+    );
+    println!("\n(paper: data 66-89%; tags 1.5-6.6% of data; controller ~24%; routine RAM <4.2%)");
+}

@@ -1,0 +1,71 @@
+//! Figure 18: sweeping #Active and #Exe for GraphPulse (p2p-Gnutella08)
+//! and Widx (TPC-H-22).
+//!
+//! Paper shape target: GraphPulse gains up to ~2x from more controller
+//! parallelism (event handling is routine-throughput-bound); Widx gains
+//! at most ~10% (DRAM-bound, and hits already bypass the walkers).
+
+use xcache_bench::{graphpulse_geometry, render_table, scale, widx_geometry, widx_workload};
+use xcache_core::XCacheConfig;
+use xcache_dsa::{graphpulse, widx};
+use xcache_workloads::{CsrMatrix, Graph, GraphPreset, QueryClass, SparsePattern};
+
+fn main() {
+    let scale = scale();
+    println!("Figure 18: sweeping #Active / #Exe (scale 1/{scale})\n");
+
+    // --- GraphPulse: p2p-Gnutella08-shaped PageRank ---
+    let (n, e) = GraphPreset::P2pGnutella08.dims();
+    let n = (n / scale).max(64);
+    let e = (e / scale as usize).max(256);
+    let gw = graphpulse::GraphPulseWorkload {
+        graph: Graph::from_adjacency(CsrMatrix::generate(n, n, e, SparsePattern::RMat, 7)),
+        iterations: 2,
+    };
+    let mut rows = Vec::new();
+    let mut base_cycles = None;
+    for (active, exe) in [(4, 1), (8, 2), (16, 4), (32, 8)] {
+        let g = XCacheConfig {
+            active,
+            exe,
+            ..graphpulse_geometry(n)
+        };
+        let r = graphpulse::run_xcache(&gw, Some(g));
+        let base = *base_cycles.get_or_insert(r.cycles);
+        rows.push(vec![
+            format!("{active}/{exe}"),
+            r.cycles.to_string(),
+            format!("{:.2}x", base as f64 / r.cycles as f64),
+        ]);
+    }
+    println!("GraphPulse p2p-Gnutella08:");
+    print!(
+        "{}",
+        render_table(&["#Active/#Exe", "cycles", "speedup vs 4/1"], &rows)
+    );
+
+    // --- Widx: TPC-H-22 ---
+    let ww = widx_workload(QueryClass::Q22, scale, 7);
+    let mut rows = Vec::new();
+    let mut base_cycles = None;
+    for (active, exe) in [(4, 1), (8, 2), (16, 4), (32, 8)] {
+        let g = XCacheConfig {
+            active,
+            exe,
+            ..widx_geometry(scale)
+        };
+        let r = widx::run_xcache(&ww, Some(g));
+        let base = *base_cycles.get_or_insert(r.cycles);
+        rows.push(vec![
+            format!("{active}/{exe}"),
+            r.cycles.to_string(),
+            format!("{:.2}x", base as f64 / r.cycles as f64),
+        ]);
+    }
+    println!("\nWidx TPC-H-22:");
+    print!(
+        "{}",
+        render_table(&["#Active/#Exe", "cycles", "speedup vs 4/1"], &rows)
+    );
+    println!("\n(paper: GraphPulse up to ~2x; Widx <=10%)");
+}

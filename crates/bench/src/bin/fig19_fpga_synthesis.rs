@@ -1,0 +1,37 @@
+//! Figure 19: FPGA synthesis (register and logic utilisation breakdown),
+//! at the paper's synthesis point #Exe=4, #Active=8 on a Cyclone IV.
+
+use xcache_bench::{pct, render_table};
+use xcache_energy::area::{fpga_utilization, reference_config};
+
+fn main() {
+    println!("Figure 19: FPGA synthesis breakdown (#Exe=4, #Active=8)\n");
+    let r = fpga_utilization(&reference_config());
+    let rows: Vec<Vec<String>> = r
+        .components
+        .iter()
+        .map(|c| {
+            vec![
+                c.name.to_owned(),
+                format!("{:.0}", c.regs),
+                pct(c.regs / r.total_regs),
+                format!("{:.0}", c.logic),
+                pct(c.logic / r.total_logic),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Component", "Regs", "Reg %", "Logic", "Logic %"],
+            &rows
+        )
+    );
+    println!();
+    println!("Total registers        : {:.0}", r.total_regs);
+    println!("Total logic elements   : {:.0}", r.total_logic);
+    println!(
+        "Cyclone IV EP4CGX150 utilisation: {}",
+        pct(r.device_logic_fraction)
+    );
+}

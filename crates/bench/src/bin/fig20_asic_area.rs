@@ -1,0 +1,31 @@
+//! Figure 20: ASIC layout (45 nm, OpenROAD flow in the paper; calibrated
+//! analytical model here) at #Exe=4, #Active=8.
+
+use xcache_core::XCacheConfig;
+use xcache_energy::area::{asic_area, reference_config};
+
+fn main() {
+    println!("Figure 20: ASIC layout, 45 nm (#Exe=4, #Active=8)\n");
+    let a = asic_area(&reference_config());
+    println!("Controller area (no RAMs): {:.3} mm^2", a.controller_mm2);
+    println!("Controller cells         : {:.0}", a.controller_cells);
+    println!("RAM area (data + tags)   : {:.3} mm^2", a.ram_mm2);
+    println!();
+    println!("Per-DSA geometry RAM areas:");
+    for (name, cfg) in [
+        ("Widx", XCacheConfig::widx()),
+        ("DASX", XCacheConfig::dasx()),
+        ("SpArch", XCacheConfig::sparch()),
+        ("Gamma", XCacheConfig::gamma()),
+        ("GraphPulse", XCacheConfig::graphpulse()),
+    ] {
+        let r = asic_area(&cfg);
+        println!(
+            "  {:<11} data {:>7} KiB -> RAM {:.3} mm^2, controller {:.3} mm^2",
+            name,
+            cfg.data_capacity_bytes() / 1024,
+            r.ram_mm2,
+            r.controller_mm2
+        );
+    }
+}

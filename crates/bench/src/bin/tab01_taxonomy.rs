@@ -1,0 +1,28 @@
+//! Table 1: X-Cache vs. state-of-the-art storage idioms.
+
+use xcache_bench::render_table;
+use xcache_core::TAXONOMY;
+
+fn main() {
+    println!("Table 1: X-Cache vs. state-of-the-art storage idioms\n");
+    let rows: Vec<Vec<String>> = TAXONOMY
+        .iter()
+        .map(|r| {
+            vec![
+                r.property.to_owned(),
+                r.caches.to_owned(),
+                r.scratch_dma.to_owned(),
+                r.scratch_ae.to_owned(),
+                r.fifos.to_owned(),
+                r.xcache.to_owned(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(
+            &["Property", "Caches", "Scratch+DMA", "Scratch+AE", "FIFOs", "X-Cache"],
+            &rows
+        )
+    );
+}

@@ -1,0 +1,29 @@
+//! Table 2: X-Cache features benefiting DSAs.
+
+use xcache_bench::render_table;
+use xcache_dsa::{Coupling, FEATURES};
+
+fn main() {
+    println!("Table 2: X-Cache features benefiting DSAs\n");
+    let rows: Vec<Vec<String>> = FEATURES
+        .iter()
+        .map(|f| {
+            vec![
+                f.dsa.to_owned(),
+                f.tag.to_owned(),
+                if f.preload { "Yes" } else { "No" }.to_owned(),
+                match f.coupling {
+                    Coupling::Coupled => "Coupled",
+                    Coupling::Decoupled => "Decoupl.",
+                }
+                .to_owned(),
+                f.data.to_owned(),
+                f.data_structure.to_owned(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["DSA", "Tag", "Preload", "Coupling", "Data", "DS"], &rows)
+    );
+}

@@ -1,0 +1,32 @@
+//! Table 3: X-Cache design parameters per DSA.
+
+use xcache_bench::render_table;
+use xcache_core::XCacheConfig;
+
+fn main() {
+    println!("Table 3: X-Cache design parameters per DSA\n");
+    let presets: [(&str, XCacheConfig); 5] = [
+        ("Widx", XCacheConfig::widx()),
+        ("DASX(Hash)", XCacheConfig::dasx()),
+        ("SpArch", XCacheConfig::sparch()),
+        ("Gamma", XCacheConfig::gamma()),
+        ("GraphPulse", XCacheConfig::graphpulse()),
+    ];
+    let rows: Vec<Vec<String>> = presets
+        .iter()
+        .map(|(name, c)| {
+            vec![
+                (*name).to_owned(),
+                c.active.to_string(),
+                c.exe.to_string(),
+                c.ways.to_string(),
+                c.sets.to_string(),
+                c.words_per_sector.to_string(),
+            ]
+        })
+        .collect();
+    print!(
+        "{}",
+        render_table(&["DSA", "#Active", "#Exe", "#Way", "#Set", "#Word"], &rows)
+    );
+}

@@ -1,0 +1,19 @@
+//! Table 4: energy parameters (timing: 1 GHz).
+
+use xcache_bench::render_table;
+use xcache_energy::EnergyParams;
+
+fn main() {
+    println!("Table 4: Power usage per bit [pJ] (timing: 1 GHz)\n");
+    let p = EnergyParams::paper_table4();
+    let rows = vec![
+        vec!["Register".to_owned(), format!("{:.1e}", p.register_pj_per_bit)],
+        vec!["Add".to_owned(), format!("{:.1e}", p.add_pj_per_bit)],
+        vec!["Mul".to_owned(), format!("{}", p.mul_pj_per_bit)],
+        vec!["Bitwise Op".to_owned(), format!("{:.1e}", p.bitwise_pj_per_bit)],
+        vec!["Shift".to_owned(), format!("{:.1e}", p.shift_pj_per_bit)],
+        vec!["Tag".to_owned(), format!("{} / Byte", p.tag_pj_per_byte)],
+        vec!["L1 Cache".to_owned(), format!("{} / 32 Bytes", p.l1_pj_per_32b)],
+    ];
+    print!("{}", render_table(&["Component", "Energy [pJ]"], &rows));
+}

@@ -1,0 +1,355 @@
+//! # xcache-bench
+//!
+//! The experiment harness: one binary per table and figure of the paper
+//! (`fig04_*` … `fig20_*`, `tab01_*` … `tab04_*` under `src/bin/`), plus
+//! Criterion microbenchmarks under `benches/`.
+//!
+//! Every harness prints the same rows/series the paper reports. Absolute
+//! numbers differ (our substrate is a Rust cycle simulator, not the
+//! authors' RTL + DRAMsim2 testbed); EXPERIMENTS.md records paper-vs-
+//! measured for each one.
+//!
+//! ## Scale
+//!
+//! Harnesses default to a reduced scale so the whole suite runs in
+//! minutes. Set `XCACHE_SCALE=1` for paper-sized inputs (slow) or a larger
+//! divisor for quicker smoke runs; `scale()` reads it.
+
+use std::fmt::Write as _;
+
+use xcache_core::XCacheConfig;
+use xcache_dsa::widx::WidxWorkload;
+use xcache_workloads::QueryClass;
+
+/// Workload scale divisor. `1` = paper-sized. Default 10.
+///
+/// Read from `XCACHE_SCALE`; invalid values fall back to the default.
+#[must_use]
+pub fn scale() -> u32 {
+    std::env::var("XCACHE_SCALE")
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .filter(|&v| v >= 1)
+        .unwrap_or(10)
+}
+
+/// Renders an aligned text table.
+#[must_use]
+pub fn render_table(headers: &[&str], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = headers.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i < widths.len() {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        let mut line = String::new();
+        for (i, c) in cells.iter().enumerate() {
+            let _ = write!(line, "{:<w$}  ", c, w = widths[i]);
+        }
+        line.trim_end().to_owned()
+    };
+    let headers_owned: Vec<String> = headers.iter().map(|h| (*h).to_owned()).collect();
+    let _ = writeln!(out, "{}", fmt_row(&headers_owned, &widths));
+    let _ = writeln!(
+        out,
+        "{}",
+        widths
+            .iter()
+            .map(|w| "-".repeat(*w))
+            .collect::<Vec<_>>()
+            .join("  ")
+    );
+    for row in rows {
+        let _ = writeln!(out, "{}", fmt_row(row, &widths));
+    }
+    out
+}
+
+/// The standard Widx workload at the harness scale: paper-shaped TPC-H
+/// query class with enough probes to amortise compulsory misses.
+#[must_use]
+pub fn widx_workload(class: QueryClass, scale: u32, seed: u64) -> WidxWorkload {
+    let mut preset = class.preset().scaled_down(scale as usize);
+    preset.probes = (preset.probes * 3).max(2_000);
+    WidxWorkload::from_preset(&preset, seed)
+}
+
+/// A Widx geometry scaled with the workload so hit rates sit in the
+/// paper's regime (hot set resident, tail missing).
+#[must_use]
+pub fn widx_geometry(scale: u32) -> XCacheConfig {
+    let full = XCacheConfig::widx();
+    if scale <= 1 {
+        return full;
+    }
+    let sets = (full.sets / scale as usize).next_power_of_two().max(64);
+    XCacheConfig {
+        sets,
+        data_sectors: sets * full.ways,
+        ..full
+    }
+}
+
+/// One DSA evaluated in all three storage configurations (a Figure 14
+/// cluster).
+#[derive(Debug, Clone)]
+pub struct DsaRun {
+    /// Cluster label as the paper prints it (e.g. `Widx TPC-H-19`).
+    pub name: String,
+    /// The geometry used (also sizes the matched address cache).
+    pub geometry: XCacheConfig,
+    /// X-Cache configuration results.
+    pub xcache: xcache_dsa::RunReport,
+    /// Address-based cache with ideal walker.
+    pub addr: xcache_dsa::RunReport,
+    /// Hardwired DSA baseline.
+    pub baseline: xcache_dsa::RunReport,
+}
+
+impl DsaRun {
+    /// X-Cache speedup over the address cache.
+    #[must_use]
+    pub fn speedup_vs_addr(&self) -> f64 {
+        self.xcache.speedup_over(&self.addr)
+    }
+
+    /// X-Cache speedup over the hardwired baseline.
+    #[must_use]
+    pub fn speedup_vs_baseline(&self) -> f64 {
+        self.xcache.speedup_over(&self.baseline)
+    }
+
+    /// Address-cache DRAM accesses relative to X-Cache (Figure 14's
+    /// memory-access axis).
+    #[must_use]
+    pub fn dram_ratio(&self) -> f64 {
+        self.addr.dram_accesses() as f64 / self.xcache.dram_accesses().max(1) as f64
+    }
+}
+
+/// Runs every evaluated DSA in all three configurations at `scale`
+/// (Figure 14's full sweep; Figures 15/16 reuse the reports).
+#[must_use]
+pub fn run_all_dsas(scale: u32, seed: u64) -> Vec<DsaRun> {
+    use xcache_dsa::{dasx, graphpulse, spgemm, widx};
+
+    let mut out = Vec::new();
+
+    // Widx: TPC-H queries 19/20/22.
+    for class in QueryClass::all() {
+        let w = widx_workload(class, scale, seed);
+        let g = widx_geometry(scale);
+        out.push(DsaRun {
+            name: format!("Widx {}", class.name()),
+            geometry: g.clone(),
+            xcache: widx::run_xcache(&w, Some(g.clone())),
+            addr: widx::run_address_cache(&w, Some(g.clone())),
+            baseline: widx::run_baseline(&w, Some(g)),
+        });
+    }
+
+    // DASX on the same dataset (Q22 class, §7.2).
+    {
+        let w = dasx::DasxWorkload::from_preset(
+            &{
+                let mut p = QueryClass::Q22.preset().scaled_down(scale as usize);
+                p.probes = (p.probes * 3).max(2_000);
+                p
+            },
+            seed,
+        );
+        let mut g = widx_geometry(scale);
+        g.exe = XCacheConfig::dasx().exe;
+        out.push(DsaRun {
+            name: "DASX".into(),
+            geometry: g.clone(),
+            xcache: dasx::run_xcache(&w, Some(g.clone())),
+            addr: dasx::run_address_cache(&w, Some(g.clone())),
+            baseline: dasx::run_baseline(&w, Some(g)),
+        });
+    }
+
+    // GraphPulse: p2p-Gnutella08-shaped graph, PageRank.
+    {
+        let (n, e) = xcache_workloads::GraphPreset::P2pGnutella08.dims();
+        let n = (n / scale).max(64);
+        let e = (e / scale as usize).max(256);
+        let w = graphpulse::GraphPulseWorkload {
+            graph: xcache_workloads::Graph::from_adjacency(
+                xcache_workloads::CsrMatrix::generate(
+                    n,
+                    n,
+                    e,
+                    xcache_workloads::SparsePattern::RMat,
+                    seed,
+                ),
+            ),
+            iterations: 2,
+        };
+        let g = graphpulse_geometry(n);
+        out.push(DsaRun {
+            name: "GraphPulse p2p-08".into(),
+            geometry: g.clone(),
+            xcache: graphpulse::run_xcache(&w, Some(g.clone())),
+            addr: graphpulse::run_address_cache(&w, Some(g)),
+            // A single-port hardwired coalescing queue (one event per
+            // cycle enters a bin), GraphPulse's dedicated structure.
+            baseline: graphpulse::run_baseline(&w, 1),
+        });
+    }
+
+    // SpArch and Gamma: A x A on a p2p-Gnutella31-shaped matrix.
+    for alg in [spgemm::Algorithm::OuterProduct, spgemm::Algorithm::Gustavson] {
+        let w = spgemm::SpgemmWorkload::paper_like(alg, scale, seed);
+        let g = spgemm_geometry(scale);
+        out.push(DsaRun {
+            name: format!("{} p2p-31", alg.name()),
+            geometry: g.clone(),
+            xcache: spgemm::run_xcache(&w, Some(g.clone())),
+            addr: spgemm::run_address_cache(&w, Some(g.clone())),
+            baseline: spgemm::run_baseline(&w, Some(g)),
+        });
+    }
+
+    out
+}
+
+/// GraphPulse geometry scaled to a vertex count (direct-mapped, like
+/// Table 3, sized so the working set fits with batching headroom).
+#[must_use]
+pub fn graphpulse_geometry(vertices: u32) -> XCacheConfig {
+    let sets = (vertices as usize * 2).next_power_of_two().max(64);
+    XCacheConfig {
+        sets,
+        ways: 1,
+        data_sectors: sets,
+        ..XCacheConfig::graphpulse()
+    }
+}
+
+/// SpArch/Gamma geometry at harness scale.
+#[must_use]
+pub fn spgemm_geometry(scale: u32) -> XCacheConfig {
+    let full = XCacheConfig::sparch();
+    if scale <= 1 {
+        return full;
+    }
+    let sets = (full.sets / scale as usize).next_power_of_two().max(32);
+    XCacheConfig {
+        sets,
+        data_sectors: sets * full.ways * 4,
+        ..full
+    }
+}
+
+/// Serialises a set of [`DsaRun`]s to `results/<name>.json` when
+/// `XCACHE_JSON` is set — a machine-readable companion to the printed
+/// tables (flat JSON, hand-rendered; the workspace has no serde_json).
+pub fn maybe_dump_json(name: &str, runs: &[DsaRun]) {
+    if std::env::var("XCACHE_JSON").is_err() {
+        return;
+    }
+    let dir = std::path::Path::new("results");
+    if std::fs::create_dir_all(dir).is_err() {
+        return;
+    }
+    let mut out = String::from("[\n");
+    for (i, r) in runs.iter().enumerate() {
+        let report = |rep: &xcache_dsa::RunReport| {
+            let mut counters = String::from("{");
+            for (j, (k, v)) in rep.stats.counters.iter().enumerate() {
+                if j > 0 {
+                    counters.push(',');
+                }
+                let _ = write!(counters, "\"{k}\":{v}");
+            }
+            counters.push('}');
+            format!(
+                "{{\"label\":\"{}\",\"cycles\":{},\"checksum\":{},\"counters\":{}}}",
+                rep.label, rep.cycles, rep.checksum, counters
+            )
+        };
+        let _ = writeln!(
+            out,
+            "  {{\"name\":\"{}\",\"xcache\":{},\"addr\":{},\"baseline\":{}}}{}",
+            r.name,
+            report(&r.xcache),
+            report(&r.addr),
+            report(&r.baseline),
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    out.push(']');
+    let path = dir.join(format!("{name}.json"));
+    if let Err(e) = std::fs::write(&path, out) {
+        eprintln!("warning: could not write {}: {e}", path.display());
+    } else {
+        eprintln!("(wrote {})", path.display());
+    }
+}
+
+/// Formats a ratio as `1.23x`.
+#[must_use]
+pub fn ratio(num: f64, den: f64) -> String {
+    if den == 0.0 {
+        "n/a".into()
+    } else {
+        format!("{:.2}x", num / den)
+    }
+}
+
+/// Formats a fraction as `12.3%`.
+#[must_use]
+pub fn pct(frac: f64) -> String {
+    format!("{:.1}%", frac * 100.0)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn render_table_aligns_columns() {
+        let t = render_table(
+            &["name", "value"],
+            &[
+                vec!["a".into(), "1".into()],
+                vec!["longer".into(), "2".into()],
+            ],
+        );
+        let lines: Vec<&str> = t.lines().collect();
+        assert_eq!(lines.len(), 4);
+        assert!(lines[0].starts_with("name"));
+        assert!(lines[2].starts_with("a"));
+        // Columns align: "value" and "1" start at the same offset.
+        let col = lines[0].find("value").unwrap();
+        assert_eq!(lines[2].chars().nth(col), Some('1'));
+    }
+
+    #[test]
+    fn scale_defaults_to_ten() {
+        // (Env not set in the test environment.)
+        if std::env::var("XCACHE_SCALE").is_err() {
+            assert_eq!(scale(), 10);
+        }
+    }
+
+    #[test]
+    fn widx_geometry_scales_down() {
+        let g = widx_geometry(10);
+        assert!(g.sets < XCacheConfig::widx().sets);
+        assert!(g.sets.is_power_of_two());
+        assert_eq!(g.data_sectors, g.sets * g.ways);
+    }
+
+    #[test]
+    fn formatting_helpers() {
+        assert_eq!(ratio(17.0, 10.0), "1.70x");
+        assert_eq!(ratio(1.0, 0.0), "n/a");
+        assert_eq!(pct(0.123), "12.3%");
+    }
+}

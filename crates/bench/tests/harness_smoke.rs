@@ -1,0 +1,60 @@
+//! Smoke tests for the harness binaries that run instantly (the static
+//! tables and the synthesis model): they must execute and print the
+//! paper's headline values. The measurement harnesses are exercised at
+//! scale by `tests/integration_dsas.rs` through their library entry
+//! points; run the binaries themselves via `results/` capture.
+
+use std::process::Command;
+
+fn run(bin: &str) -> String {
+    let out = Command::new(bin).output().expect("binary runs");
+    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+    String::from_utf8_lossy(&out.stdout).into_owned()
+}
+
+#[test]
+fn tab01_prints_the_taxonomy() {
+    let out = run(env!("CARGO_BIN_EXE_tab01_taxonomy"));
+    assert!(out.contains("Programmable"));
+    assert!(out.contains("Scratch+DMA"));
+    assert!(out.contains("Meta-to-Addr"));
+}
+
+#[test]
+fn tab02_prints_all_five_dsas() {
+    let out = run(env!("CARGO_BIN_EXE_tab02_features"));
+    for dsa in ["Widx", "DASX", "GraphPulse", "SpArch", "Gamma"] {
+        assert!(out.contains(dsa), "missing {dsa}");
+    }
+}
+
+#[test]
+fn tab03_prints_table3_geometries() {
+    let out = run(env!("CARGO_BIN_EXE_tab03_geometry"));
+    assert!(out.contains("131072"), "GraphPulse sets");
+    assert!(out.contains("1024"), "Widx sets");
+}
+
+#[test]
+fn tab04_prints_table4_constants() {
+    let out = run(env!("CARGO_BIN_EXE_tab04_energy_params"));
+    assert!(out.contains("44.8"));
+    assert!(out.contains("2.7"));
+    assert!(out.contains("12.6"));
+}
+
+#[test]
+fn fig19_reproduces_the_reference_breakdown() {
+    let out = run(env!("CARGO_BIN_EXE_fig19_fpga_synthesis"));
+    assert!(out.contains("X-Reg"));
+    assert!(out.contains("Action Exec."));
+    assert!(out.contains("3457"), "total registers");
+    assert!(out.contains("6985"), "total logic");
+}
+
+#[test]
+fn fig20_reproduces_the_reference_layout() {
+    let out = run(env!("CARGO_BIN_EXE_fig20_asic_area"));
+    assert!(out.contains("0.110"), "controller mm^2");
+    assert!(out.contains("65000"), "cells");
+}

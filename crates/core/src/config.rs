@@ -1,0 +1,275 @@
+//! X-Cache generator configuration (the Chisel generator's parameters,
+//! Figure 13 / Table 3).
+
+/// How walkers share the controller pipeline — the Choice-3 ablation (§3.3).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum WalkerDiscipline {
+    /// Walkers are coroutines: they yield the pipeline at long-latency
+    /// events and are rescheduled on wakeup (the X-Cache design).
+    Coroutine,
+    /// Walkers are blocking threads: each occupies an executor lane for its
+    /// entire lifetime, including memory stalls (the prior-work baseline
+    /// the paper compares against in Figure 7).
+    BlockingThread,
+}
+
+/// Geometry and behavioural parameters of one X-Cache instance.
+///
+/// Field names follow the paper: `#Active` is the number of X-register
+/// files (bounding concurrent walkers and therefore memory-level
+/// parallelism), `#Exe` the executor-stage lanes, `#Way`/`#Set` the
+/// meta-tag geometry, and `#Word` the words striped per sector (`wlen`).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct XCacheConfig {
+    /// `#Active`: concurrent walkers / X-register files.
+    pub active: usize,
+    /// `#Exe`: executor lanes (actions retired per cycle; also the number
+    /// of resident routines).
+    pub exe: usize,
+    /// `#Way`: meta-tag associativity.
+    pub ways: usize,
+    /// `#Set`: meta-tag sets (power of two).
+    pub sets: usize,
+    /// `#Word`: 8-byte words per data-RAM sector.
+    pub words_per_sector: usize,
+    /// Total sectors in the data RAM. Defaults (via presets) to
+    /// `sets × ways × 2` so that average entries of 1–2 sectors fit.
+    pub data_sectors: usize,
+    /// Load-to-use latency of a meta-tag hit ("fully pipelined, 3-cycle
+    /// load-to-use", §4.2).
+    pub hit_latency: u64,
+    /// Latency of the DSA hash functional unit (60 for Widx string keys).
+    pub hash_latency: u64,
+    /// Width of an X-register file in registers (per walker); must cover
+    /// the walker program's `regs` declaration.
+    pub xregs_per_walker: usize,
+    /// Full hardware-context size charged per *thread* in
+    /// [`WalkerDiscipline::BlockingThread`] mode (a classic RISC pipeline
+    /// context, cf. Widx's enhanced RISC cores).
+    pub thread_context_regs: usize,
+    /// Coroutine vs. blocking-thread controller.
+    pub discipline: WalkerDiscipline,
+    /// DSA-specific parameters, referenced by `Operand::Param(i)`.
+    pub params: Vec<u64>,
+    /// Depth of the datapath-side access queue.
+    pub access_queue_depth: usize,
+    /// Depth of the datapath-side response queue.
+    pub resp_queue_depth: usize,
+}
+
+impl Default for XCacheConfig {
+    fn default() -> Self {
+        XCacheConfig {
+            active: 16,
+            exe: 2,
+            ways: 8,
+            sets: 1024,
+            words_per_sector: 4,
+            data_sectors: 1024 * 8 * 2,
+            hit_latency: 3,
+            hash_latency: 1,
+            xregs_per_walker: 8,
+            thread_context_regs: 32,
+            discipline: WalkerDiscipline::Coroutine,
+            params: Vec::new(),
+            access_queue_depth: 16,
+            resp_queue_depth: 64,
+        }
+    }
+}
+
+impl XCacheConfig {
+    /// Table 3 geometry for Widx (16 active, 2 exe, 8 way, 1024 set,
+    /// 4 words). Widx hashes string keys at 60 cycles.
+    #[must_use]
+    pub fn widx() -> Self {
+        XCacheConfig {
+            active: 16,
+            exe: 2,
+            ways: 8,
+            sets: 1024,
+            words_per_sector: 4,
+            data_sectors: 1024 * 8 * 2,
+            hash_latency: 60,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 geometry for DASX (hash): 16/4/8/1024/4.
+    #[must_use]
+    pub fn dasx() -> Self {
+        XCacheConfig {
+            active: 16,
+            exe: 4,
+            ways: 8,
+            sets: 1024,
+            words_per_sector: 4,
+            data_sectors: 1024 * 8 * 2,
+            hash_latency: 12,
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 geometry for SpArch: 32/4/8/512/4.
+    #[must_use]
+    pub fn sparch() -> Self {
+        XCacheConfig {
+            active: 32,
+            exe: 4,
+            ways: 8,
+            sets: 512,
+            words_per_sector: 4,
+            data_sectors: 512 * 8 * 4, // rows span multiple sectors
+            ..Self::default()
+        }
+    }
+
+    /// Table 3 geometry for Gamma: 32/4/8/512/4.
+    #[must_use]
+    pub fn gamma() -> Self {
+        Self::sparch()
+    }
+
+    /// Table 3 geometry for GraphPulse: 16/4/1/131072/8 (direct-mapped —
+    /// "in the case of GraphPulse a direct-mapped cache suffices", §7.1).
+    #[must_use]
+    pub fn graphpulse() -> Self {
+        XCacheConfig {
+            active: 16,
+            exe: 4,
+            ways: 1,
+            sets: 131_072,
+            words_per_sector: 8,
+            data_sectors: 131_072,
+            ..Self::default()
+        }
+    }
+
+    /// A small geometry for unit tests.
+    #[must_use]
+    pub fn test_tiny() -> Self {
+        XCacheConfig {
+            active: 4,
+            exe: 2,
+            ways: 2,
+            sets: 8,
+            words_per_sector: 4,
+            data_sectors: 64,
+            hit_latency: 3,
+            hash_latency: 4,
+            xregs_per_walker: 6,
+            ..Self::default()
+        }
+    }
+
+    /// Number of meta-tag entries.
+    #[must_use]
+    pub fn meta_entries(&self) -> usize {
+        self.sets * self.ways
+    }
+
+    /// Bytes per data-RAM sector.
+    #[must_use]
+    pub fn sector_bytes(&self) -> u64 {
+        self.words_per_sector as u64 * 8
+    }
+
+    /// Total data-RAM capacity in bytes.
+    #[must_use]
+    pub fn data_capacity_bytes(&self) -> u64 {
+        self.data_sectors as u64 * self.sector_bytes()
+    }
+
+    /// Returns `self` with a parameter vector installed (builder-style).
+    #[must_use]
+    pub fn with_params(mut self, params: Vec<u64>) -> Self {
+        self.params = params;
+        self
+    }
+
+    /// Returns `self` with a walker discipline installed (builder-style).
+    #[must_use]
+    pub fn with_discipline(mut self, discipline: WalkerDiscipline) -> Self {
+        self.discipline = discipline;
+        self
+    }
+
+    /// Validates geometry.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.active == 0 {
+            return Err("active (#Active) must be nonzero".into());
+        }
+        if self.exe == 0 {
+            return Err("exe (#Exe) must be nonzero".into());
+        }
+        if self.ways == 0 {
+            return Err("ways must be nonzero".into());
+        }
+        if self.sets == 0 || !self.sets.is_power_of_two() {
+            return Err("sets must be a nonzero power of two".into());
+        }
+        if self.words_per_sector == 0 {
+            return Err("words_per_sector must be nonzero".into());
+        }
+        if self.data_sectors == 0 {
+            return Err("data_sectors must be nonzero".into());
+        }
+        if self.xregs_per_walker == 0 {
+            return Err("xregs_per_walker must be nonzero".into());
+        }
+        if self.access_queue_depth == 0 || self.resp_queue_depth == 0 {
+            return Err("queue depths must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_table3() {
+        let w = XCacheConfig::widx();
+        assert_eq!((w.active, w.exe, w.ways, w.sets, w.words_per_sector), (16, 2, 8, 1024, 4));
+        let d = XCacheConfig::dasx();
+        assert_eq!((d.active, d.exe, d.ways, d.sets, d.words_per_sector), (16, 4, 8, 1024, 4));
+        let s = XCacheConfig::sparch();
+        assert_eq!((s.active, s.exe, s.ways, s.sets, s.words_per_sector), (32, 4, 8, 512, 4));
+        assert_eq!(XCacheConfig::gamma(), XCacheConfig::sparch());
+        let g = XCacheConfig::graphpulse();
+        assert_eq!((g.active, g.exe, g.ways, g.sets, g.words_per_sector), (16, 4, 1, 131_072, 8));
+    }
+
+    #[test]
+    fn derived_quantities() {
+        let c = XCacheConfig::test_tiny();
+        assert_eq!(c.meta_entries(), 16);
+        assert_eq!(c.sector_bytes(), 32);
+        assert_eq!(c.data_capacity_bytes(), 64 * 32);
+    }
+
+    #[test]
+    fn validation_rejects_bad_fields() {
+        let mut c = XCacheConfig::default();
+        assert!(c.validate().is_ok());
+        c.sets = 3;
+        assert!(c.validate().is_err());
+        c.sets = 4;
+        c.exe = 0;
+        assert!(c.validate().is_err());
+    }
+
+    #[test]
+    fn builder_helpers() {
+        let c = XCacheConfig::test_tiny()
+            .with_params(vec![7, 8])
+            .with_discipline(WalkerDiscipline::BlockingThread);
+        assert_eq!(c.params, vec![7, 8]);
+        assert_eq!(c.discipline, WalkerDiscipline::BlockingThread);
+    }
+}

@@ -1,0 +1,1332 @@
+//! The programmable X-Cache controller (§4, Figure 8).
+//!
+//! The controller is a two-part pipeline:
+//!
+//! * **Front-end** ("the event loop"): monitors the datapath access queue,
+//!   the DRAM response port and the internal event queue, and *wakes one
+//!   walker per cycle*. Meta-tag hits bypass the walkers entirely through a
+//!   dedicated read port with a pipelined `hit_latency` load-to-use.
+//! * **Back-end**: `#Exe` executor lanes run woken routines one action per
+//!   lane per cycle; routines end by yielding (coroutine goes dormant, lane
+//!   freed) or retiring.
+//!
+//! The walker *discipline* is configurable for the §3.3 ablation:
+//! coroutines release their lane at every yield; blocking threads hold a
+//! lane from launch to retirement, including all memory stalls (Figure 7).
+
+use std::collections::{HashMap, VecDeque};
+
+use bytes::Bytes;
+
+use xcache_isa::{
+    Action, ActionCategory, AluOp, Cond, EventId, Operand, RoutineId, StateId, WalkerProgram,
+};
+use xcache_mem::{MemReq, MemoryPort};
+use xcache_sim::{Cycle, MsgQueue, Stats, TraceBuffer, TraceKind};
+
+use crate::{
+    config::WalkerDiscipline, dataram::DataRam, metatag::EntryRef, metatag::MetaTagArray,
+    xreg::XRegPool, MetaAccess, MetaKey, MetaResp, XCacheConfig,
+};
+
+/// Error constructing an [`XCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The geometry failed validation.
+    BadConfig(String),
+    /// The walker program failed validation.
+    BadProgram(String),
+    /// The program needs more X-registers than the geometry provides.
+    RegistersExceeded {
+        /// Registers the program declares.
+        needed: u8,
+        /// Registers per walker in the geometry.
+        available: usize,
+    },
+    /// The program references parameter `idx` but only `provided` exist.
+    MissingParam {
+        /// Referenced parameter index.
+        idx: u8,
+        /// Number of parameters configured.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::BadProgram(e) => write!(f, "invalid walker program: {e}"),
+            BuildError::RegistersExceeded { needed, available } => write!(
+                f,
+                "program needs {needed} X-registers but the geometry provides {available}"
+            ),
+            BuildError::MissingParam { idx, provided } => write!(
+                f,
+                "program references param p{idx} but only {provided} parameter(s) configured"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Number of payload words carried with an event.
+const MSG_WORDS: usize = 4;
+
+/// Cycles a lane may stall on a structural hazard before the walker faults
+/// (deadlock backstop; counted in `xcache.walker_timeout`).
+const STALL_LIMIT: u32 = 100_000;
+
+/// Trigger-stage scheduling window: how many pending accesses the
+/// front-end examines per cycle when the head cannot make progress.
+const SCHED_WINDOW: usize = 8;
+
+/// Cycles a routine may spin on an *allocation* hazard (a resource held by
+/// another walker) before the walk is aborted and its access replayed
+/// through the trigger stage. Allocation hazards are deadlock-prone — two
+/// stalled routines can hold all executor lanes — so they resolve by
+/// replay, unlike queue-full stalls which always drain.
+const HAZARD_RETRY: u32 = 64;
+
+#[derive(Debug)]
+struct Walker {
+    key: MetaKey,
+    entry: Option<EntryRef>,
+    state: StateId,
+    probe_hit: bool,
+    pending: VecDeque<(EventId, [u64; MSG_WORDS])>,
+    msg: [u64; MSG_WORDS],
+    fill_data: Option<Bytes>,
+    origin: MetaAccess,
+    responded: bool,
+    /// The walker allocated its meta entry (vs. attached to an existing
+    /// one on a store hit); faults may only invalidate owned entries.
+    owns_entry: bool,
+    waiters: Vec<MetaAccess>,
+    launched_at: Cycle,
+    gen: u32,
+    in_lane: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Lane {
+    slot: usize,
+    routine: RoutineId,
+    pc: usize,
+    /// Thread discipline: lane is held while the walker waits for events.
+    waiting: bool,
+    stall_cycles: u32,
+}
+
+enum Outcome {
+    Advance,
+    Jump(usize),
+    Stall,
+    /// Stalled on a resource held by another walker (see [`HAZARD_RETRY`]).
+    StallHazard,
+    YieldLane,
+    FreeLane,
+}
+
+/// A generated domain-specific cache instance.
+///
+/// Generic over its miss-path memory level `D`: a
+/// [`DramModel`](xcache_mem::DramModel) directly, an
+/// [`AddressCache`](xcache_mem::AddressCache) (the MXA hierarchy of §6), or
+/// a [`PortHandle`](xcache_mem::PortHandle) sharing DRAM with a stream
+/// engine (MXS).
+#[derive(Debug)]
+pub struct XCache<D> {
+    cfg: XCacheConfig,
+    program: WalkerProgram,
+    tags: MetaTagArray,
+    data: DataRam,
+    xregs: XRegPool,
+    access_q: MsgQueue<MetaAccess>,
+    replay_q: VecDeque<MetaAccess>,
+    /// The trigger-stage window (drained from `access_q`/`replay_q`).
+    pending: VecDeque<MetaAccess>,
+    resp_q: MsgQueue<MetaResp>,
+    /// Overflow buffer for responses produced while `resp_q` is full
+    /// (e.g. a walker answering many waiters at once); drained in FIFO
+    /// order ahead of new responses, so nothing is ever dropped.
+    resp_spill: VecDeque<(u64, MetaResp)>,
+    walkers: Vec<Option<Walker>>,
+    /// Per-slot generation counters, persisting across walker reuse so
+    /// that stale DRAM responses never wake the wrong walker.
+    slot_gens: Vec<u32>,
+    /// key → walker slot, held from launch to retirement (prevents
+    /// duplicate walkers; queues waiters).
+    launching: HashMap<MetaKey, usize>,
+    lanes: Vec<Option<Lane>>,
+    /// Delayed internal events: (due, slot, gen, event, payload).
+    delayed: Vec<(Cycle, usize, u32, EventId, [u64; MSG_WORDS])>,
+    inflight: HashMap<u64, (usize, u32)>,
+    issue_times: HashMap<u64, Cycle>,
+    next_req_id: u64,
+    wake_rr: usize,
+    downstream: D,
+    stats: Stats,
+    trace: TraceBuffer,
+}
+
+impl<D: MemoryPort> XCache<D> {
+    /// Generates an X-Cache instance from a geometry, a compiled walker
+    /// program, and the memory level below.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the geometry is invalid, the program
+    /// fails validation, or the program's resource needs (X-registers,
+    /// parameters) exceed what the geometry provides.
+    pub fn new(
+        cfg: XCacheConfig,
+        program: WalkerProgram,
+        downstream: D,
+    ) -> Result<Self, BuildError> {
+        cfg.validate().map_err(BuildError::BadConfig)?;
+        program.validate().map_err(|errs| {
+            BuildError::BadProgram(
+                errs.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            )
+        })?;
+        if usize::from(program.regs) > cfg.xregs_per_walker {
+            return Err(BuildError::RegistersExceeded {
+                needed: program.regs,
+                available: cfg.xregs_per_walker,
+            });
+        }
+        // Every referenced parameter must be configured.
+        for r in &program.routines {
+            for a in &r.actions {
+                for op in action_operands(a) {
+                    if let Operand::Param(i) = op {
+                        if usize::from(i) >= cfg.params.len() {
+                            return Err(BuildError::MissingParam {
+                                idx: i,
+                                provided: cfg.params.len(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Coroutines charge only the walker's declared X-registers for its
+        // lifetime; blocking threads additionally pay for their statically
+        // allocated hardware contexts every cycle (see `tick`).
+        let charged = usize::from(program.regs.max(1));
+        Ok(XCache {
+            tags: MetaTagArray::new(cfg.sets, cfg.ways),
+            data: DataRam::new(cfg.data_sectors, cfg.words_per_sector),
+            xregs: XRegPool::new(cfg.active, cfg.xregs_per_walker, charged),
+            access_q: MsgQueue::new("xcache.access", cfg.access_queue_depth, 1),
+            replay_q: VecDeque::new(),
+            pending: VecDeque::new(),
+            resp_q: MsgQueue::new("xcache.resp", cfg.resp_queue_depth, cfg.hit_latency.max(1)),
+            resp_spill: VecDeque::new(),
+            walkers: (0..cfg.active).map(|_| None).collect(),
+            slot_gens: vec![0; cfg.active],
+            launching: HashMap::new(),
+            lanes: vec![None; cfg.exe],
+            delayed: Vec::new(),
+            inflight: HashMap::new(),
+            issue_times: HashMap::new(),
+            next_req_id: 1,
+            wake_rr: 0,
+            downstream,
+            stats: Stats::new(),
+            trace: TraceBuffer::disabled(),
+            program,
+            cfg,
+        })
+    }
+
+    /// The geometry in effect.
+    #[must_use]
+    pub fn config(&self) -> &XCacheConfig {
+        &self.cfg
+    }
+
+    /// The loaded walker program.
+    #[must_use]
+    pub fn program(&self) -> &WalkerProgram {
+        &self.program
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// The memory level below.
+    #[must_use]
+    pub fn downstream(&self) -> &D {
+        &self.downstream
+    }
+
+    /// The memory level below, mutably (workload setup).
+    pub fn downstream_mut(&mut self) -> &mut D {
+        &mut self.downstream
+    }
+
+    /// Enables bounded tracing for debugging and the figure narratives.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.trace = TraceBuffer::with_capacity(capacity);
+    }
+
+    /// The trace buffer.
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.trace
+    }
+
+    /// Meta-tag hit ratio so far, or `None` before any access.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let h = self.stats.get("xcache.hit");
+        let m = self.stats.get("xcache.miss");
+        (h + m > 0).then(|| h as f64 / (h + m) as f64)
+    }
+
+    /// Offers a meta access from the datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns the access back when the queue is full this cycle.
+    pub fn try_access(&mut self, now: Cycle, access: MetaAccess) -> Result<(), MetaAccess> {
+        match self.access_q.push(now, access) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.incr("xcache.access_stall");
+                Err(e.0)
+            }
+        }
+    }
+
+    /// Removes one datapath response ready at `now`, if any.
+    pub fn take_response(&mut self, now: Cycle) -> Option<MetaResp> {
+        self.resp_q.pop(now)
+    }
+
+    /// Whether any work is outstanding anywhere in the instance.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.access_q.is_empty()
+            || !self.replay_q.is_empty()
+            || !self.pending.is_empty()
+            || !self.resp_q.is_empty()
+            || !self.resp_spill.is_empty()
+            || !self.delayed.is_empty()
+            || self.walkers.iter().any(Option::is_some)
+            || self.downstream.busy()
+    }
+
+    /// Advances the instance (and its downstream level) one cycle.
+    pub fn tick(&mut self, now: Cycle) {
+        if self.cfg.discipline == WalkerDiscipline::BlockingThread {
+            // Thread contexts are statically partitioned hardware: every
+            // context's full register file is occupied every cycle,
+            // whether walking or stalled — "resources are allocated/freed
+            // at a coarse granularity" (§3.3).
+            self.stats.add(
+                "xcache.occupancy_reg_byte_cycles",
+                (self.cfg.thread_context_regs * 8 * self.cfg.active) as u64,
+            );
+        }
+        self.downstream.tick(now);
+        self.drain_resp_spill(now);
+        self.collect_fills(now);
+        self.deliver_delayed(now);
+        let mut wake_budget = 1usize;
+        self.process_access(now, &mut wake_budget);
+        if wake_budget > 0 {
+            self.wake_one(now);
+        }
+        self.execute(now);
+    }
+
+    // ------------------------------------------------------------------
+    // Front-end
+    // ------------------------------------------------------------------
+
+    fn collect_fills(&mut self, now: Cycle) {
+        while let Some(resp) = self.downstream.take_response(now) {
+            let Some((slot, gen)) = self.inflight.remove(&resp.id.0) else {
+                continue; // stale (walker faulted); drop
+            };
+            let Some(w) = self.walkers[slot].as_mut() else {
+                continue;
+            };
+            if w.gen != gen {
+                continue;
+            }
+            let mut payload = [0u64; MSG_WORDS];
+            for (i, chunk) in resp.data.chunks(8).take(MSG_WORDS).enumerate() {
+                let mut b = [0u8; 8];
+                b[..chunk.len()].copy_from_slice(chunk);
+                payload[i] = u64::from_le_bytes(b);
+            }
+            w.fill_data = Some(resp.data.clone());
+            w.pending.push_back((EventId::FILL, payload));
+            self.stats.incr("xcache.fill_resp");
+            self.trace.emit(
+                now,
+                TraceKind::DramResp,
+                "xcache",
+                format!("slot {slot} addr {:#x}", resp.addr),
+            );
+        }
+    }
+
+    fn deliver_delayed(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, slot, gen, ev, payload) = self.delayed.swap_remove(i);
+                if let Some(w) = self.walkers[slot].as_mut() {
+                    if w.gen == gen {
+                        w.pending.push_back((ev, payload));
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Processes at most one datapath access per cycle.
+    ///
+    /// Meta hits are "handled by a dedicated read port … fully pipelined"
+    /// (§4.2), so a miss that cannot launch a walker this cycle (no free
+    /// X-register file) must not block younger hits. The trigger stage
+    /// therefore scans a bounded window of the pending accesses and serves
+    /// the first one that can make progress, never reordering two accesses
+    /// to the same key.
+    fn process_access(&mut self, now: Cycle, wake_budget: &mut usize) {
+        // Refill the trigger-stage window from the replay queue (waiters
+        // released by a retiring walker) then the datapath queue.
+        while self.pending.len() < self.cfg.access_queue_depth {
+            if let Some(a) = self.replay_q.pop_front() {
+                self.pending.push_back(a);
+            } else if let Some(a) = self.access_q.pop(now) {
+                self.pending.push_back(a);
+            } else {
+                break;
+            }
+        }
+
+        let window = self.pending.len().min(SCHED_WINDOW);
+        let mut seen_keys: Vec<MetaKey> = Vec::with_capacity(window);
+        let mut serve: Option<usize> = None;
+        for i in 0..window {
+            let access = self.pending[i];
+            let key = access.key();
+            if seen_keys.contains(&key) {
+                continue; // per-key order preserved
+            }
+            seen_keys.push(key);
+            if self.can_serve(&access, wake_budget) {
+                serve = Some(i);
+                break;
+            }
+        }
+        let Some(i) = serve else {
+            if !self.pending.is_empty() {
+                self.stats.incr("xcache.launch_stall");
+            }
+            return;
+        };
+        let access = self.pending.remove(i).expect("index in window");
+        self.serve_access(now, access, wake_budget);
+    }
+
+    /// Whether `access` can make progress this cycle (trigger-stage hazard
+    /// check — "routines are not triggered until all the hazard conditions
+    /// are eliminated", §4.1 ③).
+    fn can_serve(&mut self, access: &MetaAccess, wake_budget: &usize) -> bool {
+        let key = access.key();
+        if let Some(_slot) = self.launching.get(&key) {
+            // Loads attach as waiters (always possible); stores/takes must
+            // wait for the walker to finish.
+            return matches!(access, MetaAccess::Load { .. });
+        }
+        let hit = self.tags.peek(key).is_some();
+        match access {
+            MetaAccess::Load { .. } if hit => true,
+            MetaAccess::Take { .. } => true, // hit or definitive not-found
+            // Walker launch needs the cycle's wake, a lane, an X-reg file,
+            // and — unless the walker will attach to an existing entry —
+            // an allocatable way in the key's set ("routines are not
+            // triggered until all the hazard conditions are eliminated").
+            // Permanently pinned-full sets still launch so the walker can
+            // fast-fault and inform the datapath.
+            _ => {
+                let alloc_ok = hit || self.tags.can_alloc(key) || self.tags.set_unevictable(key);
+                *wake_budget > 0 && self.xregs.has_free() && self.free_lane().is_some() && alloc_ok
+            }
+        }
+    }
+
+    fn serve_access(&mut self, now: Cycle, access: MetaAccess, wake_budget: &mut usize) {
+        let key = access.key();
+        // Load-to-use is measured from dispatch (the trigger stage picked
+        // the access) to response — matching how the probe-engine
+        // baselines measure their per-walk latency.
+        self.issue_times.insert(access.id(), now);
+        if let Some(&slot) = self.launching.get(&key) {
+            let w = self.walkers[slot].as_mut().expect("launching entry");
+            w.waiters.push(access);
+            self.stats.incr("xcache.waiter");
+            return;
+        }
+        let probe = self.tags.probe(key, &mut self.stats);
+        match access {
+            MetaAccess::Load { id, .. } => {
+                if let Some(r) = probe {
+                    let e = *self.tags.entry(r);
+                    debug_assert!(!e.active, "active entry without launching record");
+                    self.stats.incr("xcache.hit");
+                    let data = self.data.gather(e.sector_start, e.sector_count, &mut self.stats);
+                    self.respond(now, id, key, true, data);
+                    self.trace
+                        .emit(now, TraceKind::Hit, "xcache", format!("{key}"));
+                } else {
+                    self.launch(now, access, false, None, [0; MSG_WORDS], EventId::MISS, wake_budget);
+                }
+            }
+            MetaAccess::Store { payload, .. } => {
+                let mut msg = [0u64; MSG_WORDS];
+                msg[0] = payload[0];
+                msg[1] = payload[1];
+                if let Some(r) = probe {
+                    self.stats.incr("xcache.store_hit");
+                    self.launch(now, access, true, Some(r), msg, EventId::UPDATE, wake_budget);
+                } else {
+                    self.stats.incr("xcache.store_miss");
+                    self.launch(now, access, false, None, msg, EventId::UPDATE, wake_budget);
+                }
+            }
+            MetaAccess::Take { id, .. } => {
+                if let Some(r) = probe {
+                    let e = self.tags.invalidate(r, &mut self.stats);
+                    self.stats.incr("xcache.take_hit");
+                    let data = self.data.gather(e.sector_start, e.sector_count, &mut self.stats);
+                    if e.sector_count > 0 {
+                        self.data.free(e.sector_start, e.sector_count);
+                    }
+                    self.respond(now, id, key, true, data);
+                } else {
+                    self.stats.incr("xcache.take_miss");
+                    self.respond(now, id, key, false, Vec::new());
+                }
+            }
+        }
+    }
+
+    /// Launches a walker for `access`; `can_serve` already checked the
+    /// resources, so failure here is a logic error.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &mut self,
+        now: Cycle,
+        access: MetaAccess,
+        probe_hit: bool,
+        entry: Option<EntryRef>,
+        msg: [u64; MSG_WORDS],
+        event: EventId,
+        wake_budget: &mut usize,
+    ) {
+        let file = self.xregs.alloc(now).expect("can_serve checked a free file");
+        let slot = usize::from(file.0);
+        self.slot_gens[slot] = self.slot_gens[slot].wrapping_add(1);
+        let gen = self.slot_gens[slot];
+        if let Some(r) = entry {
+            self.tags.entry_mut(r).active = true;
+        }
+        let state = entry.map_or(StateId::DEFAULT, |r| self.tags.entry(r).state);
+        let mut w = Walker {
+            key: access.key(),
+            entry,
+            state: if event == EventId::MISS { StateId::DEFAULT } else { state },
+            probe_hit,
+            pending: VecDeque::new(),
+            msg,
+            fill_data: None,
+            origin: access,
+            responded: false,
+            owns_entry: false,
+            waiters: Vec::new(),
+            launched_at: now,
+            gen,
+            in_lane: false,
+        };
+        w.pending.push_back((event, msg));
+        self.walkers[slot] = Some(w);
+        self.launching.insert(access.key(), slot);
+        self.stats.incr("xcache.walker_launch");
+        if event == EventId::MISS {
+            self.stats.incr("xcache.miss");
+            self.trace
+                .emit(now, TraceKind::Miss, "xcache", format!("{}", access.key()));
+        }
+        // Launch consumes the cycle's wake: dispatch immediately.
+        *wake_budget = 0;
+        self.dispatch(now, slot);
+    }
+
+    fn free_lane(&self) -> Option<usize> {
+        self.lanes.iter().position(Option::is_none)
+    }
+
+    /// Dispatches the next pending event of walker `slot` into a lane.
+    fn dispatch(&mut self, now: Cycle, slot: usize) -> bool {
+        let (event, payload, in_lane, state) = {
+            let w = self.walkers[slot].as_ref().expect("dispatch on empty slot");
+            let Some(&(event, payload)) = w.pending.front() else {
+                return false;
+            };
+            (event, payload, w.in_lane, w.state)
+        };
+        // Thread discipline: reuse the walker's blocked lane if it has one.
+        let lane_idx = if let Some(i) = self
+            .lanes
+            .iter()
+            .position(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
+        {
+            i
+        } else if in_lane {
+            return false; // already running
+        } else if let Some(i) = self.free_lane() {
+            i
+        } else {
+            return false;
+        };
+        let Some(routine) = self.program.table.lookup(state, event) else {
+            // Protocol error: no transition for (state, event).
+            self.stats.incr("xcache.protocol_error");
+            self.walkers[slot].as_mut().expect("walker").pending.pop_front();
+            self.fault_walker(now, slot);
+            return true;
+        };
+        let w = self.walkers[slot].as_mut().expect("walker");
+        w.pending.pop_front();
+        w.msg = payload;
+        w.in_lane = true;
+        self.lanes[lane_idx] = Some(Lane {
+            slot,
+            routine,
+            pc: 0,
+            waiting: false,
+            stall_cycles: 0,
+        });
+        self.stats.incr("xcache.wakeup");
+        self.trace.emit(
+            now,
+            TraceKind::Wake,
+            "xcache",
+            format!("slot {slot} event {event}"),
+        );
+        true
+    }
+
+    /// Wakes one dormant walker with a pending event (round-robin).
+    fn wake_one(&mut self, now: Cycle) {
+        let n = self.walkers.len();
+        for off in 0..n {
+            let slot = (self.wake_rr + off) % n;
+            let ready = self.walkers[slot]
+                .as_ref()
+                .is_some_and(|w| !w.in_lane && !w.pending.is_empty());
+            let blocked_thread = self.walkers[slot].as_ref().is_some_and(|w| {
+                w.in_lane
+                    && !w.pending.is_empty()
+                    && self
+                        .lanes
+                        .iter()
+                        .any(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
+            });
+            if (ready || blocked_thread) && self.dispatch(now, slot) {
+                self.wake_rr = (slot + 1) % n;
+                return;
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Back-end
+    // ------------------------------------------------------------------
+
+    fn execute(&mut self, now: Cycle) {
+        for lane_idx in 0..self.lanes.len() {
+            let Some(mut lane) = self.lanes[lane_idx] else {
+                continue;
+            };
+            if lane.waiting {
+                continue;
+            }
+            if self.walkers[lane.slot].is_none() {
+                // Walker faulted earlier this cycle.
+                self.lanes[lane_idx] = None;
+                continue;
+            }
+            let action = self.program.routines[lane.routine.0 as usize].actions[lane.pc];
+            self.stats.incr("xcache.ucode_read");
+            self.stats.incr(category_counter(action.category()));
+            match self.exec_action(now, lane.slot, action) {
+                Outcome::Advance => {
+                    lane.pc += 1;
+                    lane.stall_cycles = 0;
+                    self.lanes[lane_idx] = Some(lane);
+                }
+                Outcome::Jump(pc) => {
+                    lane.pc = pc;
+                    lane.stall_cycles = 0;
+                    self.lanes[lane_idx] = Some(lane);
+                }
+                Outcome::Stall => {
+                    lane.stall_cycles += 1;
+                    self.stats.incr("xcache.exec_stall");
+                    if lane.stall_cycles > STALL_LIMIT {
+                        self.stats.incr("xcache.walker_timeout");
+                        self.lanes[lane_idx] = None;
+                        self.fault_walker(now, lane.slot);
+                    } else {
+                        self.lanes[lane_idx] = Some(lane);
+                    }
+                }
+                Outcome::StallHazard => {
+                    lane.stall_cycles += 1;
+                    self.stats.incr("xcache.exec_stall");
+                    if lane.stall_cycles > HAZARD_RETRY {
+                        self.lanes[lane_idx] = None;
+                        self.abort_and_replay(now, lane.slot);
+                    } else {
+                        self.lanes[lane_idx] = Some(lane);
+                    }
+                }
+                Outcome::YieldLane => {
+                    match self.cfg.discipline {
+                        WalkerDiscipline::Coroutine => {
+                            self.lanes[lane_idx] = None;
+                            if let Some(w) = self.walkers[lane.slot].as_mut() {
+                                w.in_lane = false;
+                            }
+                        }
+                        WalkerDiscipline::BlockingThread => {
+                            lane.waiting = true;
+                            self.lanes[lane_idx] = Some(lane);
+                        }
+                    }
+                    self.trace
+                        .emit(now, TraceKind::Yield, "xcache", format!("slot {}", lane.slot));
+                }
+                Outcome::FreeLane => {
+                    self.lanes[lane_idx] = None;
+                }
+            }
+        }
+    }
+
+    fn eval(&mut self, slot: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => {
+                self.xregs
+                    .read(crate::xreg::XRegFile(slot as u16), r.0, &mut self.stats)
+            }
+            Operand::Imm(v) => v,
+            Operand::Key => self.walkers[slot].as_ref().expect("walker").key.0,
+            Operand::MsgWord(i) => self.walkers[slot].as_ref().expect("walker").msg[usize::from(i) % MSG_WORDS],
+            Operand::Param(i) => self.cfg.params[usize::from(i)],
+            Operand::MetaSector => {
+                let w = self.walkers[slot].as_ref().expect("walker");
+                let r = w.entry.expect("MetaSector without meta entry");
+                u64::from(self.tags.entry(r).sector_start)
+            }
+        }
+    }
+
+    fn write_reg(&mut self, slot: usize, reg: u8, value: u64) {
+        self.xregs
+            .write(crate::xreg::XRegFile(slot as u16), reg, value, &mut self.stats);
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_action(&mut self, now: Cycle, slot: usize, action: Action) -> Outcome {
+        match action {
+            Action::Alu { op, dst, a, b } => {
+                let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                let v = match op {
+                    AluOp::Add => x.wrapping_add(y),
+                    AluOp::Sub => x.wrapping_sub(y),
+                    AluOp::And => x & y,
+                    AluOp::Or => x | y,
+                    AluOp::Xor => x ^ y,
+                    AluOp::Shl => x.wrapping_shl(y as u32),
+                    AluOp::Srl => x.wrapping_shr(y as u32),
+                    AluOp::Sra => ((x as i64).wrapping_shr(y as u32)) as u64,
+                    AluOp::Mul => x.wrapping_mul(y),
+                };
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::Mov { dst, a } => {
+                let v = self.eval(slot, a);
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::AllocR => Outcome::Advance, // file claimed at launch
+            Action::Hash { done, a } => {
+                let v = self.eval(slot, a);
+                let digest = splitmix64(v);
+                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                self.delayed.push((
+                    now + self.cfg.hash_latency,
+                    slot,
+                    gen,
+                    done,
+                    [digest, 0, 0, 0],
+                ));
+                self.stats.incr("xcache.hash_issue");
+                Outcome::Advance
+            }
+            Action::DramRead { addr, len } => {
+                let (a, l) = (self.eval(slot, addr), self.eval(slot, len));
+                let id = self.next_req_id;
+                let req = MemReq::read(id, a, l as u32);
+                match self.downstream.try_request(now, req) {
+                    Ok(()) => {
+                        self.next_req_id += 1;
+                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        self.inflight.insert(id, (slot, gen));
+                        self.stats.incr("xcache.dram_req");
+                        self.stats.add("xcache.dram_req_bytes", l);
+                        self.trace.emit(
+                            now,
+                            TraceKind::DramIssue,
+                            "xcache",
+                            format!("slot {slot} addr {a:#x} len {l}"),
+                        );
+                        Outcome::Advance
+                    }
+                    Err(_) => Outcome::Stall,
+                }
+            }
+            Action::DramWrite { addr, sector, len } => {
+                let (a, s, l) = (
+                    self.eval(slot, addr),
+                    self.eval(slot, sector),
+                    self.eval(slot, len),
+                );
+                let sectors = (l as usize).div_ceil(self.data.words_per_sector() * 8);
+                let words = self.data.gather(s as u32, sectors as u32, &mut self.stats);
+                let mut bytes = Vec::with_capacity(l as usize);
+                for w in words {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                bytes.truncate(l as usize);
+                let id = self.next_req_id;
+                match self
+                    .downstream
+                    .try_request(now, MemReq::write(id, a, Bytes::from(bytes)))
+                {
+                    Ok(()) => {
+                        self.next_req_id += 1;
+                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        self.inflight.insert(id, (slot, gen));
+                        self.stats.incr("xcache.dram_req");
+                        self.stats.add("xcache.dram_req_bytes", l);
+                        Outcome::Advance
+                    }
+                    Err(_) => Outcome::Stall,
+                }
+            }
+            Action::PostEvent {
+                event,
+                delay,
+                payload,
+            } => {
+                let v = self.eval(slot, payload);
+                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                self.delayed
+                    .push((now + u64::from(delay), slot, gen, event, [v, 0, 0, 0]));
+                Outcome::Advance
+            }
+            Action::Peek { dst, word } => {
+                let v = self.walkers[slot].as_ref().expect("walker").msg
+                    [usize::from(word) % MSG_WORDS];
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::Respond => {
+                let (key, origin_id, entry) = {
+                    let w = self.walkers[slot].as_ref().expect("walker");
+                    (w.key, w.origin.id(), w.entry)
+                };
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "Respond without meta entry");
+                };
+                let e = *self.tags.entry(r);
+                let data = self
+                    .data
+                    .gather(e.sector_start, e.sector_count, &mut self.stats);
+                self.respond(now, origin_id, key, true, data.clone());
+                let waiters: Vec<MetaAccess> =
+                    std::mem::take(&mut self.walkers[slot].as_mut().expect("walker").waiters);
+                for wa in waiters {
+                    self.respond(now, wa.id(), key, true, data.clone());
+                }
+                self.walkers[slot].as_mut().expect("walker").responded = true;
+                Outcome::Advance
+            }
+            Action::AllocM => {
+                let (key, state) = {
+                    let w = self.walkers[slot].as_ref().expect("walker");
+                    (w.key, w.state)
+                };
+                match self.tags.alloc(key, state, &mut self.stats) {
+                    Some((r, evicted)) => {
+                        if let Some(v) = evicted {
+                            if v.sector_count > 0 {
+                                self.data.free(v.sector_start, v.sector_count);
+                            }
+                        }
+                        let w = self.walkers[slot].as_mut().expect("walker");
+                        w.entry = Some(r);
+                        w.owns_entry = true;
+                        Outcome::Advance
+                    }
+                    // Set full: if every way is pinned and idle the stall
+                    // can never clear — fault so the datapath can drain
+                    // and retry (its overflow path). Otherwise a walker
+                    // will retire and free a way: stall.
+                    None if self.tags.set_unevictable(key) => {
+                        self.stats.incr("xcache.set_pinned_full");
+                        self.fault_walker(now, slot);
+                        Outcome::FreeLane
+                    }
+                    None => Outcome::StallHazard,
+                }
+            }
+            Action::DeallocM => {
+                let taken = self.walkers[slot].as_mut().expect("walker").entry.take();
+                let Some(r) = taken else {
+                    return self.walker_error(now, slot, "DeallocM without meta entry");
+                };
+                let e = self.tags.invalidate(r, &mut self.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+                Outcome::Advance
+            }
+            Action::PinM => {
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "PinM without meta entry");
+                };
+                self.tags.entry_mut(r).pinned = true;
+                Outcome::Advance
+            }
+            Action::InsertM { key, words } => {
+                let (k, n) = (self.eval(slot, key), self.eval(slot, words));
+                let k = MetaKey(k);
+                // Best-effort: skip when already cached, being walked by
+                // another walker (it will install its own entry), or when
+                // there is no idle capacity.
+                if self.tags.peek(k).is_some() || self.launching.contains_key(&k) {
+                    return Outcome::Advance;
+                }
+                let Some(data) = self.walkers[slot].as_ref().expect("walker").fill_data.clone()
+                else {
+                    return self.walker_error(now, slot, "InsertM without a DRAM response");
+                };
+                let bytes = (n as usize * 8).min(data.len());
+                let sectors = bytes.div_ceil(self.data.words_per_sector() * 8).max(1);
+                let Some(start) = self.data.alloc(sectors, &mut self.stats) else {
+                    self.stats.incr("xcache.insertm_skip");
+                    return Outcome::Advance;
+                };
+                let Some((r, evicted)) = self.tags.alloc(k, StateId::DEFAULT, &mut self.stats)
+                else {
+                    self.data.free(start, sectors as u32);
+                    self.stats.incr("xcache.insertm_skip");
+                    return Outcome::Advance;
+                };
+                if let Some(v) = evicted {
+                    if v.sector_count > 0 {
+                        self.data.free(v.sector_start, v.sector_count);
+                    }
+                }
+                self.data.fill_bytes(start, &data[..bytes], &mut self.stats);
+                let entry = self.tags.entry_mut(r);
+                entry.sector_start = start;
+                entry.sector_count = sectors as u32;
+                entry.active = false;
+                // Speculative insert: lowest replacement priority so it
+                // cannot displace proven-hot keys.
+                self.tags.demote(r);
+                self.stats.incr("xcache.insertm");
+                Outcome::Advance
+            }
+            Action::UpdateM { start, end } => {
+                let (s, e) = (self.eval(slot, start), self.eval(slot, end));
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "UpdateM without meta entry");
+                };
+                self.stats.incr("xcache.tag_write");
+                let entry = self.tags.entry_mut(r);
+                entry.sector_start = s as u32;
+                entry.sector_count = (e.saturating_sub(s) + 1) as u32;
+                Outcome::Advance
+            }
+            Action::Branch { cond, a, b, target } => {
+                let taken = match cond {
+                    Cond::Miss => !self.walkers[slot].as_ref().expect("walker").probe_hit,
+                    Cond::Hit => self.walkers[slot].as_ref().expect("walker").probe_hit,
+                    _ => {
+                        let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                        match cond {
+                            Cond::Eq => x == y,
+                            Cond::Ne => x != y,
+                            Cond::Lt => x < y,
+                            Cond::Ge => x >= y,
+                            Cond::Le => x <= y,
+                            Cond::Miss | Cond::Hit => unreachable!(),
+                        }
+                    }
+                };
+                if taken {
+                    Outcome::Jump(usize::from(target))
+                } else {
+                    Outcome::Advance
+                }
+            }
+            Action::Yield { state } => {
+                let w = self.walkers[slot].as_mut().expect("walker");
+                w.state = state;
+                if let Some(r) = w.entry {
+                    self.tags.entry_mut(r).state = state;
+                }
+                Outcome::YieldLane
+            }
+            Action::Retire => {
+                self.retire_walker(now, slot);
+                Outcome::FreeLane
+            }
+            Action::Fault => {
+                self.fault_walker(now, slot);
+                Outcome::FreeLane
+            }
+            Action::AllocD { dst, count } => {
+                let n = self.eval(slot, count) as usize;
+                if n == 0 {
+                    return self.walker_error(now, slot, "AllocD of zero sectors");
+                }
+                loop {
+                    if let Some(start) = self.data.alloc(n, &mut self.stats) {
+                        self.write_reg(slot, dst.0, u64::from(start));
+                        return Outcome::Advance;
+                    }
+                    // Capacity pressure: evict an idle entry and retry.
+                    match self.evict_one_idle() {
+                        true => continue,
+                        false => {
+                            self.stats.incr("xcache.dataram_full_stall");
+                            return Outcome::StallHazard;
+                        }
+                    }
+                }
+            }
+            Action::DeallocD => {
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "DeallocD without meta entry");
+                };
+                let entry = self.tags.entry_mut(r);
+                let (s, c) = (entry.sector_start, entry.sector_count);
+                entry.sector_count = 0;
+                if c > 0 {
+                    self.data.free(s, c);
+                }
+                Outcome::Advance
+            }
+            Action::ReadD { dst, sector, word } => {
+                let (s, wd) = (self.eval(slot, sector), self.eval(slot, word));
+                let v = self.data.read_word(s as u32, wd as u32, &mut self.stats);
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::WriteD {
+                sector,
+                word,
+                value,
+            } => {
+                let (s, wd, v) = (
+                    self.eval(slot, sector),
+                    self.eval(slot, word),
+                    self.eval(slot, value),
+                );
+                self.data.write_word(s as u32, wd as u32, v, &mut self.stats);
+                Outcome::Advance
+            }
+            Action::FillD { sector, words } => {
+                let (s, n) = (self.eval(slot, sector), self.eval(slot, words));
+                let Some(data) = self.walkers[slot].as_ref().expect("walker").fill_data.clone()
+                else {
+                    return self.walker_error(now, slot, "FillD without a DRAM response");
+                };
+                let bytes = (n as usize * 8).min(data.len());
+                self.data.fill_bytes(s as u32, &data[..bytes], &mut self.stats);
+                Outcome::Advance
+            }
+        }
+    }
+
+    // ------------------------------------------------------------------
+    // Walker completion
+    // ------------------------------------------------------------------
+
+    fn drain_resp_spill(&mut self, now: Cycle) {
+        while !self.resp_spill.is_empty() {
+            if self.resp_q.is_full() {
+                break;
+            }
+            let (extra, resp) = self.resp_spill.pop_front().expect("front exists");
+            self.resp_q
+                .push_after(now, extra, resp)
+                .expect("checked not full");
+        }
+    }
+
+    fn respond(&mut self, now: Cycle, id: u64, key: MetaKey, found: bool, data: Vec<u64>) {
+        let sectors = data.len().div_ceil(self.data.words_per_sector()).max(1) as u64;
+        let resp = MetaResp {
+            id,
+            key,
+            found,
+            data,
+        };
+        if let Some(t) = self.issue_times.remove(&id) {
+            self.stats
+                .sample("xcache.load_to_use", now.since(t) + self.cfg.hit_latency + sectors - 1);
+        }
+        // Serial return of multi-sector elements (§5: "all blocks are
+        // serially returned to compute datapath").
+        let extra = sectors - 1;
+        // FIFO order: once anything spilled, later responses follow it.
+        if !self.resp_spill.is_empty() || self.resp_q.is_full() {
+            self.stats.incr("xcache.resp_spill");
+            self.resp_spill.push_back((extra, resp));
+            return;
+        }
+        self.resp_q
+            .push_after(now, extra, resp)
+            .expect("checked not full");
+    }
+
+    fn retire_walker(&mut self, now: Cycle, slot: usize) {
+        let mut w = self.walkers[slot].take().expect("retire on empty slot");
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            let e = self.tags.entry_mut(r);
+            e.active = false;
+            // A completed entry rests in `Default`: future events on it
+            // (e.g. a Store merge) dispatch from the resting state, not
+            // from whatever mid-walk state the last yield recorded.
+            e.state = StateId::DEFAULT;
+        }
+        if !w.responded {
+            // Auto-acknowledge (stores / preloads that never Respond).
+            self.respond(now, w.origin.id(), w.key, true, Vec::new());
+        }
+        // Remaining waiters replay through the front-end and hit.
+        for wa in w.waiters.drain(..) {
+            self.replay_q.push_back(wa);
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.stats);
+        self.stats.incr("xcache.walker_retire");
+        self.stats
+            .sample("xcache.walk_latency", now.since(w.launched_at));
+        self.trace
+            .emit(now, TraceKind::Retire, "xcache", format!("slot {slot}"));
+    }
+
+    fn fault_walker(&mut self, now: Cycle, slot: usize) {
+        let Some(mut w) = self.walkers[slot].take() else {
+            return;
+        };
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            if w.owns_entry {
+                let e = self.tags.invalidate(r, &mut self.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+            } else {
+                // Attached to a pre-existing entry (store hit): the data
+                // is still valid, just release the active claim.
+                self.tags.entry_mut(r).active = false;
+            }
+        }
+        if !w.responded {
+            self.respond(now, w.origin.id(), w.key, false, Vec::new());
+        }
+        for wa in w.waiters.drain(..) {
+            self.respond(now, wa.id(), w.key, false, Vec::new());
+        }
+        // Free any lane the walker held (thread discipline).
+        for l in &mut self.lanes {
+            if l.is_some_and(|l| l.slot == slot) {
+                *l = None;
+            }
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.stats);
+        self.stats.incr("xcache.walker_fault");
+    }
+
+    /// Aborts a walker that lost an allocation race and replays its access
+    /// (and waiters) through the trigger stage — no response is sent, so
+    /// the datapath just sees a longer walk.
+    fn abort_and_replay(&mut self, now: Cycle, slot: usize) {
+        let Some(mut w) = self.walkers[slot].take() else {
+            return;
+        };
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            if w.owns_entry {
+                let e = self.tags.invalidate(r, &mut self.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+            } else {
+                self.tags.entry_mut(r).active = false;
+            }
+        }
+        self.replay_q.push_back(w.origin);
+        for wa in w.waiters.drain(..) {
+            self.replay_q.push_back(wa);
+        }
+        for l in &mut self.lanes {
+            if l.is_some_and(|l| l.slot == slot) {
+                *l = None;
+            }
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.stats);
+        self.stats.incr("xcache.walker_replay");
+    }
+
+    fn walker_error(&mut self, now: Cycle, slot: usize, what: &str) -> Outcome {
+        self.stats.incr("xcache.walker_error");
+        self.trace
+            .emit(now, TraceKind::Other, "xcache", format!("slot {slot}: {what}"));
+        self.fault_walker(now, slot);
+        Outcome::FreeLane
+    }
+
+    /// Evicts one idle, unpinned meta entry (LRU-ish: first found in scan
+    /// order), freeing its sectors. Returns whether anything was evicted.
+    fn evict_one_idle(&mut self) -> bool {
+        let victim = self
+            .tags
+            .iter()
+            .filter(|e| !e.active && !e.pinned && e.sector_count > 0)
+            .min_by_key(|e| e.sector_count)
+            .map(|e| e.key);
+        let Some(key) = victim else {
+            return false;
+        };
+        let r = self.tags.peek(key).expect("victim present");
+        let e = self.tags.invalidate(r, &mut self.stats);
+        self.data.free(e.sector_start, e.sector_count);
+        self.stats.incr("xcache.capacity_evict");
+        true
+    }
+}
+
+impl<D: MemoryPort> xcache_sim::Component for XCache<D> {
+    fn name(&self) -> &str {
+        &self.program.name
+    }
+    fn tick(&mut self, now: Cycle) {
+        XCache::tick(self, now);
+    }
+    fn busy(&self) -> bool {
+        XCache::busy(self)
+    }
+    fn report(&self, stats: &mut Stats) {
+        stats.merge(&self.stats);
+    }
+}
+
+fn category_counter(c: ActionCategory) -> &'static str {
+    match c {
+        ActionCategory::Agen => "xcache.action.agen",
+        ActionCategory::Queue => "xcache.action.queue",
+        ActionCategory::MetaTag => "xcache.action.metatag",
+        ActionCategory::Control => "xcache.action.control",
+        ActionCategory::DataRam => "xcache.action.dataram",
+    }
+}
+
+fn action_operands(a: &Action) -> Vec<Operand> {
+    let mut v: Vec<Operand> = a.reads().into_iter().map(Operand::Reg).collect();
+    match a {
+        Action::Alu { a, b, .. } | Action::UpdateM { start: a, end: b } => {
+            v.push(*a);
+            v.push(*b);
+        }
+        Action::Mov { a, .. } | Action::Hash { a, .. } | Action::PostEvent { payload: a, .. } => {
+            v.push(*a);
+        }
+        Action::DramRead { addr, len } => {
+            v.push(*addr);
+            v.push(*len);
+        }
+        Action::DramWrite { addr, sector, len } => {
+            v.push(*addr);
+            v.push(*sector);
+            v.push(*len);
+        }
+        Action::Branch { a, b, .. } => {
+            v.push(*a);
+            v.push(*b);
+        }
+        Action::AllocD { count, .. } => v.push(*count),
+        Action::ReadD { sector, word, .. } => {
+            v.push(*sector);
+            v.push(*word);
+        }
+        Action::WriteD {
+            sector,
+            word,
+            value,
+        } => {
+            v.push(*sector);
+            v.push(*word);
+            v.push(*value);
+        }
+        Action::FillD { sector, words } => {
+            v.push(*sector);
+            v.push(*words);
+        }
+        _ => {}
+    }
+    v
+}
+
+/// `SplitMix64` — the deterministic stand-in for the DSA hash unit.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

@@ -1,0 +1,253 @@
+//! The sectored data RAM (§4.1 ⑥).
+//!
+//! "The data RAM is organized as fixed-granularity sectors. Each data
+//! element can occupy multiple sectors depending on the size (e.g., number
+//! of non-zeros in a row)." Entries own *contiguous* sector runs —
+//! meta-tag entries store start/end pointers, like decoupled sector
+//! caches — allocated first-fit from a bitmap.
+
+use xcache_sim::Stats;
+
+/// The banked, sectored data store.
+#[derive(Debug)]
+pub struct DataRam {
+    words_per_sector: usize,
+    words: Vec<u64>,
+    used: Vec<bool>, // one flag per sector
+    free_sectors: usize,
+}
+
+impl DataRam {
+    /// Creates a data RAM of `sectors` sectors × `words_per_sector` words.
+    ///
+    /// # Panics
+    ///
+    /// Panics if either dimension is zero.
+    #[must_use]
+    pub fn new(sectors: usize, words_per_sector: usize) -> Self {
+        assert!(sectors > 0, "sectors must be nonzero");
+        assert!(words_per_sector > 0, "words_per_sector must be nonzero");
+        DataRam {
+            words_per_sector,
+            words: vec![0; sectors * words_per_sector],
+            used: vec![false; sectors],
+            free_sectors: sectors,
+        }
+    }
+
+    /// Total sectors.
+    #[must_use]
+    pub fn sectors(&self) -> usize {
+        self.used.len()
+    }
+
+    /// Currently free sectors.
+    #[must_use]
+    pub fn free_sectors(&self) -> usize {
+        self.free_sectors
+    }
+
+    /// Words per sector (`#Word` / `wlen`).
+    #[must_use]
+    pub fn words_per_sector(&self) -> usize {
+        self.words_per_sector
+    }
+
+    /// Allocates `count` contiguous sectors first-fit (the `allocD`
+    /// action). Returns the start sector, or `None` if no run fits
+    /// (the controller then evicts and retries).
+    pub fn alloc(&mut self, count: usize, stats: &mut Stats) -> Option<u32> {
+        if count == 0 || count > self.free_sectors {
+            return None;
+        }
+        let mut run = 0usize;
+        for i in 0..self.used.len() {
+            if self.used[i] {
+                run = 0;
+            } else {
+                run += 1;
+                if run == count {
+                    let start = i + 1 - count;
+                    for s in &mut self.used[start..=i] {
+                        *s = true;
+                    }
+                    self.free_sectors -= count;
+                    stats.add("xcache.data_alloc_sectors", count as u64);
+                    return Some(start as u32);
+                }
+            }
+        }
+        None
+    }
+
+    /// Frees the run `[start, start + count)` (the `deallocD` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if any sector in the run is already free or out of range —
+    /// double-frees are controller bugs, not recoverable conditions.
+    pub fn free(&mut self, start: u32, count: u32) {
+        let (start, count) = (start as usize, count as usize);
+        assert!(start + count <= self.used.len(), "free out of range");
+        for i in start..start + count {
+            assert!(self.used[i], "double free of sector {i}");
+            self.used[i] = false;
+        }
+        self.free_sectors += count;
+    }
+
+    /// Reads word `word` of sector `sector` (the `read` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    #[must_use]
+    pub fn read_word(&self, sector: u32, word: u32, stats: &mut Stats) -> u64 {
+        stats.incr("xcache.data_read_word");
+        self.words[self.widx(sector, word)]
+    }
+
+    /// Writes word `word` of sector `sector` (the `write` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if the location is out of range.
+    pub fn write_word(&mut self, sector: u32, word: u32, value: u64, stats: &mut Stats) {
+        stats.incr("xcache.data_write_word");
+        let i = self.widx(sector, word);
+        self.words[i] = value;
+    }
+
+    /// Copies `data` (little-endian bytes) into sectors starting at
+    /// `sector` (the fill path), zero-padding through the end of the last
+    /// touched sector — fills drive whole sectors, so no stale bytes from
+    /// a previous occupant survive. Returns the number of sectors touched.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the copy runs past the end of the RAM.
+    pub fn fill_bytes(&mut self, sector: u32, data: &[u8], stats: &mut Stats) -> u32 {
+        let words = data.len().div_ceil(8);
+        let sectors_touched = words.div_ceil(self.words_per_sector).max(1) as u32;
+        let total_words = sectors_touched as usize * self.words_per_sector;
+        for w in 0..total_words {
+            let mut b = [0u8; 8];
+            let off = w * 8;
+            if off < data.len() {
+                let n = (data.len() - off).min(8);
+                b[..n].copy_from_slice(&data[off..off + n]);
+            }
+            let i = self.widx(
+                sector + (w / self.words_per_sector) as u32,
+                (w % self.words_per_sector) as u32,
+            );
+            self.words[i] = u64::from_le_bytes(b);
+        }
+        stats.add("xcache.data_write_sector", u64::from(sectors_touched));
+        sectors_touched
+    }
+
+    /// Gathers the words of `[start, start + count)` sectors (the hit /
+    /// respond path). Counts one sector read per sector.
+    #[must_use]
+    pub fn gather(&self, start: u32, count: u32, stats: &mut Stats) -> Vec<u64> {
+        stats.add("xcache.data_read_sector", u64::from(count));
+        let a = start as usize * self.words_per_sector;
+        let b = (start + count) as usize * self.words_per_sector;
+        self.words[a..b].to_vec()
+    }
+
+    fn widx(&self, sector: u32, word: u32) -> usize {
+        let i = sector as usize * self.words_per_sector + word as usize;
+        assert!(
+            (word as usize) < self.words_per_sector && i < self.words.len(),
+            "data RAM access out of range: sector {sector}, word {word}"
+        );
+        i
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_free_cycle() {
+        let mut d = DataRam::new(8, 4);
+        let mut s = Stats::new();
+        let a = d.alloc(3, &mut s).unwrap();
+        let b = d.alloc(5, &mut s).unwrap();
+        assert_eq!(d.free_sectors(), 0);
+        assert!(d.alloc(1, &mut s).is_none());
+        d.free(a, 3);
+        assert_eq!(d.free_sectors(), 3);
+        let c = d.alloc(2, &mut s).unwrap();
+        assert_eq!(c, a); // first-fit reuses the freed run
+        let _ = b;
+    }
+
+    #[test]
+    fn contiguity_required() {
+        let mut d = DataRam::new(4, 1);
+        let mut s = Stats::new();
+        let _a = d.alloc(1, &mut s).unwrap(); // sector 0
+        let b = d.alloc(1, &mut s).unwrap(); // sector 1
+        let _c = d.alloc(1, &mut s).unwrap(); // sector 2
+        d.free(b, 1); // hole at 1, free tail at 3
+        // Two free sectors exist but not contiguously.
+        assert_eq!(d.free_sectors(), 2);
+        assert!(d.alloc(2, &mut s).is_none());
+        assert!(d.alloc(1, &mut s).is_some());
+    }
+
+    #[test]
+    fn word_read_write() {
+        let mut d = DataRam::new(2, 4);
+        let mut s = Stats::new();
+        d.write_word(1, 3, 99, &mut s);
+        assert_eq!(d.read_word(1, 3, &mut s), 99);
+        assert_eq!(s.get("xcache.data_read_word"), 1);
+        assert_eq!(s.get("xcache.data_write_word"), 1);
+    }
+
+    #[test]
+    fn fill_and_gather_round_trip() {
+        let mut d = DataRam::new(4, 2); // 16-byte sectors
+        let mut s = Stats::new();
+        let start = d.alloc(2, &mut s).unwrap();
+        let data: Vec<u8> = (0..28).collect(); // 3.5 words → 2 sectors
+        let touched = d.fill_bytes(start, &data, &mut s);
+        assert_eq!(touched, 2);
+        let words = d.gather(start, 2, &mut s);
+        assert_eq!(words.len(), 4);
+        assert_eq!(words[0], u64::from_le_bytes([0, 1, 2, 3, 4, 5, 6, 7]));
+        // Trailing partial word zero-padded.
+        assert_eq!(words[3] & 0xff, 24);
+        assert_eq!(s.get("xcache.data_read_sector"), 2);
+    }
+
+    #[test]
+    #[should_panic(expected = "double free")]
+    fn double_free_panics() {
+        let mut d = DataRam::new(2, 1);
+        let mut s = Stats::new();
+        let a = d.alloc(1, &mut s).unwrap();
+        d.free(a, 1);
+        d.free(a, 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "out of range")]
+    fn oob_word_panics() {
+        let d = DataRam::new(1, 2);
+        let mut s = Stats::new();
+        let _ = d.read_word(0, 5, &mut s);
+    }
+
+    #[test]
+    fn zero_count_alloc_fails() {
+        let mut d = DataRam::new(2, 1);
+        let mut s = Stats::new();
+        assert!(d.alloc(0, &mut s).is_none());
+    }
+}

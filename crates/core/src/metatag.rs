@@ -1,0 +1,392 @@
+//! The meta-tag array (§4.1 ① / ②).
+//!
+//! A set-associative array tagged by [`MetaKey`]s instead of addresses.
+//! Each entry carries, alongside the tag: the walker *state* ("in X-Cache
+//! the states represent the status of blocks in the walker"), the sector
+//! span in the data RAM ("explicit pointers to start and end sectors"),
+//! an *active* bit (the paper's bitmap of meta-tags with a live walker),
+//! and a *pinned* bit for entries whose data exists only on-chip.
+
+use xcache_isa::StateId;
+use xcache_sim::Stats;
+
+use crate::MetaKey;
+
+/// One meta-tag entry.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct MetaEntry {
+    /// The domain-specific tag.
+    pub key: MetaKey,
+    /// Walker coroutine state recorded at the last yield.
+    pub state: StateId,
+    /// First data-RAM sector (valid when `sector_count > 0`).
+    pub sector_start: u32,
+    /// Number of sectors held.
+    pub sector_count: u32,
+    /// A walker is currently filling this entry.
+    pub active: bool,
+    /// Entry must never be evicted (on-chip-only data).
+    pub pinned: bool,
+}
+
+#[derive(Debug, Clone, Copy)]
+struct Slot {
+    entry: MetaEntry,
+    valid: bool,
+    last_used: u64,
+}
+
+/// Where a probe landed.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct EntryRef {
+    /// Set index.
+    pub set: u32,
+    /// Way index.
+    pub way: u32,
+}
+
+/// The set-associative meta-tag array.
+#[derive(Debug)]
+pub struct MetaTagArray {
+    sets: usize,
+    ways: usize,
+    slots: Vec<Slot>,
+    use_counter: u64,
+}
+
+impl MetaTagArray {
+    /// Creates an invalid-initialised array.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `sets` is not a nonzero power of two or `ways` is zero.
+    #[must_use]
+    pub fn new(sets: usize, ways: usize) -> Self {
+        assert!(
+            sets > 0 && sets.is_power_of_two(),
+            "sets must be a nonzero power of two"
+        );
+        assert!(ways > 0, "ways must be nonzero");
+        MetaTagArray {
+            sets,
+            ways,
+            slots: vec![
+                Slot {
+                    entry: MetaEntry {
+                        key: MetaKey(0),
+                        state: StateId::DEFAULT,
+                        sector_start: 0,
+                        sector_count: 0,
+                        active: false,
+                        pinned: false,
+                    },
+                    valid: false,
+                    last_used: 0,
+                };
+                sets * ways
+            ],
+            use_counter: 0,
+        }
+    }
+
+    /// Number of entries (sets × ways).
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// Whether no entry is valid.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        !self.slots.iter().any(|s| s.valid)
+    }
+
+    /// Number of valid entries.
+    #[must_use]
+    pub fn occupancy(&self) -> usize {
+        self.slots.iter().filter(|s| s.valid).count()
+    }
+
+    fn set_of(&self, key: MetaKey) -> usize {
+        // Fibonacci hashing spreads structured keys (row ids, packed
+        // fields) across sets.
+        ((key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
+    }
+
+    fn slot_idx(&self, r: EntryRef) -> usize {
+        r.set as usize * self.ways + r.way as usize
+    }
+
+    /// Looks up `key`, updating recency and the probe counter.
+    pub fn probe(&mut self, key: MetaKey, stats: &mut Stats) -> Option<EntryRef> {
+        stats.incr("xcache.tag_read");
+        let set = self.set_of(key);
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            if self.slots[idx].valid && self.slots[idx].entry.key == key {
+                self.use_counter += 1;
+                self.slots[idx].last_used = self.use_counter;
+                return Some(EntryRef {
+                    set: set as u32,
+                    way: way as u32,
+                });
+            }
+        }
+        None
+    }
+
+    /// Looks up `key` without touching recency or statistics (harness
+    /// introspection, not a modelled hardware access).
+    #[must_use]
+    pub fn peek(&self, key: MetaKey) -> Option<EntryRef> {
+        let set = self.set_of(key);
+        (0..self.ways)
+            .map(|way| (way, &self.slots[set * self.ways + way]))
+            .find(|(_, s)| s.valid && s.entry.key == key)
+            .map(|(way, _)| EntryRef {
+                set: set as u32,
+                way: way as u32,
+            })
+    }
+
+    /// The entry at `r`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a valid entry.
+    #[must_use]
+    pub fn entry(&self, r: EntryRef) -> &MetaEntry {
+        let idx = self.slot_idx(r);
+        assert!(self.slots[idx].valid, "entry({r:?}) on invalid slot");
+        &self.slots[idx].entry
+    }
+
+    /// The entry at `r`, mutably.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a valid entry.
+    pub fn entry_mut(&mut self, r: EntryRef) -> &mut MetaEntry {
+        let idx = self.slot_idx(r);
+        assert!(self.slots[idx].valid, "entry_mut({r:?}) on invalid slot");
+        &mut self.slots[idx].entry
+    }
+
+    /// Allocates an entry for `key` (the `allocM` action).
+    ///
+    /// Prefers an invalid way; otherwise evicts the LRU way that is
+    /// neither active nor pinned, returning the victim so the caller can
+    /// free its sectors. Returns `None` when every way is unevictable
+    /// (structural stall — the access must retry).
+    pub fn alloc(
+        &mut self,
+        key: MetaKey,
+        state: StateId,
+        stats: &mut Stats,
+    ) -> Option<(EntryRef, Option<MetaEntry>)> {
+        stats.incr("xcache.tag_write");
+        let set = self.set_of(key);
+        let mut victim: Option<(usize, u64)> = None;
+        for way in 0..self.ways {
+            let idx = set * self.ways + way;
+            let s = &self.slots[idx];
+            if !s.valid {
+                victim = Some((way, 0));
+                break;
+            }
+            if s.entry.active || s.entry.pinned {
+                continue;
+            }
+            match victim {
+                Some((_, lu)) if lu <= s.last_used => {}
+                _ => victim = Some((way, s.last_used)),
+            }
+        }
+        let (way, _) = victim?;
+        let idx = set * self.ways + way;
+        let evicted = self.slots[idx].valid.then(|| {
+            stats.incr("xcache.meta_evict");
+            self.slots[idx].entry
+        });
+        self.use_counter += 1;
+        self.slots[idx] = Slot {
+            entry: MetaEntry {
+                key,
+                state,
+                sector_start: 0,
+                sector_count: 0,
+                active: true,
+                pinned: false,
+            },
+            valid: true,
+            last_used: self.use_counter,
+        };
+        stats.incr("xcache.meta_alloc");
+        Some((
+            EntryRef {
+                set: set as u32,
+                way: way as u32,
+            },
+            evicted,
+        ))
+    }
+
+    /// Whether an allocation for `key` would succeed right now: some way
+    /// in its set is invalid or idle-and-unpinned.
+    #[must_use]
+    pub fn can_alloc(&self, key: MetaKey) -> bool {
+        let set = self.set_of(key);
+        (0..self.ways).any(|way| {
+            let s = &self.slots[set * self.ways + way];
+            !s.valid || (!s.entry.active && !s.entry.pinned)
+        })
+    }
+
+    /// Whether an allocation for `key` can never succeed until something
+    /// is explicitly taken: every way in its set is valid, pinned and
+    /// idle. (If any way is merely *active*, a retiring walker may free
+    /// it, so the condition is transient.)
+    #[must_use]
+    pub fn set_unevictable(&self, key: MetaKey) -> bool {
+        let set = self.set_of(key);
+        (0..self.ways).all(|way| {
+            let s = &self.slots[set * self.ways + way];
+            s.valid && s.entry.pinned && !s.entry.active
+        })
+    }
+
+    /// Demotes the entry at `r` to least-recently-used priority: it will
+    /// be the set's first eviction victim unless re-referenced. Used for
+    /// speculative side-inserts so they cannot displace proven-hot keys.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a valid entry.
+    pub fn demote(&mut self, r: EntryRef) {
+        let idx = self.slot_idx(r);
+        assert!(self.slots[idx].valid, "demote({r:?}) on invalid slot");
+        self.slots[idx].last_used = 0;
+    }
+
+    /// Invalidates the entry at `r`, returning it (the `deallocM` action).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `r` does not refer to a valid entry.
+    pub fn invalidate(&mut self, r: EntryRef, stats: &mut Stats) -> MetaEntry {
+        let idx = self.slot_idx(r);
+        assert!(self.slots[idx].valid, "invalidate({r:?}) on invalid slot");
+        stats.incr("xcache.tag_write");
+        self.slots[idx].valid = false;
+        self.slots[idx].entry
+    }
+
+    /// Iterates over all valid entries (harness introspection).
+    pub fn iter(&self) -> impl Iterator<Item = &MetaEntry> {
+        self.slots.iter().filter(|s| s.valid).map(|s| &s.entry)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn stats() -> Stats {
+        Stats::new()
+    }
+
+    #[test]
+    fn probe_miss_then_alloc_then_hit() {
+        let mut a = MetaTagArray::new(4, 2);
+        let mut s = stats();
+        let k = MetaKey(42);
+        assert!(a.probe(k, &mut s).is_none());
+        let (r, evicted) = a.alloc(k, StateId(1), &mut s).unwrap();
+        assert!(evicted.is_none());
+        assert_eq!(a.entry(r).key, k);
+        assert_eq!(a.entry(r).state, StateId(1));
+        assert!(a.entry(r).active);
+        let hit = a.probe(k, &mut s).unwrap();
+        assert_eq!(hit, r);
+        assert_eq!(s.get("xcache.tag_read"), 2);
+    }
+
+    #[test]
+    fn alloc_evicts_lru_only_when_idle() {
+        let mut a = MetaTagArray::new(1, 2);
+        let mut s = stats();
+        let (r1, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
+        let (r2, _) = a.alloc(MetaKey(2), StateId::DEFAULT, &mut s).unwrap();
+        // Both active: set full, no victim.
+        assert!(a.alloc(MetaKey(3), StateId::DEFAULT, &mut s).is_none());
+        // Deactivate key 1 (walker retired); now it is the victim.
+        a.entry_mut(r1).active = false;
+        a.entry_mut(r2).active = false;
+        // Touch key 2 so key 1 is LRU.
+        let _ = a.probe(MetaKey(2), &mut s);
+        let (_, evicted) = a.alloc(MetaKey(3), StateId::DEFAULT, &mut s).unwrap();
+        assert_eq!(evicted.unwrap().key, MetaKey(1));
+        assert_eq!(s.get("xcache.meta_evict"), 1);
+    }
+
+    #[test]
+    fn pinned_entries_never_evicted() {
+        let mut a = MetaTagArray::new(1, 1);
+        let mut s = stats();
+        let (r, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
+        a.entry_mut(r).active = false;
+        a.entry_mut(r).pinned = true;
+        assert!(a.alloc(MetaKey(2), StateId::DEFAULT, &mut s).is_none());
+    }
+
+    #[test]
+    fn invalidate_frees_the_way() {
+        let mut a = MetaTagArray::new(1, 1);
+        let mut s = stats();
+        let (r, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
+        let old = a.invalidate(r, &mut s);
+        assert_eq!(old.key, MetaKey(1));
+        assert!(a.probe(MetaKey(1), &mut s).is_none());
+        assert!(a.alloc(MetaKey(2), StateId::DEFAULT, &mut s).is_some());
+    }
+
+    #[test]
+    fn peek_does_not_count_or_touch() {
+        let mut a = MetaTagArray::new(2, 1);
+        let mut s = stats();
+        let _ = a.alloc(MetaKey(5), StateId::DEFAULT, &mut s).unwrap();
+        let reads_before = s.get("xcache.tag_read");
+        assert!(a.peek(MetaKey(5)).is_some());
+        assert!(a.peek(MetaKey(6)).is_none());
+        assert_eq!(s.get("xcache.tag_read"), reads_before);
+    }
+
+    #[test]
+    fn occupancy_and_iter() {
+        let mut a = MetaTagArray::new(4, 2);
+        let mut s = stats();
+        assert!(a.is_empty());
+        for k in 0..5u64 {
+            let _ = a.alloc(MetaKey(k), StateId::DEFAULT, &mut s);
+        }
+        assert_eq!(a.occupancy(), 5);
+        assert_eq!(a.iter().count(), 5);
+        assert_eq!(a.len(), 8);
+    }
+
+    #[test]
+    fn keys_spread_across_sets() {
+        let a = MetaTagArray::new(64, 1);
+        // Sequential row ids should not all collide in one set.
+        let sets: std::collections::HashSet<usize> =
+            (0..64u64).map(|k| a.set_of(MetaKey(k))).collect();
+        assert!(sets.len() > 32, "hashing too weak: {} sets", sets.len());
+    }
+
+    #[test]
+    #[should_panic(expected = "invalid slot")]
+    fn entry_on_invalid_slot_panics() {
+        let a = MetaTagArray::new(1, 1);
+        let _ = a.entry(EntryRef { set: 0, way: 0 });
+    }
+}

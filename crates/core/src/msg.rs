@@ -1,0 +1,193 @@
+//! The datapath-facing message bundle (`MetaIO`).
+//!
+//! "The computational datapath uses meta loads/stores, and we implicitly
+//! locate the data on-chip" (§1). These are the messages crossing the
+//! DSA ↔ X-Cache boundary.
+
+use std::fmt;
+
+/// A domain-specific tag: "any combination of fields from the DSA-metadata"
+/// packed into 64 bits.
+///
+/// Single-field tags (hash keys, vertex ids) use [`MetaKey::new`]; composed
+/// tags like SpArch's `(matrix, row)` or GraphPulse's `(row, bin, column)`
+/// pack with [`MetaKey::pack2`]/[`MetaKey::pack3`].
+///
+/// ```
+/// use xcache_core::MetaKey;
+/// let k = MetaKey::pack2(3, 17); // e.g. (matrix B, row 17)
+/// assert_eq!(k.field2(), (3, 17));
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct MetaKey(pub u64);
+
+impl MetaKey {
+    /// A single-field tag.
+    #[must_use]
+    pub fn new(v: u64) -> Self {
+        MetaKey(v)
+    }
+
+    /// Packs two fields (32 bits each) into one tag.
+    #[must_use]
+    pub fn pack2(hi: u32, lo: u32) -> Self {
+        MetaKey((u64::from(hi) << 32) | u64::from(lo))
+    }
+
+    /// Unpacks a two-field tag.
+    #[must_use]
+    pub fn field2(self) -> (u32, u32) {
+        ((self.0 >> 32) as u32, self.0 as u32)
+    }
+
+    /// Packs three fields (16/24/24 bits) into one tag — GraphPulse's
+    /// `(row, bin, column)` event id.
+    ///
+    /// # Panics
+    ///
+    /// Panics if a field exceeds its width.
+    #[must_use]
+    pub fn pack3(a: u16, b: u32, c: u32) -> Self {
+        assert!(b < (1 << 24) && c < (1 << 24), "pack3 fields exceed 24 bits");
+        MetaKey((u64::from(a) << 48) | (u64::from(b) << 24) | u64::from(c))
+    }
+
+    /// Unpacks a three-field tag.
+    #[must_use]
+    pub fn field3(self) -> (u16, u32, u32) {
+        (
+            (self.0 >> 48) as u16,
+            ((self.0 >> 24) & 0xff_ffff) as u32,
+            (self.0 & 0xff_ffff) as u32,
+        )
+    }
+
+    /// The raw 64-bit tag.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl fmt::Display for MetaKey {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "key({:#x})", self.0)
+    }
+}
+
+impl From<u64> for MetaKey {
+    fn from(v: u64) -> Self {
+        MetaKey(v)
+    }
+}
+
+/// A meta access issued by the DSA datapath.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum MetaAccess {
+    /// Fetch the data element tagged `key`; on a miss the walker finds it.
+    Load {
+        /// Correlation id (returned in the response).
+        id: u64,
+        /// The domain-specific tag.
+        key: MetaKey,
+    },
+    /// Insert-or-merge `payload` under `key`; always runs the walker's
+    /// `Update` routine, which branches on `bhit`/`bmiss` (GraphPulse).
+    Store {
+        /// Correlation id (returned in the response).
+        id: u64,
+        /// The domain-specific tag.
+        key: MetaKey,
+        /// Up to two payload words (the event payload).
+        payload: [u64; 2],
+    },
+    /// Fetch the data element tagged `key` *and* invalidate its entry —
+    /// the drain operation of event-queue-style DSAs.
+    Take {
+        /// Correlation id (returned in the response).
+        id: u64,
+        /// The domain-specific tag.
+        key: MetaKey,
+    },
+}
+
+impl MetaAccess {
+    /// The correlation id.
+    #[must_use]
+    pub fn id(&self) -> u64 {
+        match self {
+            MetaAccess::Load { id, .. }
+            | MetaAccess::Store { id, .. }
+            | MetaAccess::Take { id, .. } => *id,
+        }
+    }
+
+    /// The meta key.
+    #[must_use]
+    pub fn key(&self) -> MetaKey {
+        match self {
+            MetaAccess::Load { key, .. }
+            | MetaAccess::Store { key, .. }
+            | MetaAccess::Take { key, .. } => *key,
+        }
+    }
+}
+
+/// The X-Cache's answer to a [`MetaAccess`].
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct MetaResp {
+    /// Correlation id of the access.
+    pub id: u64,
+    /// The key that was accessed.
+    pub key: MetaKey,
+    /// Whether the element was found (walkers can fault: key absent from
+    /// the data structure).
+    pub found: bool,
+    /// The data words (empty for store acks and faults).
+    pub data: Vec<u64>,
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn pack2_round_trips() {
+        let k = MetaKey::pack2(0xdead_beef, 0x1234_5678);
+        assert_eq!(k.field2(), (0xdead_beef, 0x1234_5678));
+    }
+
+    #[test]
+    fn pack3_round_trips() {
+        let k = MetaKey::pack3(7, 1 << 20, 3);
+        assert_eq!(k.field3(), (7, 1 << 20, 3));
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed 24 bits")]
+    fn pack3_rejects_wide_fields() {
+        let _ = MetaKey::pack3(0, 1 << 24, 0);
+    }
+
+    #[test]
+    fn access_accessors() {
+        let a = MetaAccess::Store {
+            id: 9,
+            key: MetaKey::new(4),
+            payload: [1, 2],
+        };
+        assert_eq!(a.id(), 9);
+        assert_eq!(a.key(), MetaKey(4));
+        let l = MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(2),
+        };
+        assert_eq!(l.key().raw(), 2);
+    }
+
+    #[test]
+    fn key_display_and_from() {
+        let k: MetaKey = 0x10u64.into();
+        assert_eq!(k.to_string(), "key(0x10)");
+    }
+}

@@ -1,0 +1,152 @@
+//! The storage-idiom taxonomy of Table 1 as data.
+//!
+//! The paper qualitatively compares X-Cache against caches,
+//! scratchpad+DMA, scratchpad+access-engine, and FIFOs along the
+//! behaviour/design axes of §2.2. The `tab01_taxonomy` harness renders
+//! this table; keeping it as data also lets tests assert the X-Cache
+//! column's claims against the implemented model.
+
+/// One row of Table 1: a property and its value for each idiom.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct IdiomRow {
+    /// Property name (e.g. "Granularity").
+    pub property: &'static str,
+    /// Conventional address-based caches.
+    pub caches: &'static str,
+    /// Scratchpad with decoupled DMA (e.g. Buffets).
+    pub scratch_dma: &'static str,
+    /// Scratchpad with a programmable access engine (e.g. CoRAM, Stash).
+    pub scratch_ae: &'static str,
+    /// FIFOs / stream pipelines.
+    pub fifos: &'static str,
+    /// X-Cache.
+    pub xcache: &'static str,
+}
+
+/// Table 1 of the paper.
+pub const TAXONOMY: &[IdiomRow] = &[
+    IdiomRow {
+        property: "Granularity",
+        caches: "Blocks",
+        scratch_dma: "Tiles",
+        scratch_ae: "Word",
+        fifos: "Elements",
+        xcache: "DSA-specific",
+    },
+    IdiomRow {
+        property: "Meta-to-Addr",
+        caches: "Walking and translation always required",
+        scratch_dma: "Walking and translation always required",
+        scratch_ae: "Walking and translation always required",
+        fifos: "Stream order only",
+        xcache: "Only on misses",
+    },
+    IdiomRow {
+        property: "Behavior",
+        caches: "Dynamic",
+        scratch_dma: "Static pattern (affine)",
+        scratch_ae: "Linear data structure",
+        fifos: "Stream",
+        xcache: "Dynamic + flexible",
+    },
+    IdiomRow {
+        property: "Addressing",
+        caches: "Implicit",
+        scratch_dma: "Explicit",
+        scratch_ae: "Implicit",
+        fifos: "Implicit",
+        xcache: "Implicit",
+    },
+    IdiomRow {
+        property: "Coupling",
+        caches: "Coupled (load/store)",
+        scratch_dma: "Decoupled",
+        scratch_ae: "Coupled",
+        fifos: "Decoupled",
+        xcache: "Decoupled",
+    },
+    IdiomRow {
+        property: "Trigger",
+        caches: "Implicit (load/store)",
+        scratch_dma: "Explicit (datapath)",
+        scratch_ae: "Explicit (datapath)",
+        fifos: "Implicit (push/pop)",
+        xcache: "DSA-specific",
+    },
+    IdiomRow {
+        property: "Walker",
+        caches: "Hardwired",
+        scratch_dma: "DSA has to walk metadata",
+        scratch_ae: "Fixed FSM",
+        fifos: "Hardwired",
+        xcache: "Programmable",
+    },
+    IdiomRow {
+        property: "Control",
+        caches: "Complex (MSHRs)",
+        scratch_dma: "Simple (double-buffering)",
+        scratch_ae: "Complex (thread)",
+        fifos: "Simple (double-buf)",
+        xcache: "Simple (routines)",
+    },
+    IdiomRow {
+        property: "Multi.Fill",
+        caches: "No",
+        scratch_dma: "No",
+        scratch_ae: "No",
+        fifos: "Only FIFO",
+        xcache: "Yes (coroutine)",
+    },
+    IdiomRow {
+        property: "LD/ST order",
+        caches: "Arbitrary",
+        scratch_dma: "Limited (on-chip only)",
+        scratch_ae: "Limited (on-chip only)",
+        fifos: "Only FIFO",
+        xcache: "Arbitrary",
+    },
+    IdiomRow {
+        property: "Preload",
+        caches: "- (separate)",
+        scratch_dma: "Limited (credit)",
+        scratch_ae: "Limited (credit)",
+        fifos: "Limited (credits)",
+        xcache: "Yes (FSM driven)",
+    },
+    IdiomRow {
+        property: "Orchestration",
+        caches: "Load-to-use",
+        scratch_dma: "Ready/valid",
+        scratch_ae: "Fill or gather",
+        fifos: "Ready/valid",
+        xcache: "Load-to-use",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_has_all_design_axes() {
+        let props: Vec<_> = TAXONOMY.iter().map(|r| r.property).collect();
+        for expected in [
+            "Granularity",
+            "Behavior",
+            "Coupling",
+            "Walker",
+            "Multi.Fill",
+            "Preload",
+        ] {
+            assert!(props.contains(&expected), "missing row {expected}");
+        }
+    }
+
+    #[test]
+    fn xcache_column_claims() {
+        let walker = TAXONOMY.iter().find(|r| r.property == "Walker").unwrap();
+        assert_eq!(walker.xcache, "Programmable");
+        let fill = TAXONOMY.iter().find(|r| r.property == "Multi.Fill").unwrap();
+        assert!(fill.xcache.contains("coroutine"));
+    }
+}

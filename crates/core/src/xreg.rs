@@ -1,0 +1,206 @@
+//! The X-register file pool (§4.1 / Figure 8 "X-Reg").
+//!
+//! "Routines allocate temporary X-register to store the access key and the
+//! address of the DRAM refill being waited on" — each concurrent walker
+//! owns one file for its lifetime; `#Active` files bound the number of
+//! concurrent walkers and hence memory-level parallelism (§7.1 ②).
+//!
+//! The pool also keeps the Figure 7 *occupancy* ledger:
+//! `occupancy = #active-regs × size-bytes × lifetime-cycles`, accumulated
+//! at release time. Coroutine walkers charge only their declared register
+//! count; blocking-thread walkers charge a full hardware context.
+
+use xcache_sim::{Cycle, Stats};
+
+/// Handle to an allocated X-register file.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct XRegFile(pub u16);
+
+#[derive(Debug, Clone)]
+struct FileState {
+    regs: Vec<u64>,
+    allocated_at: Cycle,
+    in_use: bool,
+}
+
+/// Fixed pool of `#Active` register files, `width` registers each.
+#[derive(Debug)]
+pub struct XRegPool {
+    files: Vec<FileState>,
+    free: Vec<u16>,
+    /// Registers charged per walker for occupancy (declared regs for
+    /// coroutines, full context for threads).
+    charged_regs: usize,
+    /// Running occupancy sum in register-byte-cycles.
+    occupancy: u64,
+}
+
+impl XRegPool {
+    /// Creates a pool of `active` files, each `width` registers wide,
+    /// charging `charged_regs` registers per walker in the occupancy
+    /// ledger.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any dimension is zero.
+    #[must_use]
+    pub fn new(active: usize, width: usize, charged_regs: usize) -> Self {
+        assert!(active > 0 && width > 0 && charged_regs > 0);
+        XRegPool {
+            files: vec![
+                FileState {
+                    regs: vec![0; width],
+                    allocated_at: Cycle::ZERO,
+                    in_use: false,
+                };
+                active
+            ],
+            free: (0..active as u16).rev().collect(),
+            charged_regs,
+            occupancy: 0,
+        }
+    }
+
+    /// Number of files currently allocated.
+    #[must_use]
+    pub fn in_use(&self) -> usize {
+        self.files.len() - self.free.len()
+    }
+
+    /// Whether a free file exists.
+    #[must_use]
+    pub fn has_free(&self) -> bool {
+        !self.free.is_empty()
+    }
+
+    /// Claims a file (zeroing it) at time `now`.
+    pub fn alloc(&mut self, now: Cycle) -> Option<XRegFile> {
+        let idx = self.free.pop()?;
+        let f = &mut self.files[idx as usize];
+        f.regs.fill(0);
+        f.allocated_at = now;
+        f.in_use = true;
+        Some(XRegFile(idx))
+    }
+
+    /// Releases a file at time `now`, accumulating its occupancy.
+    ///
+    /// # Panics
+    ///
+    /// Panics on double release.
+    pub fn release(&mut self, file: XRegFile, now: Cycle, stats: &mut Stats) {
+        let f = &mut self.files[file.0 as usize];
+        assert!(f.in_use, "double release of {file:?}");
+        f.in_use = false;
+        let lifetime = now.since(f.allocated_at).max(1);
+        let occ = (self.charged_regs as u64) * 8 * lifetime;
+        self.occupancy += occ;
+        stats.add("xcache.occupancy_reg_byte_cycles", occ);
+        stats.sample("xcache.walker_lifetime", lifetime);
+        self.free.push(file.0);
+    }
+
+    /// Reads register `reg` of `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is unallocated or `reg` out of range.
+    #[must_use]
+    pub fn read(&self, file: XRegFile, reg: u8, stats: &mut Stats) -> u64 {
+        let f = &self.files[file.0 as usize];
+        assert!(f.in_use, "read from unallocated {file:?}");
+        stats.incr("xcache.xreg_read");
+        f.regs[reg as usize]
+    }
+
+    /// Writes register `reg` of `file`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if the file is unallocated or `reg` out of range.
+    pub fn write(&mut self, file: XRegFile, reg: u8, value: u64, stats: &mut Stats) {
+        let f = &mut self.files[file.0 as usize];
+        assert!(f.in_use, "write to unallocated {file:?}");
+        stats.incr("xcache.xreg_write");
+        f.regs[reg as usize] = value;
+    }
+
+    /// Total accumulated occupancy (register-byte-cycles).
+    #[must_use]
+    pub fn occupancy(&self) -> u64 {
+        self.occupancy
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn alloc_until_exhausted() {
+        let mut p = XRegPool::new(2, 4, 4);
+        let mut s = Stats::new();
+        let a = p.alloc(Cycle(0)).unwrap();
+        let _b = p.alloc(Cycle(0)).unwrap();
+        assert!(p.alloc(Cycle(0)).is_none());
+        assert_eq!(p.in_use(), 2);
+        p.release(a, Cycle(10), &mut s);
+        assert!(p.has_free());
+        assert!(p.alloc(Cycle(10)).is_some());
+    }
+
+    #[test]
+    fn registers_read_write_and_zeroed_on_alloc() {
+        let mut p = XRegPool::new(1, 2, 2);
+        let mut s = Stats::new();
+        let f = p.alloc(Cycle(0)).unwrap();
+        p.write(f, 1, 77, &mut s);
+        assert_eq!(p.read(f, 1, &mut s), 77);
+        p.release(f, Cycle(1), &mut s);
+        let f2 = p.alloc(Cycle(1)).unwrap();
+        assert_eq!(p.read(f2, 1, &mut s), 0);
+    }
+
+    #[test]
+    fn occupancy_scales_with_lifetime_and_charge() {
+        let mut fine = XRegPool::new(1, 4, 4);
+        let mut coarse = XRegPool::new(1, 4, 32);
+        let mut s = Stats::new();
+        let f = fine.alloc(Cycle(0)).unwrap();
+        fine.release(f, Cycle(10), &mut s);
+        let f = coarse.alloc(Cycle(0)).unwrap();
+        coarse.release(f, Cycle(100), &mut s);
+        assert_eq!(fine.occupancy(), 4 * 8 * 10);
+        assert_eq!(coarse.occupancy(), 32 * 8 * 100);
+        assert_eq!(coarse.occupancy() / fine.occupancy(), 80);
+    }
+
+    #[test]
+    fn lifetime_histogram_recorded() {
+        let mut p = XRegPool::new(1, 1, 1);
+        let mut s = Stats::new();
+        let f = p.alloc(Cycle(5)).unwrap();
+        p.release(f, Cycle(25), &mut s);
+        let h = s.histogram("xcache.walker_lifetime").unwrap();
+        assert_eq!(h.count(), 1);
+        assert_eq!(h.sum(), 20);
+    }
+
+    #[test]
+    #[should_panic(expected = "double release")]
+    fn double_release_panics() {
+        let mut p = XRegPool::new(1, 1, 1);
+        let mut s = Stats::new();
+        let f = p.alloc(Cycle(0)).unwrap();
+        p.release(f, Cycle(1), &mut s);
+        p.release(f, Cycle(2), &mut s);
+    }
+
+    #[test]
+    #[should_panic(expected = "unallocated")]
+    fn read_unallocated_panics() {
+        let p = XRegPool::new(1, 1, 1);
+        let mut s = Stats::new();
+        let _ = p.read(XRegFile(0), 0, &mut s);
+    }
+}

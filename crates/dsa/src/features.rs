@@ -1,0 +1,97 @@
+//! Table 2: "X-Cache features benefiting DSAs" as data.
+
+/// How a DSA's accesses couple to its datapath (Table 2's column).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub enum Coupling {
+    /// The datapath blocks on each meta access (load-to-use).
+    Coupled,
+    /// A preload engine runs ahead of the datapath.
+    Decoupled,
+}
+
+/// One row of Table 2.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+pub struct DsaFeatures {
+    /// DSA name as the paper prints it.
+    pub dsa: &'static str,
+    /// What serves as the meta-tag.
+    pub tag: &'static str,
+    /// Whether the DSA preloads (decoupled run-ahead refill).
+    pub preload: bool,
+    /// Access coupling.
+    pub coupling: Coupling,
+    /// What the cached data is.
+    pub data: &'static str,
+    /// Underlying data structure.
+    pub data_structure: &'static str,
+}
+
+/// Table 2 of the paper.
+pub const FEATURES: &[DsaFeatures] = &[
+    DsaFeatures {
+        dsa: "Widx",
+        tag: "Key",
+        preload: false,
+        coupling: Coupling::Coupled,
+        data: "Rid",
+        data_structure: "Hash Table",
+    },
+    DsaFeatures {
+        dsa: "DASX",
+        tag: "Key",
+        preload: true,
+        coupling: Coupling::Decoupled,
+        data: "Rid",
+        data_structure: "Hash Table",
+    },
+    DsaFeatures {
+        dsa: "GraphPulse",
+        tag: "Node Idx",
+        preload: false,
+        coupling: Coupling::Decoupled,
+        data: "Event",
+        data_structure: "Graph",
+    },
+    DsaFeatures {
+        dsa: "SpArch",
+        tag: "Col Idx",
+        preload: true,
+        coupling: Coupling::Decoupled,
+        data: "B.Row",
+        data_structure: "CSR",
+    },
+    DsaFeatures {
+        dsa: "Gamma",
+        tag: "Col Idx",
+        preload: true,
+        coupling: Coupling::Decoupled,
+        data: "B.Row",
+        data_structure: "CSR",
+    },
+];
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn covers_all_five_dsas() {
+        let names: Vec<_> = FEATURES.iter().map(|f| f.dsa).collect();
+        assert_eq!(names, vec!["Widx", "DASX", "GraphPulse", "SpArch", "Gamma"]);
+    }
+
+    #[test]
+    fn widx_is_the_only_coupled_dsa() {
+        for f in FEATURES {
+            assert_eq!(f.coupling == Coupling::Coupled, f.dsa == "Widx");
+        }
+    }
+
+    #[test]
+    fn spgemm_family_shares_tags() {
+        let sparch = FEATURES.iter().find(|f| f.dsa == "SpArch").unwrap();
+        let gamma = FEATURES.iter().find(|f| f.dsa == "Gamma").unwrap();
+        assert_eq!(sparch.tag, gamma.tag);
+        assert_eq!(sparch.data, gamma.data);
+    }
+}

@@ -1,0 +1,45 @@
+//! # xcache-dsa
+//!
+//! Cycle-level models of the five DSAs the X-Cache paper evaluates (§5,
+//! §7.2), each in (up to) three storage configurations:
+//!
+//! | Module | DSA | X-Cache tag | Workload |
+//! |---|---|---|---|
+//! | [`widx`] | Widx (MICRO'13) | hash key | TPC-H hash-join probes |
+//! | [`dasx`] | DASX (ICS'15) | hash key | hash-table iteration |
+//! | [`graphpulse`] | GraphPulse (MICRO'20) | vertex id | PageRank events |
+//! | [`spgemm`] | SpArch (HPCA'20) + Gamma (ASPLOS'21) | B-row id | sparse GEMM |
+//!
+//! Every `run_xcache` verifies its result against a functional oracle
+//! (hash-index lookups, reference PageRank, exact SpGEMM), so the timing
+//! numbers always come from runs that computed the right answer.
+//!
+//! The `run_address_cache` variants implement §8's comparison point: an
+//! address-tagged cache of identical capacity with an *ideal* walker
+//! (zero-cost orchestration decisions), and `run_baseline` the original
+//! hardwired designs.
+
+pub mod common;
+pub mod dasx;
+pub mod features;
+pub mod graphpulse;
+pub mod spgemm;
+pub mod widx;
+
+pub use common::{ProbeEngine, ProbeTask, RunReport, TaskStep};
+pub use features::{Coupling, DsaFeatures, FEATURES};
+
+#[cfg(test)]
+mod tests {
+    /// The workload builder and the controller's hash unit must agree on
+    /// the hash function, or walkers search the wrong buckets.
+    #[test]
+    fn hash_functions_pinned_together() {
+        for x in [0u64, 1, 42, u64::MAX, 0xdead_beef] {
+            assert_eq!(
+                xcache_core::splitmix64(x),
+                xcache_workloads::hashidx::hash64(x)
+            );
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Table 4: energy parameters (timing: 1 GHz).
+
+/// Per-event energy constants, exactly as Table 4 prints them.
+///
+/// Datapath-op entries are per *bit*; memory entries are per byte (tags)
+/// or per 32-byte access (L1/data arrays).
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct EnergyParams {
+    /// Register read/write, pJ per bit.
+    pub register_pj_per_bit: f64,
+    /// Adder, pJ per bit.
+    pub add_pj_per_bit: f64,
+    /// Multiplier, pJ per bit.
+    pub mul_pj_per_bit: f64,
+    /// Bitwise op, pJ per bit.
+    pub bitwise_pj_per_bit: f64,
+    /// Shifter, pJ per bit.
+    pub shift_pj_per_bit: f64,
+    /// Tag array access, pJ per byte.
+    pub tag_pj_per_byte: f64,
+    /// L1/data SRAM access, pJ per 32-byte access.
+    pub l1_pj_per_32b: f64,
+    /// Operand width of the controller datapath in bits.
+    pub word_bits: u32,
+}
+
+impl Default for EnergyParams {
+    fn default() -> Self {
+        Self::paper_table4()
+    }
+}
+
+impl EnergyParams {
+    /// Table 4 of the paper, verbatim.
+    #[must_use]
+    pub fn paper_table4() -> Self {
+        EnergyParams {
+            register_pj_per_bit: 8.9e-3,
+            add_pj_per_bit: 2.1e-1,
+            mul_pj_per_bit: 12.6,
+            bitwise_pj_per_bit: 1.8e-2,
+            shift_pj_per_bit: 4.1e-1,
+            tag_pj_per_byte: 2.7,
+            l1_pj_per_32b: 44.8,
+            word_bits: 64,
+        }
+    }
+
+    /// Energy of one 64-bit register access in pJ.
+    #[must_use]
+    pub fn register_access_pj(&self) -> f64 {
+        self.register_pj_per_bit * f64::from(self.word_bits)
+    }
+
+    /// Energy of one ALU action in pJ, averaged over the AGEN mix.
+    ///
+    /// The walkers' multiplies are all by generator-time constants
+    /// (element sizes, pointer widths), which the hardware generator
+    /// strength-reduces to shifts; only ~1% of AGEN work needs the full
+    /// multiplier.
+    #[must_use]
+    pub fn alu_action_pj(&self) -> f64 {
+        // Weighted mix observed across the five walkers: 60% add/sub,
+        // 25% bitwise, 14% shift, 1% full multiply.
+        let per_bit = 0.60 * self.add_pj_per_bit
+            + 0.25 * self.bitwise_pj_per_bit
+            + 0.14 * self.shift_pj_per_bit
+            + 0.01 * self.mul_pj_per_bit;
+        per_bit * f64::from(self.word_bits)
+    }
+
+    /// Energy of one microcode-RAM fetch of `bits` bits, in pJ. The
+    /// routine RAM is a few hundred entries — register-file scale, far
+    /// below the per-access energy of the kilobyte-scale data arrays.
+    #[must_use]
+    pub fn ucode_fetch_pj(&self, bits: u32) -> f64 {
+        self.register_pj_per_bit * f64::from(bits)
+    }
+
+    /// Energy of one SRAM access of `bytes` bytes, in pJ (scaled from the
+    /// 32-byte L1 figure).
+    #[must_use]
+    pub fn sram_access_pj(&self, bytes: u64) -> f64 {
+        self.l1_pj_per_32b * (bytes as f64 / 32.0)
+    }
+
+    /// Energy of one tag access of `bytes` bytes, in pJ.
+    #[must_use]
+    pub fn tag_access_pj(&self, bytes: u64) -> f64 {
+        self.tag_pj_per_byte * bytes as f64
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table4_values_verbatim() {
+        let p = EnergyParams::paper_table4();
+        assert_eq!(p.register_pj_per_bit, 8.9e-3);
+        assert_eq!(p.add_pj_per_bit, 2.1e-1);
+        assert_eq!(p.mul_pj_per_bit, 12.6);
+        assert_eq!(p.bitwise_pj_per_bit, 1.8e-2);
+        assert_eq!(p.shift_pj_per_bit, 4.1e-1);
+        assert_eq!(p.tag_pj_per_byte, 2.7);
+        assert_eq!(p.l1_pj_per_32b, 44.8);
+    }
+
+    #[test]
+    fn derived_energies_scale() {
+        let p = EnergyParams::default();
+        assert!((p.register_access_pj() - 0.5696).abs() < 1e-9);
+        assert_eq!(p.sram_access_pj(64), 89.6);
+        assert_eq!(p.tag_access_pj(10), 27.0);
+        // The ALU mix must sit between pure-bitwise and pure-multiply.
+        assert!(p.alu_action_pj() > p.bitwise_pj_per_bit * 64.0);
+        assert!(p.alu_action_pj() < p.mul_pj_per_bit * 64.0);
+    }
+}

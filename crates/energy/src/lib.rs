@@ -1,0 +1,26 @@
+//! # xcache-energy
+//!
+//! Energy, power-breakdown and synthesis-area models for the X-Cache
+//! reproduction (§8.2, §8.4).
+//!
+//! The paper reduces power to *event counts × per-event energies*: RAM
+//! arrays via a modified CACTI (`bsg_fakeram`), logic via validated
+//! synthesis, with the per-bit constants of Table 4. This crate does the
+//! same: [`EnergyParams`] holds Table 4 verbatim, and [`EnergyModel`]
+//! converts the statistics counters every simulation produces into a
+//! component-level [`EnergyBreakdown`] (data RAM / meta-tags / routine RAM
+//! / X-registers / action logic), which the Figure 15/16 harnesses render.
+//!
+//! Figures 19/20 (FPGA utilisation and ASIC layout) come from a calibrated
+//! analytical [`area`] model: component costs are anchored to the paper's
+//! published breakdown at the reference configuration (#Exe=4, #Active=8,
+//! Cyclone IV / 45 nm) and scale with the generator parameters.
+
+pub mod area;
+
+mod constants;
+mod model;
+
+pub use area::{asic_area, fpga_utilization, AsicReport, FpgaReport, REFERENCE_CONFIG};
+pub use constants::EnergyParams;
+pub use model::{EnergyBreakdown, EnergyModel};

@@ -1,0 +1,132 @@
+//! `xasm` — the X-Cache walker compiler CLI.
+//!
+//! The paper open-sources "a compiler to translate walkers to microcode";
+//! this is that tool: assemble walker source to a binary microcode image,
+//! disassemble it back, validate programs, and print the routine table.
+//!
+//! ```sh
+//! xasm check  walker.xw           # validate, print a summary
+//! xasm build  walker.xw out.bin   # assemble to the binary image
+//! xasm dump   walker.xw           # routine table + microcode listing
+//! xasm disasm walker.xw           # canonical round-trip source
+//! ```
+
+use std::process::ExitCode;
+
+use xcache_isa::asm::{assemble, disassemble};
+use xcache_isa::{encode, EventId, StateId, WalkerProgram};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let (cmd, rest) = match args.split_first() {
+        Some((c, r)) => (c.as_str(), r),
+        None => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    let result = match (cmd, rest) {
+        ("check", [src]) => cmd_check(src),
+        ("build", [src, out]) => cmd_build(src, out),
+        ("dump", [src]) => cmd_dump(src),
+        ("disasm", [src]) => cmd_disasm(src),
+        _ => {
+            eprintln!("{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match result {
+        Ok(()) => ExitCode::SUCCESS,
+        Err(e) => {
+            eprintln!("xasm: {e}");
+            ExitCode::FAILURE
+        }
+    }
+}
+
+const USAGE: &str = "usage:
+  xasm check  <walker.xw>            validate a walker program
+  xasm build  <walker.xw> <out.bin>  assemble to binary microcode
+  xasm dump   <walker.xw>            print routine table + microcode
+  xasm disasm <walker.xw>            print canonical source";
+
+fn load(path: &str) -> Result<WalkerProgram, String> {
+    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
+    assemble(&src).map_err(|e| format!("{path}: {e}"))
+}
+
+fn cmd_check(src: &str) -> Result<(), String> {
+    let p = load(src)?;
+    println!(
+        "ok: walker `{}` — {} states, {} events, {} routines, {} microcode words, {} X-regs",
+        p.name,
+        p.state_names.len(),
+        p.event_names.len(),
+        p.routines().len(),
+        p.microcode_words(),
+        p.regs
+    );
+    Ok(())
+}
+
+fn cmd_build(src: &str, out: &str) -> Result<(), String> {
+    let p = load(src)?;
+    let mut image: Vec<u8> = Vec::new();
+    // Header: routine count, then per-routine word offsets, then words.
+    let mut offsets = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
+    for r in p.routines() {
+        offsets.push(words.len() as u64);
+        words.extend(encode(&r.actions).map_err(|e| e.to_string())?);
+    }
+    image.extend_from_slice(&(p.routines().len() as u64).to_le_bytes());
+    for o in &offsets {
+        image.extend_from_slice(&o.to_le_bytes());
+    }
+    for w in &words {
+        image.extend_from_slice(&w.to_le_bytes());
+    }
+    std::fs::write(out, &image).map_err(|e| format!("{out}: {e}"))?;
+    println!(
+        "wrote {out}: {} bytes ({} routines, {} microinstructions)",
+        image.len(),
+        p.routines().len(),
+        words.len() / 2
+    );
+    Ok(())
+}
+
+fn cmd_dump(src: &str) -> Result<(), String> {
+    let p = load(src)?;
+    println!("walker {}", p.name);
+    println!("\nroutine table ({} states x {} events):", p.table.states(), p.table.events());
+    print!("{:>12}", "");
+    for e in 0..p.table.events() {
+        print!(" {:>12}", p.event_names[e as usize]);
+    }
+    println!();
+    for s in 0..p.table.states() {
+        print!("{:>12}", p.state_names[s as usize]);
+        for e in 0..p.table.events() {
+            match p.table.lookup(StateId(s), EventId(e)) {
+                Some(rid) => print!(" {:>12}", p.routines()[rid.0 as usize].name),
+                None => print!(" {:>12}", "-"),
+            }
+        }
+        println!();
+    }
+    println!("\nmicrocode:");
+    for (i, r) in p.routines().iter().enumerate() {
+        println!("  [{i}] {}:", r.name);
+        for (pc, a) in r.actions.iter().enumerate() {
+            println!("    {pc:>3}: {a}");
+        }
+    }
+    Ok(())
+}
+
+fn cmd_disasm(src: &str) -> Result<(), String> {
+    let p = load(src)?;
+    print!("{}", disassemble(&p));
+    Ok(())
+}

@@ -1,0 +1,519 @@
+//! Fixed-width binary microcode encoding.
+//!
+//! Each [`Action`] encodes into one 128-bit microinstruction (two `u64`
+//! words). The width is what the energy/area models charge for the routine
+//! RAM: `microcode_words × 128 bits` — "when we compile them down and
+//! encode them, we determine the number of entries required" (§7.1 ⑤).
+//!
+//! Layout (bit offsets within the little-endian 128-bit word):
+//!
+//! | field  | bits      | contents                                   |
+//! |--------|-----------|--------------------------------------------|
+//! | opcode | `[0,8)`   | action discriminant                        |
+//! | subop  | `[8,16)`  | ALU op / branch condition                  |
+//! | dst    | `[16,24)` | destination X-register                     |
+//! | aux    | `[24,40)` | branch target / peek word / post delay ... |
+//! | a      | `[40,68)` | operand A (4-bit kind + 24-bit value)      |
+//! | b      | `[68,96)` | operand B                                  |
+//! | c      | `[96,124)`| operand C                                  |
+//!
+//! Immediates are therefore capped at 24 bits in the binary form; larger
+//! constants must come in through DSA parameters (which are full-width
+//! runtime registers in the generated hardware), exactly as a real
+//! microcode word would require.
+
+use std::fmt;
+
+use crate::{Action, AluOp, Cond, EventId, Operand, Reg, StateId};
+
+/// Bits per encoded microinstruction.
+pub const ACTION_BITS: u32 = 128;
+
+/// Error produced by [`encode`] or [`decode`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum DecodeError {
+    /// An immediate exceeded the 24-bit microcode field.
+    ImmediateTooWide(u64),
+    /// Unknown opcode byte during decode.
+    BadOpcode(u8),
+    /// Unknown sub-opcode during decode.
+    BadSubop(u8),
+    /// Unknown operand kind nibble during decode.
+    BadOperandKind(u8),
+    /// The word stream ended mid-instruction.
+    Truncated,
+}
+
+impl fmt::Display for DecodeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DecodeError::ImmediateTooWide(v) => {
+                write!(f, "immediate {v} exceeds the 24-bit microcode field")
+            }
+            DecodeError::BadOpcode(b) => write!(f, "unknown opcode {b:#04x}"),
+            DecodeError::BadSubop(b) => write!(f, "unknown sub-opcode {b:#04x}"),
+            DecodeError::BadOperandKind(b) => write!(f, "unknown operand kind {b:#03x}"),
+            DecodeError::Truncated => write!(f, "word stream truncated mid-instruction"),
+        }
+    }
+}
+
+impl std::error::Error for DecodeError {}
+
+const IMM_MAX: u64 = (1 << 24) - 1;
+
+fn enc_operand(o: Operand) -> Result<u128, DecodeError> {
+    let (kind, val): (u128, u64) = match o {
+        Operand::Reg(Reg(r)) => (0, u64::from(r)),
+        Operand::Imm(v) => {
+            if v > IMM_MAX {
+                return Err(DecodeError::ImmediateTooWide(v));
+            }
+            (1, v)
+        }
+        Operand::Key => (2, 0),
+        Operand::MsgWord(w) => (3, u64::from(w)),
+        Operand::Param(p) => (4, u64::from(p)),
+        Operand::MetaSector => (5, 0),
+    };
+    Ok((kind << 24) | u128::from(val & IMM_MAX))
+}
+
+fn dec_operand(bits: u128) -> Result<Operand, DecodeError> {
+    let kind = ((bits >> 24) & 0xf) as u8;
+    let val = (bits & 0xff_ffff) as u64;
+    Ok(match kind {
+        0 => Operand::Reg(Reg(val as u8)),
+        1 => Operand::Imm(val),
+        2 => Operand::Key,
+        3 => Operand::MsgWord(val as u8),
+        4 => Operand::Param(val as u8),
+        5 => Operand::MetaSector,
+        k => return Err(DecodeError::BadOperandKind(k)),
+    })
+}
+
+fn alu_subop(op: AluOp) -> u8 {
+    match op {
+        AluOp::Add => 0,
+        AluOp::Sub => 1,
+        AluOp::And => 2,
+        AluOp::Or => 3,
+        AluOp::Xor => 4,
+        AluOp::Shl => 5,
+        AluOp::Srl => 6,
+        AluOp::Sra => 7,
+        AluOp::Mul => 8,
+    }
+}
+
+fn subop_alu(b: u8) -> Result<AluOp, DecodeError> {
+    Ok(match b {
+        0 => AluOp::Add,
+        1 => AluOp::Sub,
+        2 => AluOp::And,
+        3 => AluOp::Or,
+        4 => AluOp::Xor,
+        5 => AluOp::Shl,
+        6 => AluOp::Srl,
+        7 => AluOp::Sra,
+        8 => AluOp::Mul,
+        other => return Err(DecodeError::BadSubop(other)),
+    })
+}
+
+fn cond_subop(c: Cond) -> u8 {
+    match c {
+        Cond::Eq => 0,
+        Cond::Ne => 1,
+        Cond::Lt => 2,
+        Cond::Ge => 3,
+        Cond::Le => 4,
+        Cond::Miss => 5,
+        Cond::Hit => 6,
+    }
+}
+
+fn subop_cond(b: u8) -> Result<Cond, DecodeError> {
+    Ok(match b {
+        0 => Cond::Eq,
+        1 => Cond::Ne,
+        2 => Cond::Lt,
+        3 => Cond::Ge,
+        4 => Cond::Le,
+        5 => Cond::Miss,
+        6 => Cond::Hit,
+        other => return Err(DecodeError::BadSubop(other)),
+    })
+}
+
+struct Fields {
+    opcode: u8,
+    subop: u8,
+    dst: u8,
+    aux: u16,
+    a: Option<Operand>,
+    b: Option<Operand>,
+    c: Option<Operand>,
+}
+
+impl Fields {
+    fn new(opcode: u8) -> Self {
+        Fields {
+            opcode,
+            subop: 0,
+            dst: 0,
+            aux: 0,
+            a: None,
+            b: None,
+            c: None,
+        }
+    }
+
+    fn pack(self) -> Result<[u64; 2], DecodeError> {
+        let mut w: u128 = u128::from(self.opcode)
+            | (u128::from(self.subop) << 8)
+            | (u128::from(self.dst) << 16)
+            | (u128::from(self.aux) << 24);
+        if let Some(a) = self.a {
+            w |= enc_operand(a)? << 40;
+        }
+        if let Some(b) = self.b {
+            w |= enc_operand(b)? << 68;
+        }
+        if let Some(c) = self.c {
+            w |= enc_operand(c)? << 96;
+        }
+        Ok([(w & u128::from(u64::MAX)) as u64, (w >> 64) as u64])
+    }
+}
+
+/// Encodes a sequence of actions into the binary microcode image.
+///
+/// # Errors
+///
+/// Returns [`DecodeError::ImmediateTooWide`] if any immediate exceeds the
+/// 24-bit field.
+pub fn encode(actions: &[Action]) -> Result<Vec<u64>, DecodeError> {
+    let mut out = Vec::with_capacity(actions.len() * 2);
+    for a in actions {
+        let mut f;
+        match *a {
+            Action::Alu { op, dst, a, b } => {
+                f = Fields::new(0x01);
+                f.subop = alu_subop(op);
+                f.dst = dst.0;
+                f.a = Some(a);
+                f.b = Some(b);
+            }
+            Action::Mov { dst, a } => {
+                f = Fields::new(0x02);
+                f.dst = dst.0;
+                f.a = Some(a);
+            }
+            Action::AllocR => f = Fields::new(0x03),
+            Action::Hash { done, a } => {
+                f = Fields::new(0x04);
+                f.aux = u16::from(done.0);
+                f.a = Some(a);
+            }
+            Action::DramRead { addr, len } => {
+                f = Fields::new(0x10);
+                f.a = Some(addr);
+                f.b = Some(len);
+            }
+            Action::DramWrite { addr, sector, len } => {
+                f = Fields::new(0x11);
+                f.a = Some(addr);
+                f.b = Some(sector);
+                f.c = Some(len);
+            }
+            Action::PostEvent {
+                event,
+                delay,
+                payload,
+            } => {
+                f = Fields::new(0x12);
+                f.subop = event.0;
+                f.aux = delay;
+                f.a = Some(payload);
+            }
+            Action::Peek { dst, word } => {
+                f = Fields::new(0x13);
+                f.dst = dst.0;
+                f.aux = u16::from(word);
+            }
+            Action::Respond => f = Fields::new(0x14),
+            Action::AllocM => f = Fields::new(0x20),
+            Action::DeallocM => f = Fields::new(0x21),
+            Action::PinM => f = Fields::new(0x23),
+            Action::InsertM { key, words } => {
+                f = Fields::new(0x24);
+                f.a = Some(key);
+                f.b = Some(words);
+            }
+            Action::UpdateM { start, end } => {
+                f = Fields::new(0x22);
+                f.a = Some(start);
+                f.b = Some(end);
+            }
+            Action::Branch { cond, a, b, target } => {
+                f = Fields::new(0x30);
+                f.subop = cond_subop(cond);
+                f.aux = u16::from(target);
+                f.a = Some(a);
+                f.b = Some(b);
+            }
+            Action::Yield { state } => {
+                f = Fields::new(0x31);
+                f.subop = state.0;
+            }
+            Action::Retire => f = Fields::new(0x32),
+            Action::Fault => f = Fields::new(0x33),
+            Action::AllocD { dst, count } => {
+                f = Fields::new(0x40);
+                f.dst = dst.0;
+                f.a = Some(count);
+            }
+            Action::DeallocD => f = Fields::new(0x41),
+            Action::ReadD { dst, sector, word } => {
+                f = Fields::new(0x42);
+                f.dst = dst.0;
+                f.a = Some(sector);
+                f.b = Some(word);
+            }
+            Action::WriteD {
+                sector,
+                word,
+                value,
+            } => {
+                f = Fields::new(0x43);
+                f.a = Some(sector);
+                f.b = Some(word);
+                f.c = Some(value);
+            }
+            Action::FillD { sector, words } => {
+                f = Fields::new(0x44);
+                f.a = Some(sector);
+                f.b = Some(words);
+            }
+        }
+        out.extend(f.pack()?);
+    }
+    Ok(out)
+}
+
+/// Decodes a binary microcode image back into actions.
+///
+/// # Errors
+///
+/// Returns a [`DecodeError`] on malformed input (unknown opcode, truncated
+/// stream, bad operand kind).
+pub fn decode(words: &[u64]) -> Result<Vec<Action>, DecodeError> {
+    if !words.len().is_multiple_of(2) {
+        return Err(DecodeError::Truncated);
+    }
+    let mut out = Vec::with_capacity(words.len() / 2);
+    for pair in words.chunks_exact(2) {
+        let w = u128::from(pair[0]) | (u128::from(pair[1]) << 64);
+        let opcode = (w & 0xff) as u8;
+        let subop = ((w >> 8) & 0xff) as u8;
+        let dst = Reg(((w >> 16) & 0xff) as u8);
+        let aux = ((w >> 24) & 0xffff) as u16;
+        let a = dec_operand((w >> 40) & 0xfff_ffff)?;
+        let b = dec_operand((w >> 68) & 0xfff_ffff)?;
+        let c = dec_operand((w >> 96) & 0xfff_ffff)?;
+        out.push(match opcode {
+            0x01 => Action::Alu {
+                op: subop_alu(subop)?,
+                dst,
+                a,
+                b,
+            },
+            0x02 => Action::Mov { dst, a },
+            0x03 => Action::AllocR,
+            0x04 => Action::Hash {
+                done: EventId(aux as u8),
+                a,
+            },
+            0x10 => Action::DramRead { addr: a, len: b },
+            0x11 => Action::DramWrite {
+                addr: a,
+                sector: b,
+                len: c,
+            },
+            0x12 => Action::PostEvent {
+                event: EventId(subop),
+                delay: aux,
+                payload: a,
+            },
+            0x13 => Action::Peek {
+                dst,
+                word: aux as u8,
+            },
+            0x14 => Action::Respond,
+            0x20 => Action::AllocM,
+            0x21 => Action::DeallocM,
+            0x23 => Action::PinM,
+            0x24 => Action::InsertM { key: a, words: b },
+            0x22 => Action::UpdateM { start: a, end: b },
+            0x30 => Action::Branch {
+                cond: subop_cond(subop)?,
+                a,
+                b,
+                target: aux as u8,
+            },
+            0x31 => Action::Yield {
+                state: StateId(subop),
+            },
+            0x32 => Action::Retire,
+            0x33 => Action::Fault,
+            0x40 => Action::AllocD { dst, count: a },
+            0x41 => Action::DeallocD,
+            0x42 => Action::ReadD {
+                dst,
+                sector: a,
+                word: b,
+            },
+            0x43 => Action::WriteD {
+                sector: a,
+                word: b,
+                value: c,
+            },
+            0x44 => Action::FillD { sector: a, words: b },
+            other => return Err(DecodeError::BadOpcode(other)),
+        });
+    }
+    Ok(out)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample_actions() -> Vec<Action> {
+        vec![
+            Action::AllocR,
+            Action::AllocM,
+            Action::Mov {
+                dst: Reg(0),
+                a: Operand::Key,
+            },
+            Action::Alu {
+                op: AluOp::Mul,
+                dst: Reg(1),
+                a: Operand::Reg(Reg(0)),
+                b: Operand::Param(1),
+            },
+            Action::Hash {
+                done: EventId(3),
+                a: Operand::Key,
+            },
+            Action::DramRead {
+                addr: Operand::Reg(Reg(1)),
+                len: Operand::Imm(64),
+            },
+            Action::DramWrite {
+                addr: Operand::Reg(Reg(1)),
+                sector: Operand::Reg(Reg(2)),
+                len: Operand::Imm(32),
+            },
+            Action::PostEvent {
+                event: EventId(4),
+                delay: 60,
+                payload: Operand::MsgWord(0),
+            },
+            Action::Peek { dst: Reg(2), word: 1 },
+            Action::Respond,
+            Action::UpdateM {
+                start: Operand::Reg(Reg(3)),
+                end: Operand::Reg(Reg(3)),
+            },
+            Action::Branch {
+                cond: Cond::Eq,
+                a: Operand::Reg(Reg(2)),
+                b: Operand::Key,
+                target: 9,
+            },
+            Action::Branch {
+                cond: Cond::Miss,
+                a: Operand::Imm(0),
+                b: Operand::Imm(0),
+                target: 2,
+            },
+            Action::AllocD {
+                dst: Reg(3),
+                count: Operand::Imm(2),
+            },
+            Action::ReadD {
+                dst: Reg(0),
+                sector: Operand::Reg(Reg(3)),
+                word: Operand::Imm(1),
+            },
+            Action::WriteD {
+                sector: Operand::Reg(Reg(3)),
+                word: Operand::Imm(0),
+                value: Operand::MsgWord(2),
+            },
+            Action::FillD {
+                sector: Operand::Reg(Reg(3)),
+                words: Operand::Imm(8),
+            },
+            Action::DeallocD,
+            Action::DeallocM,
+            Action::PinM,
+            Action::InsertM {
+                key: Operand::Reg(Reg(2)),
+                words: Operand::Imm(4),
+            },
+            Action::ReadD {
+                dst: Reg(1),
+                sector: Operand::MetaSector,
+                word: Operand::Imm(0),
+            },
+            Action::Yield {
+                state: StateId(2),
+            },
+            Action::Retire,
+            Action::Fault,
+        ]
+    }
+
+    #[test]
+    fn round_trips_every_action_kind() {
+        let actions = sample_actions();
+        let words = encode(&actions).unwrap();
+        assert_eq!(words.len(), actions.len() * 2);
+        let back = decode(&words).unwrap();
+        assert_eq!(back, actions);
+    }
+
+    #[test]
+    fn immediate_limit_enforced() {
+        let err = encode(&[Action::Mov {
+            dst: Reg(0),
+            a: Operand::Imm(1 << 24),
+        }])
+        .unwrap_err();
+        assert_eq!(err, DecodeError::ImmediateTooWide(1 << 24));
+        // Boundary value is fine.
+        assert!(encode(&[Action::Mov {
+            dst: Reg(0),
+            a: Operand::Imm((1 << 24) - 1),
+        }])
+        .is_ok());
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        assert_eq!(decode(&[0xff, 0]).unwrap_err(), DecodeError::BadOpcode(0xff));
+        assert_eq!(decode(&[1]).unwrap_err(), DecodeError::Truncated);
+    }
+
+    #[test]
+    fn bits_per_action_is_stable() {
+        assert_eq!(ACTION_BITS, 128);
+        let words = encode(&[Action::Retire]).unwrap();
+        assert_eq!(words.len() * 64, ACTION_BITS as usize);
+    }
+}

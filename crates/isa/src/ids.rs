@@ -1,0 +1,93 @@
+//! Walker state and event identifiers.
+
+use std::fmt;
+
+/// A walker coroutine state (a row of the routine table).
+///
+/// State 0 is always `Default`, "the starting state for misses, i.e., no
+/// entry in the meta-tag array" (§4.1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct StateId(pub u8);
+
+impl StateId {
+    /// The miss-entry state every walker starts in.
+    pub const DEFAULT: StateId = StateId(0);
+
+    /// Raw table row index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+impl fmt::Display for StateId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "S{}", self.0)
+    }
+}
+
+/// An event (a column of the routine table).
+///
+/// Events 0–3 are architectural — every X-Cache instance generates them —
+/// and the remainder are walker-defined (hash-done, pointer-ready, ...).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+pub struct EventId(pub u8);
+
+impl EventId {
+    /// A meta access missed: a new walker is launched in `Default` state.
+    pub const MISS: EventId = EventId(0);
+    /// A DRAM response for this walker arrived.
+    pub const FILL: EventId = EventId(1);
+    /// A meta store wants to merge/insert (GraphPulse-style update).
+    pub const UPDATE: EventId = EventId(2);
+    /// First walker-defined event id.
+    pub const FIRST_CUSTOM: EventId = EventId(3);
+
+    /// Raw table column index.
+    #[must_use]
+    pub fn index(self) -> usize {
+        self.0 as usize
+    }
+
+    /// Whether this is one of the architectural events.
+    #[must_use]
+    pub fn is_architectural(self) -> bool {
+        self.0 < Self::FIRST_CUSTOM.0
+    }
+}
+
+impl fmt::Display for EventId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match *self {
+            EventId::MISS => write!(f, "Miss"),
+            EventId::FILL => write!(f, "Fill"),
+            EventId::UPDATE => write!(f, "Update"),
+            EventId(n) => write!(f, "E{n}"),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn architectural_events_are_low_ids() {
+        assert!(EventId::MISS.is_architectural());
+        assert!(EventId::FILL.is_architectural());
+        assert!(EventId::UPDATE.is_architectural());
+        assert!(!EventId::FIRST_CUSTOM.is_architectural());
+    }
+
+    #[test]
+    fn default_state_is_zero() {
+        assert_eq!(StateId::DEFAULT.index(), 0);
+    }
+
+    #[test]
+    fn display_names() {
+        assert_eq!(EventId::MISS.to_string(), "Miss");
+        assert_eq!(EventId(7).to_string(), "E7");
+        assert_eq!(StateId(2).to_string(), "S2");
+    }
+}

@@ -1,0 +1,113 @@
+//! Integration tests of the `xasm` CLI binary.
+
+use std::process::Command;
+
+const XASM: &str = env!("CARGO_BIN_EXE_xasm");
+
+const VALID: &str = r"
+walker t
+states Default
+regs 1
+routine r {
+    allocR
+    retire
+}
+on Default, Miss -> r
+";
+
+fn write_tmp(name: &str, content: &str) -> std::path::PathBuf {
+    let dir = std::env::temp_dir().join("xasm-tests");
+    std::fs::create_dir_all(&dir).expect("tmp dir");
+    let p = dir.join(name);
+    std::fs::write(&p, content).expect("write");
+    p
+}
+
+#[test]
+fn check_accepts_valid_walker() {
+    let src = write_tmp("valid.xw", VALID);
+    let out = Command::new(XASM)
+        .args(["check", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("walker `t`"));
+    assert!(stdout.contains("2 microcode words"));
+}
+
+#[test]
+fn check_rejects_invalid_walker() {
+    let src = write_tmp("invalid.xw", "walker t\nstates Default\nroutine r {\n allocR\n}\non Default, Miss -> r\n");
+    let out = Command::new(XASM)
+        .args(["check", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(!out.status.success());
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("terminator"), "stderr: {stderr}");
+}
+
+#[test]
+fn build_produces_decodable_image() {
+    let src = write_tmp("build.xw", VALID);
+    let out_path = write_tmp("build.bin", "");
+    let out = Command::new(XASM)
+        .args([
+            "build",
+            src.to_str().expect("utf8"),
+            out_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    let image = std::fs::read(&out_path).expect("image written");
+    // Header: routine count (1), offset (0), then 2 actions x 2 words.
+    let count = u64::from_le_bytes(image[0..8].try_into().expect("count"));
+    assert_eq!(count, 1);
+    let words: Vec<u64> = image[16..]
+        .chunks_exact(8)
+        .map(|c| u64::from_le_bytes(c.try_into().expect("word")))
+        .collect();
+    let actions = xcache_isa::decode(&words).expect("decodes");
+    assert_eq!(actions.len(), 2);
+    assert!(actions[1].is_terminator());
+}
+
+#[test]
+fn disasm_round_trips_through_check() {
+    let src = write_tmp("rt.xw", VALID);
+    let out = Command::new(XASM)
+        .args(["disasm", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let canonical = String::from_utf8_lossy(&out.stdout).into_owned();
+    let src2 = write_tmp("rt2.xw", &canonical);
+    let out2 = Command::new(XASM)
+        .args(["check", src2.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out2.status.success());
+}
+
+#[test]
+fn dump_shows_routine_table() {
+    let src = write_tmp("dump.xw", VALID);
+    let out = Command::new(XASM)
+        .args(["dump", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("routine table"));
+    assert!(stdout.contains("allocR"));
+    assert!(stdout.contains("retire"));
+}
+
+#[test]
+fn usage_on_bad_invocation() {
+    let out = Command::new(XASM).output().expect("runs");
+    assert!(!out.status.success());
+    assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
+}

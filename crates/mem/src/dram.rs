@@ -1,0 +1,676 @@
+//! Banked DRAM timing model.
+//!
+//! Stands in for the DRAMsim2 instance the paper attaches to the TSIM
+//! driver (§7). The model captures the first-order behaviour the evaluation
+//! depends on:
+//!
+//! * **Latency structure** — row-buffer hits are cheap (CAS only), closed
+//!   rows pay activate + CAS, and conflicts additionally pay precharge.
+//! * **Bank-level parallelism** — independent banks service requests
+//!   concurrently, which is what X-Cache's many in-flight walkers exploit.
+//! * **Bandwidth** — a single shared data bus serialises transfers at a
+//!   fixed bytes/cycle, so request *count* (Figure 14's second axis)
+//!   translates into runtime when bandwidth-bound.
+//!
+//! Transfers longer than one burst occupy the bus for multiple beats, which
+//! models SpArch/Gamma row refills fetching whole matrix rows.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use xcache_sim::{Cycle, MsgQueue, Stats};
+
+use crate::{MainMemory, MemReq, MemReqKind, MemResp, MemoryPort};
+
+/// DRAM geometry and timing parameters (in controller cycles @ 1 GHz).
+///
+/// Defaults approximate DDR3-1600 as configured in DRAMsim2's shipped
+/// `ini` files, rounded to integer controller cycles.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct DramConfig {
+    /// Number of independent channels, each with its own data bus; banks
+    /// are striped across channels.
+    pub channels: usize,
+    /// Number of independent banks.
+    pub banks: usize,
+    /// Bytes per row (row-buffer size).
+    pub row_bytes: u64,
+    /// Column access latency (row already open).
+    pub t_cas: u64,
+    /// Row activate latency (row closed).
+    pub t_rcd: u64,
+    /// Precharge latency (different row open).
+    pub t_rp: u64,
+    /// Data-bus throughput in bytes per cycle.
+    pub bus_bytes_per_cycle: u64,
+    /// Burst granularity: a transfer is split into bursts of this size.
+    pub burst_bytes: u64,
+    /// Refresh interval in cycles (`tREFI`); 0 disables refresh.
+    pub t_refi: u64,
+    /// Refresh duration in cycles (`tRFC`): all banks blocked, rows closed.
+    pub t_rfc: u64,
+    /// Per-bank request queue depth.
+    pub bank_queue_depth: usize,
+    /// Input queue depth (controller front-end).
+    pub input_queue_depth: usize,
+    /// Response queue depth.
+    pub resp_queue_depth: usize,
+}
+
+impl Default for DramConfig {
+    fn default() -> Self {
+        DramConfig {
+            channels: 1,
+            banks: 8,
+            row_bytes: 2048,
+            t_cas: 14,
+            t_rcd: 14,
+            t_rp: 14,
+            bus_bytes_per_cycle: 8,
+            burst_bytes: 64,
+            t_refi: 7_800,
+            t_rfc: 160,
+            bank_queue_depth: 8,
+            input_queue_depth: 16,
+            resp_queue_depth: 64,
+        }
+    }
+}
+
+impl DramConfig {
+    /// A small/fast configuration for unit tests (single-digit latencies).
+    #[must_use]
+    pub fn test_tiny() -> Self {
+        DramConfig {
+            channels: 1,
+            banks: 2,
+            row_bytes: 256,
+            t_cas: 2,
+            t_rcd: 3,
+            t_rp: 3,
+            bus_bytes_per_cycle: 8,
+            burst_bytes: 32,
+            t_refi: 0, // refresh disabled for unit tests
+            t_rfc: 0,
+            bank_queue_depth: 2,
+            input_queue_depth: 4,
+            resp_queue_depth: 8,
+        }
+    }
+
+    /// Bank index for a byte address.
+    #[must_use]
+    pub fn bank_of(&self, addr: u64) -> usize {
+        ((addr / self.row_bytes) % self.banks as u64) as usize
+    }
+
+    /// Channel index for a byte address (banks striped round-robin).
+    #[must_use]
+    pub fn channel_of(&self, addr: u64) -> usize {
+        self.bank_of(addr) % self.channels.max(1)
+    }
+
+    /// Row index (within its bank) for a byte address.
+    #[must_use]
+    pub fn row_of(&self, addr: u64) -> u64 {
+        addr / (self.row_bytes * self.banks as u64)
+    }
+
+    /// Validates internal consistency.
+    ///
+    /// # Errors
+    ///
+    /// Returns a description of the first invalid field.
+    pub fn validate(&self) -> Result<(), String> {
+        if self.channels == 0 || !self.channels.is_power_of_two() {
+            return Err("channels must be a nonzero power of two".into());
+        }
+        if self.banks == 0 {
+            return Err("banks must be nonzero".into());
+        }
+        if self.banks < self.channels {
+            return Err("banks must be >= channels".into());
+        }
+        if !self.banks.is_power_of_two() {
+            return Err("banks must be a power of two".into());
+        }
+        if self.row_bytes == 0 || !self.row_bytes.is_power_of_two() {
+            return Err("row_bytes must be a nonzero power of two".into());
+        }
+        if self.bus_bytes_per_cycle == 0 {
+            return Err("bus_bytes_per_cycle must be nonzero".into());
+        }
+        if self.burst_bytes == 0 {
+            return Err("burst_bytes must be nonzero".into());
+        }
+        Ok(())
+    }
+}
+
+#[derive(Debug)]
+struct Bank {
+    open_row: Option<u64>,
+    queue: VecDeque<MemReq>,
+    /// Bank busy until this cycle (activation/precharge occupancy).
+    busy_until: Cycle,
+    /// Request currently being serviced, with its completion time.
+    in_service: Option<(MemReq, Cycle)>,
+}
+
+impl Bank {
+    fn new(depth: usize) -> Self {
+        Bank {
+            open_row: None,
+            queue: VecDeque::with_capacity(depth),
+            busy_until: Cycle::ZERO,
+            in_service: None,
+        }
+    }
+}
+
+/// The banked DRAM timing + functional model.
+///
+/// Owns a [`MainMemory`] so reads return real data and writes persist —
+/// DSA models verify functional results end-to-end, not just timing.
+#[derive(Debug)]
+pub struct DramModel {
+    cfg: DramConfig,
+    memory: MainMemory,
+    input: MsgQueue<MemReq>,
+    resp: MsgQueue<MemResp>,
+    banks: Vec<Bank>,
+    /// Per-channel data bus free-from time.
+    bus_free_at: Vec<Cycle>,
+    /// Next scheduled refresh (Cycle::NEVER when disabled).
+    next_refresh: Cycle,
+    stats: Stats,
+}
+
+impl DramModel {
+    /// Builds a model from a validated configuration.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `cfg` fails [`DramConfig::validate`].
+    #[must_use]
+    pub fn new(cfg: DramConfig) -> Self {
+        if let Err(e) = cfg.validate() {
+            panic!("invalid DramConfig: {e}");
+        }
+        let banks = (0..cfg.banks)
+            .map(|_| Bank::new(cfg.bank_queue_depth))
+            .collect();
+        let next_refresh = if cfg.t_refi > 0 {
+            Cycle(cfg.t_refi)
+        } else {
+            Cycle::NEVER
+        };
+        DramModel {
+            input: MsgQueue::new("dram.in", cfg.input_queue_depth, 1),
+            resp: MsgQueue::new("dram.resp", cfg.resp_queue_depth, 1),
+            banks,
+            bus_free_at: vec![Cycle::ZERO; cfg.channels],
+            next_refresh,
+            memory: MainMemory::new(),
+            stats: Stats::new(),
+            cfg,
+        }
+    }
+
+    /// Builds a model around an existing memory image.
+    #[must_use]
+    pub fn with_memory(cfg: DramConfig, memory: MainMemory) -> Self {
+        let mut m = Self::new(cfg);
+        m.memory = memory;
+        m
+    }
+
+    /// The functional backing store (read-only).
+    #[must_use]
+    pub fn memory(&self) -> &MainMemory {
+        &self.memory
+    }
+
+    /// The functional backing store, for workload setup.
+    pub fn memory_mut(&mut self) -> &mut MainMemory {
+        &mut self.memory
+    }
+
+    /// The configuration in effect.
+    #[must_use]
+    pub fn config(&self) -> &DramConfig {
+        &self.cfg
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.stats
+    }
+
+    /// Computes the service latency of `req` on `bank` and updates the row
+    /// buffer + stats. Returns the completion cycle.
+    fn service(&mut self, bank_idx: usize, req: &MemReq, now: Cycle) -> Cycle {
+        let row = self.cfg.row_of(req.addr);
+        let bank = &mut self.banks[bank_idx];
+        let row_latency = match bank.open_row {
+            Some(open) if open == row => {
+                self.stats.incr("dram.row_hit");
+                self.cfg.t_cas
+            }
+            Some(_) => {
+                self.stats.incr("dram.row_conflict");
+                self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
+            }
+            None => {
+                self.stats.incr("dram.row_miss");
+                self.cfg.t_rcd + self.cfg.t_cas
+            }
+        };
+        bank.open_row = Some(row);
+
+        // Bus occupancy: the transfer is serialised on its channel's bus.
+        let channel = bank_idx % self.cfg.channels;
+        let bytes = u64::from(req.len.max(1));
+        let bursts = bytes.div_ceil(self.cfg.burst_bytes);
+        let beats_per_burst = self.cfg.burst_bytes.div_ceil(self.cfg.bus_bytes_per_cycle);
+        let transfer = bursts * beats_per_burst;
+        let data_ready = now + row_latency;
+        let bus_start = data_ready.max(self.bus_free_at[channel]);
+        let done = bus_start + transfer;
+        self.bus_free_at[channel] = done;
+        self.stats.add("dram.bytes", bytes);
+        self.stats.add("dram.bus_busy_cycles", transfer);
+        done
+    }
+}
+
+impl MemoryPort for DramModel {
+    fn try_request(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq> {
+        match self.input.push(now, req) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.stats.incr("dram.input_stall");
+                Err(e.0)
+            }
+        }
+    }
+
+    fn take_response(&mut self, now: Cycle) -> Option<MemResp> {
+        self.resp.pop(now)
+    }
+
+    fn tick(&mut self, now: Cycle) {
+        // 0. Refresh: periodically block every bank for tRFC and close
+        //    the row buffers (in-flight transfers complete normally).
+        if now >= self.next_refresh {
+            self.stats.incr("dram.refresh");
+            for b in &mut self.banks {
+                b.busy_until = b.busy_until.max(now + self.cfg.t_rfc);
+                b.open_row = None;
+            }
+            self.next_refresh += self.cfg.t_refi;
+        }
+
+        // 1. Retire finished bank transactions into the response queue.
+        for b in 0..self.banks.len() {
+            let finished = matches!(&self.banks[b].in_service,
+                Some((_, done)) if *done <= now);
+            if !finished {
+                continue;
+            }
+            if self.resp.is_full() {
+                self.stats.incr("dram.resp_stall");
+                continue; // hold in service until the response queue drains
+            }
+            let (req, done) = self.banks[b].in_service.take().expect("checked above");
+            let data = match req.kind {
+                MemReqKind::Read => {
+                    self.stats.incr("dram.reads");
+                    Bytes::from(self.memory.read_vec(req.addr, req.len as usize))
+                }
+                MemReqKind::Write => {
+                    self.stats.incr("dram.writes");
+                    self.memory.write(req.addr, &req.data);
+                    Bytes::new()
+                }
+            };
+            let resp = MemResp {
+                id: req.id,
+                addr: req.addr,
+                data,
+                completed_at: done,
+            };
+            // Full-queue case handled above, so this push cannot fail.
+            self.resp.push(now, resp).expect("resp queue has space");
+        }
+
+        // 2. Start servicing the head of each idle bank's queue.
+        for b in 0..self.banks.len() {
+            if self.banks[b].in_service.is_some() || self.banks[b].busy_until > now {
+                continue;
+            }
+            if let Some(req) = self.banks[b].queue.pop_front() {
+                let done = self.service(b, &req, now);
+                self.banks[b].in_service = Some((req, done));
+                self.banks[b].busy_until = done;
+            }
+        }
+
+        // 3. Move input-queue requests into bank queues.
+        while let Some(req) = self.input.peek(now) {
+            let bank = self.cfg.bank_of(req.addr);
+            if self.banks[bank].queue.len() >= self.cfg.bank_queue_depth {
+                self.stats.incr("dram.bank_queue_stall");
+                break; // preserve FIFO order from the input queue
+            }
+            let req = self.input.pop(now).expect("peeked");
+            self.stats.incr("dram.requests");
+            self.banks[bank].queue.push_back(req);
+        }
+    }
+
+    fn busy(&self) -> bool {
+        !self.input.is_empty()
+            || !self.resp.is_empty()
+            || self
+                .banks
+                .iter()
+                .any(|b| b.in_service.is_some() || !b.queue.is_empty())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run_one(dram: &mut DramModel, req: MemReq) -> (MemResp, u64) {
+        let start = Cycle(0);
+        dram.try_request(start, req).unwrap();
+        let mut now = start;
+        loop {
+            dram.tick(now);
+            if let Some(r) = dram.take_response(now) {
+                return (r, now.raw());
+            }
+            now = now.next();
+            assert!(now.raw() < 10_000, "dram deadlock");
+        }
+    }
+
+    #[test]
+    fn read_returns_stored_data() {
+        let mut d = DramModel::new(DramConfig::test_tiny());
+        d.memory_mut().write_u64(0x40, 0xfeed);
+        let (resp, _) = run_one(&mut d, MemReq::read(1, 0x40, 8));
+        assert_eq!(u64::from_le_bytes(resp.data[..8].try_into().unwrap()), 0xfeed);
+    }
+
+    #[test]
+    fn write_persists_and_acks() {
+        let mut d = DramModel::new(DramConfig::test_tiny());
+        let (resp, _) = run_one(
+            &mut d,
+            MemReq::write(2, 0x100, Bytes::copy_from_slice(&7u64.to_le_bytes())),
+        );
+        assert!(resp.data.is_empty());
+        assert_eq!(d.memory().read_u64(0x100), 7);
+        assert_eq!(d.stats().get("dram.writes"), 1);
+    }
+
+    #[test]
+    fn row_hit_is_faster_than_row_miss() {
+        let cfg = DramConfig::test_tiny();
+        let mut d = DramModel::new(cfg.clone());
+        let (_, t_miss) = run_one(&mut d, MemReq::read(1, 0, 8));
+        // Same row again: only CAS, no activate. Time keeps advancing
+        // monotonically from the first transaction.
+        let start = Cycle(t_miss + 1);
+        d.try_request(start, MemReq::read(2, 8, 8)).unwrap();
+        let mut now = start;
+        let t_hit = loop {
+            d.tick(now);
+            if d.take_response(now).is_some() {
+                break now.since(start);
+            }
+            now = now.next();
+            assert!(now.raw() < 10_000);
+        };
+        assert!(t_hit < t_miss, "row hit {t_hit} !< row miss {t_miss}");
+        assert_eq!(d.stats().get("dram.row_hit"), 1);
+        assert_eq!(d.stats().get("dram.row_miss"), 1);
+    }
+
+    #[test]
+    fn row_conflict_pays_precharge() {
+        let cfg = DramConfig::test_tiny();
+        let row_stride = cfg.row_bytes * cfg.banks as u64; // same bank, next row
+        let mut d = DramModel::new(cfg);
+        let (_, _t0) = run_one(&mut d, MemReq::read(1, 0, 8));
+        let (_, _t1) = run_one(&mut d, MemReq::read(2, row_stride, 8));
+        assert_eq!(d.stats().get("dram.row_conflict"), 1);
+    }
+
+    #[test]
+    fn banks_service_in_parallel() {
+        let cfg = DramConfig::test_tiny();
+        let bank_stride = cfg.row_bytes; // consecutive rows land in different banks
+        let mut d = DramModel::new(cfg.clone());
+        // Two requests to different banks issued together.
+        d.try_request(Cycle(0), MemReq::read(1, 0, 8)).unwrap();
+        d.try_request(Cycle(0), MemReq::read(2, bank_stride, 8))
+            .unwrap();
+        let mut now = Cycle(0);
+        let mut done = vec![];
+        while done.len() < 2 {
+            d.tick(now);
+            while let Some(r) = d.take_response(now) {
+                done.push((r.id, now.raw()));
+            }
+            now = now.next();
+            assert!(now.raw() < 1_000);
+        }
+        // With parallel banks the second finishes well before 2x the
+        // single-request latency (bus transfer is the only serial part).
+        let t_last = done.iter().map(|(_, t)| *t).max().unwrap();
+        let mut serial = DramModel::new(cfg);
+        let (_, t_one) = run_one(&mut serial, MemReq::read(1, 0, 8));
+        assert!(t_last < 2 * t_one, "no bank parallelism: {t_last} vs {t_one}");
+    }
+
+    #[test]
+    fn long_transfer_occupies_bus_longer() {
+        let cfg = DramConfig::test_tiny();
+        let mut d_small = DramModel::new(cfg.clone());
+        let (_, t_small) = run_one(&mut d_small, MemReq::read(1, 0, 8));
+        let mut d_big = DramModel::new(cfg);
+        let (_, t_big) = run_one(&mut d_big, MemReq::read(1, 0, 1024));
+        assert!(t_big > t_small);
+        assert_eq!(d_big.stats().get("dram.bytes"), 1024);
+    }
+
+    #[test]
+    fn back_pressure_reports_input_stall() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.input_queue_depth = 1;
+        let mut d = DramModel::new(cfg);
+        d.try_request(Cycle(0), MemReq::read(1, 0, 8)).unwrap();
+        let err = d.try_request(Cycle(0), MemReq::read(2, 64, 8));
+        assert!(err.is_err());
+        assert_eq!(d.stats().get("dram.input_stall"), 1);
+    }
+
+    #[test]
+    fn busy_reflects_outstanding_work() {
+        let mut d = DramModel::new(DramConfig::test_tiny());
+        assert!(!d.busy());
+        d.try_request(Cycle(0), MemReq::read(1, 0, 8)).unwrap();
+        assert!(d.busy());
+        let mut now = Cycle(0);
+        while d.busy() {
+            d.tick(now);
+            let _ = d.take_response(now);
+            now = now.next();
+            assert!(now.raw() < 1_000);
+        }
+    }
+
+    #[test]
+    fn config_validation_rejects_bad_geometry() {
+        let mut cfg = DramConfig {
+            banks: 3,
+            ..DramConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.banks = 4;
+        cfg.row_bytes = 100;
+        assert!(cfg.validate().is_err());
+        cfg.row_bytes = 128;
+        assert!(cfg.validate().is_ok());
+    }
+
+    #[test]
+    fn address_mapping_is_consistent() {
+        let cfg = DramConfig::default();
+        // Addresses one row apart land in adjacent banks.
+        assert_ne!(cfg.bank_of(0), cfg.bank_of(cfg.row_bytes));
+        // Addresses a full bank-stride apart land in the same bank, next row.
+        let stride = cfg.row_bytes * cfg.banks as u64;
+        assert_eq!(cfg.bank_of(0), cfg.bank_of(stride));
+        assert_eq!(cfg.row_of(0) + 1, cfg.row_of(stride));
+    }
+}
+
+#[cfg(test)]
+mod refresh_tests {
+    use super::*;
+
+    #[test]
+    fn refresh_fires_periodically_and_closes_rows() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.t_refi = 50;
+        cfg.t_rfc = 10;
+        let mut d = DramModel::new(cfg);
+        // Open a row, then tick past two refresh intervals.
+        d.try_request(Cycle(0), MemReq::read(1, 0, 8)).unwrap();
+        let mut now = Cycle(0);
+        while now.raw() < 120 {
+            d.tick(now);
+            let _ = d.take_response(now);
+            now = now.next();
+        }
+        assert_eq!(d.stats().get("dram.refresh"), 2);
+        // A post-refresh access to the previously open row re-activates.
+        d.try_request(now, MemReq::read(2, 8, 8)).unwrap();
+        while d.busy() {
+            d.tick(now);
+            let _ = d.take_response(now);
+            now = now.next();
+        }
+        assert_eq!(d.stats().get("dram.row_hit"), 0, "refresh closed the row");
+        assert_eq!(d.stats().get("dram.row_miss"), 2);
+    }
+
+    #[test]
+    fn refresh_blocks_service_for_trfc() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.t_refi = 100;
+        cfg.t_rfc = 30;
+        let mut d = DramModel::new(cfg);
+        // Issue right after the first refresh fires.
+        let mut now = Cycle(0);
+        while now.raw() <= 100 {
+            d.tick(now);
+            now = now.next();
+        }
+        d.try_request(now, MemReq::read(1, 0, 8)).unwrap();
+        let start = now;
+        loop {
+            d.tick(now);
+            if d.take_response(now).is_some() {
+                break;
+            }
+            now = now.next();
+            assert!(now.raw() < 1_000);
+        }
+        // The access had to wait out the tail of the 30-cycle tRFC.
+        assert!(now.since(start) >= 25, "only took {}", now.since(start));
+    }
+
+    #[test]
+    fn zero_trefi_never_refreshes() {
+        let mut d = DramModel::new(DramConfig::test_tiny());
+        for c in 0..10_000 {
+            d.tick(Cycle(c));
+        }
+        assert_eq!(d.stats().get("dram.refresh"), 0);
+    }
+}
+
+#[cfg(test)]
+mod channel_tests {
+    use super::*;
+
+    fn run_bulk(channels: usize, reqs: usize) -> u64 {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.channels = channels;
+        cfg.banks = 4;
+        cfg.bank_queue_depth = 8;
+        cfg.input_queue_depth = 64;
+        cfg.resp_queue_depth = 64;
+        let mut d = DramModel::new(cfg.clone());
+        // Large transfers to adjacent banks: bus-bound workload.
+        let mut now = Cycle(0);
+        let mut issued = 0usize;
+        let mut done = 0usize;
+        while done < reqs {
+            while issued < reqs {
+                let addr = issued as u64 * cfg.row_bytes;
+                if d.try_request(now, MemReq::read(issued as u64, addr, 256)).is_err() {
+                    break;
+                }
+                issued += 1;
+            }
+            d.tick(now);
+            while d.take_response(now).is_some() {
+                done += 1;
+            }
+            now = now.next();
+            assert!(now.raw() < 1_000_000);
+        }
+        now.raw()
+    }
+
+    #[test]
+    fn more_channels_more_bandwidth() {
+        let one = run_bulk(1, 32);
+        let two = run_bulk(2, 32);
+        let four = run_bulk(4, 32);
+        assert!(two < one, "2 channels {two} !< 1 channel {one}");
+        assert!(four <= two, "4 channels {four} !<= 2 channels {two}");
+    }
+
+    #[test]
+    fn channel_mapping_covers_all_channels() {
+        let cfg = DramConfig {
+            channels: 2,
+            ..DramConfig::default()
+        };
+        let used: std::collections::HashSet<usize> =
+            (0..16u64).map(|i| cfg.channel_of(i * cfg.row_bytes)).collect();
+        assert_eq!(used.len(), 2);
+    }
+
+    #[test]
+    fn validation_rejects_bad_channel_counts() {
+        let mut cfg = DramConfig {
+            channels: 3,
+            ..DramConfig::default()
+        };
+        assert!(cfg.validate().is_err());
+        cfg.channels = 16;
+        cfg.banks = 8;
+        assert!(cfg.validate().is_err(), "channels > banks");
+    }
+}

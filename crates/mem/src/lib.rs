@@ -1,0 +1,40 @@
+//! # xcache-mem
+//!
+//! Memory substrate for the X-Cache reproduction: a functional
+//! byte-addressable backing store ([`MainMemory`]), a banked DRAM timing
+//! model ([`DramModel`], standing in for the paper's DRAMsim2), and the
+//! baseline set-associative address-based cache ([`AddressCache`]) that
+//! X-Cache is compared against in §8.
+//!
+//! All timing components speak the same [`MemoryPort`] protocol: bounded
+//! request/response queues with explicit back-pressure, so they compose into
+//! the hierarchies of §6 (X-Cache over DRAM, X-Cache over an address cache,
+//! multi-level X-Cache).
+//!
+//! ```
+//! use xcache_mem::{DramConfig, DramModel, MemReq, MemoryPort};
+//! use xcache_sim::Cycle;
+//!
+//! let mut dram = DramModel::new(DramConfig::default());
+//! dram.memory_mut().write_u64(0x100, 42);
+//! dram.try_request(Cycle(0), MemReq::read(1, 0x100, 8)).unwrap();
+//! let mut now = Cycle(0);
+//! let resp = loop {
+//!     dram.tick(now);
+//!     if let Some(r) = dram.take_response(now) { break r; }
+//!     now = now.next();
+//! };
+//! assert_eq!(u64::from_le_bytes(resp.data[..8].try_into().unwrap()), 42);
+//! ```
+
+mod address_cache;
+mod dram;
+mod memory;
+mod port;
+mod shared;
+
+pub use address_cache::{AddressCache, CacheConfig, ReplacementPolicy};
+pub use dram::{DramConfig, DramModel};
+pub use memory::MainMemory;
+pub use port::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
+pub use shared::{PortHandle, SharedPort};

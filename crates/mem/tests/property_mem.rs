@@ -1,0 +1,147 @@
+//! Property tests for the memory substrate: the address cache must be a
+//! transparent cache (functionally equal to raw memory) under arbitrary
+//! access sequences, and the DRAM address mapping must partition the
+//! address space.
+
+use proptest::prelude::*;
+
+use xcache_mem::{
+    AddressCache, CacheConfig, DramConfig, DramModel, MainMemory, MemReq, MemoryPort,
+    ReplacementPolicy,
+};
+use xcache_sim::Cycle;
+
+fn tiny_cache(policy: ReplacementPolicy) -> AddressCache<DramModel> {
+    let cfg = CacheConfig {
+        sets: 4,
+        ways: 2,
+        block_bytes: 32,
+        hit_latency: 1,
+        mshrs: 4,
+        policy,
+        ports: 1,
+        prefetch_next: false,
+    };
+    AddressCache::new(cfg, DramModel::new(DramConfig::test_tiny()))
+}
+
+/// Runs one request to completion and returns the response data.
+fn run_req(cache: &mut AddressCache<DramModel>, now: &mut Cycle, req: MemReq) -> Vec<u8> {
+    loop {
+        match cache.try_request(*now, req.clone()) {
+            Ok(()) => break,
+            Err(_) => {
+                cache.tick(*now);
+                *now = now.next();
+            }
+        }
+    }
+    loop {
+        cache.tick(*now);
+        if let Some(r) = cache.take_response(*now) {
+            return r.data.to_vec();
+        }
+        *now = now.next();
+        assert!(now.raw() < 1_000_000, "cache deadlock");
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Under any serial mix of block-aligned reads and writes, the cache
+    /// returns exactly what a flat shadow memory would.
+    #[test]
+    fn address_cache_is_functionally_transparent(
+        ops in prop::collection::vec(
+            (0u64..16, any::<bool>(), any::<u64>()), // (block index, is_write, value)
+            1..60
+        ),
+        policy_sel in 0u8..3
+    ) {
+        let policy = match policy_sel {
+            0 => ReplacementPolicy::Lru,
+            1 => ReplacementPolicy::Fifo,
+            _ => ReplacementPolicy::Random(9),
+        };
+        let mut cache = tiny_cache(policy);
+        let mut shadow = MainMemory::new();
+        let mut now = Cycle(0);
+        for (i, (block, is_write, value)) in ops.into_iter().enumerate() {
+            let addr = block * 32;
+            if is_write {
+                shadow.write_u64(addr, value);
+                let req = MemReq::write(i as u64, addr, bytes::Bytes::copy_from_slice(&value.to_le_bytes()));
+                let _ = run_req(&mut cache, &mut now, req);
+            } else {
+                let data = run_req(&mut cache, &mut now, MemReq::read(i as u64, addr, 8));
+                let got = u64::from_le_bytes(data[..8].try_into().expect("8 bytes"));
+                prop_assert_eq!(got, shadow.read_u64(addr), "read of block {}", block);
+            }
+        }
+        // Drain writebacks, then the DRAM image must match the shadow.
+        while cache.busy() {
+            cache.tick(now);
+            let _ = cache.take_response(now);
+            now = now.next();
+        }
+        // (Dirty lines may legitimately still live in the cache; flush by
+        // reading conflicting blocks is unnecessary for this check — we
+        // verify through the cache, which is the architectural view.)
+    }
+
+    /// Every address maps to exactly one (bank, row); addresses within one
+    /// row never split across banks.
+    #[test]
+    fn dram_mapping_partitions_addresses(addr in 0u64..(1 << 30)) {
+        let cfg = DramConfig::default();
+        let bank = cfg.bank_of(addr);
+        let row = cfg.row_of(addr);
+        prop_assert!(bank < cfg.banks);
+        // All bytes of the same row-in-bank share the mapping.
+        let row_base = addr - (addr % cfg.row_bytes);
+        for probe in [row_base, row_base + cfg.row_bytes - 1] {
+            prop_assert_eq!(cfg.bank_of(probe), bank);
+            prop_assert_eq!(cfg.row_of(probe), row);
+        }
+        // The next row (same bank) is one bank-stride away.
+        let stride = cfg.row_bytes * cfg.banks as u64;
+        prop_assert_eq!(cfg.bank_of(addr + stride), bank);
+        prop_assert_eq!(cfg.row_of(addr + stride), row + 1);
+    }
+
+    /// DRAM reads always return the functional contents regardless of the
+    /// request interleaving.
+    #[test]
+    fn dram_reads_match_functional_memory(
+        writes in prop::collection::vec((0u64..4096, any::<u64>()), 1..20),
+        reads in prop::collection::vec(0u64..4096, 1..20)
+    ) {
+        let mut dram = DramModel::new(DramConfig::test_tiny());
+        let mut shadow = std::collections::HashMap::new();
+        for (slot, v) in &writes {
+            dram.memory_mut().write_u64(slot * 8, *v);
+            shadow.insert(*slot, *v);
+        }
+        // Issue all reads, collect all responses.
+        let mut now = Cycle(0);
+        let mut pending: Vec<MemReq> = reads
+            .iter()
+            .enumerate()
+            .map(|(i, slot)| MemReq::read(i as u64, slot * 8, 8))
+            .collect();
+        let mut got = 0usize;
+        while got < reads.len() {
+            pending.retain(|req| dram.try_request(now, req.clone()).is_err());
+            dram.tick(now);
+            while let Some(resp) = dram.take_response(now) {
+                let slot = resp.addr / 8;
+                let v = u64::from_le_bytes(resp.data[..8].try_into().expect("8 bytes"));
+                prop_assert_eq!(v, shadow.get(&slot).copied().unwrap_or(0));
+                got += 1;
+            }
+            now = now.next();
+            prop_assert!(now.raw() < 1_000_000, "dram deadlock");
+        }
+    }
+}

@@ -1,0 +1,120 @@
+//! Simulation time.
+
+use std::fmt;
+use std::ops::{Add, AddAssign, Sub};
+
+/// A point in simulation time, measured in controller clock cycles.
+///
+/// The paper's energy parameters assume a 1 GHz clock (Table 4), so one
+/// `Cycle` corresponds to 1 ns when converting to wall-clock quantities.
+/// `Cycle` is a transparent newtype over `u64`; arithmetic saturates rather
+/// than wrapping so that "very far in the future" sentinels stay ordered.
+///
+/// ```
+/// use xcache_sim::Cycle;
+/// let t = Cycle(10) + 5;
+/// assert_eq!(t, Cycle(15));
+/// assert_eq!(t - Cycle(10), 5);
+/// ```
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, Default)]
+pub struct Cycle(pub u64);
+
+impl Cycle {
+    /// The origin of simulation time.
+    pub const ZERO: Cycle = Cycle(0);
+    /// A sentinel later than any reachable simulation time.
+    pub const NEVER: Cycle = Cycle(u64::MAX);
+
+    /// Returns the next cycle (`self + 1`).
+    #[must_use]
+    pub fn next(self) -> Cycle {
+        Cycle(self.0.saturating_add(1))
+    }
+
+    /// Number of cycles elapsed since `earlier`, or zero if `earlier` is in
+    /// the future.
+    #[must_use]
+    pub fn since(self, earlier: Cycle) -> u64 {
+        self.0.saturating_sub(earlier.0)
+    }
+
+    /// The raw cycle count.
+    #[must_use]
+    pub fn raw(self) -> u64 {
+        self.0
+    }
+}
+
+impl Add<u64> for Cycle {
+    type Output = Cycle;
+    fn add(self, rhs: u64) -> Cycle {
+        Cycle(self.0.saturating_add(rhs))
+    }
+}
+
+impl AddAssign<u64> for Cycle {
+    fn add_assign(&mut self, rhs: u64) {
+        self.0 = self.0.saturating_add(rhs);
+    }
+}
+
+impl Sub<Cycle> for Cycle {
+    type Output = u64;
+    fn sub(self, rhs: Cycle) -> u64 {
+        self.0.saturating_sub(rhs.0)
+    }
+}
+
+impl fmt::Display for Cycle {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "cycle {}", self.0)
+    }
+}
+
+impl From<u64> for Cycle {
+    fn from(v: u64) -> Cycle {
+        Cycle(v)
+    }
+}
+
+impl serde::Serialize for Cycle {
+    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
+        s.serialize_u64(self.0)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn add_and_next() {
+        assert_eq!(Cycle(3) + 4, Cycle(7));
+        assert_eq!(Cycle(3).next(), Cycle(4));
+    }
+
+    #[test]
+    fn saturating_arithmetic() {
+        assert_eq!(Cycle::NEVER + 1, Cycle::NEVER);
+        assert_eq!(Cycle(0) - Cycle(5), 0);
+        assert_eq!(Cycle::NEVER.next(), Cycle::NEVER);
+    }
+
+    #[test]
+    fn since_measures_elapsed() {
+        assert_eq!(Cycle(10).since(Cycle(4)), 6);
+        assert_eq!(Cycle(4).since(Cycle(10)), 0);
+    }
+
+    #[test]
+    fn ordering_and_display() {
+        assert!(Cycle(1) < Cycle(2));
+        assert_eq!(Cycle(42).to_string(), "cycle 42");
+    }
+
+    #[test]
+    fn conversion_from_u64() {
+        let c: Cycle = 9u64.into();
+        assert_eq!(c.raw(), 9);
+    }
+}

@@ -1,0 +1,70 @@
+//! The component/tick abstraction.
+
+use crate::{Cycle, Stats};
+
+/// A clocked hardware model.
+///
+/// Each call to [`Component::tick`] advances the model by exactly one cycle.
+/// The [`Engine`](crate::Engine) ticks registered components in registration
+/// order, which models a fixed evaluation order of always-blocks; models must
+/// therefore communicate through latency-insensitive
+/// [`MsgQueue`](crate::MsgQueue)s (≥0 latency) rather than reaching into one
+/// another combinationally.
+pub trait Component {
+    /// Human-readable instance name, used in traces and error reports.
+    fn name(&self) -> &str;
+
+    /// Advances the model one cycle.
+    fn tick(&mut self, now: Cycle);
+
+    /// Whether the component still has outstanding work.
+    ///
+    /// The engine's `run_until_quiescent` helper stops once every component
+    /// reports `false`. The default is `false` (purely reactive component).
+    fn busy(&self) -> bool {
+        false
+    }
+
+    /// Contributes this component's counters into a shared registry.
+    ///
+    /// The default contributes nothing.
+    fn report(&self, _stats: &mut Stats) {}
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct CountDown {
+        left: u32,
+        ticks: u32,
+    }
+
+    impl Component for CountDown {
+        fn name(&self) -> &str {
+            "countdown"
+        }
+        fn tick(&mut self, _now: Cycle) {
+            self.ticks += 1;
+            self.left = self.left.saturating_sub(1);
+        }
+        fn busy(&self) -> bool {
+            self.left > 0
+        }
+        fn report(&self, stats: &mut Stats) {
+            stats.add("countdown.ticks", u64::from(self.ticks));
+        }
+    }
+
+    #[test]
+    fn trait_defaults_and_overrides() {
+        let mut c = CountDown { left: 2, ticks: 0 };
+        assert!(c.busy());
+        c.tick(Cycle(0));
+        c.tick(Cycle(1));
+        assert!(!c.busy());
+        let mut s = Stats::new();
+        c.report(&mut s);
+        assert_eq!(s.get("countdown.ticks"), 2);
+    }
+}

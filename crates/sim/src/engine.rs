@@ -1,0 +1,243 @@
+//! The cycle-stepping engine.
+
+use crate::{Component, Cycle, Stats};
+
+/// Why a run loop stopped.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RunOutcome {
+    /// The stop predicate returned `true` (work finished).
+    Completed,
+    /// The cycle limit was reached before completion — usually a deadlock
+    /// or a configuration whose workload cannot drain.
+    CycleLimit,
+}
+
+/// Result of an engine run: outcome, final time, and merged statistics.
+#[derive(Debug)]
+pub struct RunResult {
+    /// Why the run stopped.
+    pub outcome: RunOutcome,
+    /// Simulation time at stop.
+    pub end: Cycle,
+    /// Counters gathered from every component via [`Component::report`].
+    pub stats: Stats,
+}
+
+impl RunResult {
+    /// Total cycles simulated.
+    #[must_use]
+    pub fn cycles(&self) -> u64 {
+        self.end.raw()
+    }
+}
+
+/// Drives a set of [`Component`]s cycle by cycle.
+///
+/// The engine owns its components (boxed), ticks them in registration order,
+/// and harvests their statistics when the run ends. Most experiments in this
+/// workspace instead hand-roll their tick loop around a single top-level
+/// model (the models compose by ownership, like module instantiation in
+/// RTL); `Engine` exists for tests and for multi-model scenarios such as the
+/// cache hierarchies.
+///
+/// ```
+/// use xcache_sim::{Component, Cycle, Engine};
+///
+/// struct Pulse(u32);
+/// impl Component for Pulse {
+///     fn name(&self) -> &str { "pulse" }
+///     fn tick(&mut self, _: Cycle) { self.0 = self.0.saturating_sub(1); }
+///     fn busy(&self) -> bool { self.0 > 0 }
+/// }
+///
+/// let mut e = Engine::new();
+/// e.add(Pulse(10));
+/// let result = e.run_until_quiescent(1_000);
+/// assert_eq!(result.cycles(), 10);
+/// ```
+#[derive(Default)]
+pub struct Engine {
+    components: Vec<Box<dyn Component>>,
+    now: Cycle,
+}
+
+impl Engine {
+    /// Creates an engine at cycle zero with no components.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Registers a component; it will tick after all previously added ones.
+    pub fn add<C: Component + 'static>(&mut self, component: C) -> &mut Self {
+        self.components.push(Box::new(component));
+        self
+    }
+
+    /// Current simulation time.
+    #[must_use]
+    pub fn now(&self) -> Cycle {
+        self.now
+    }
+
+    /// Number of registered components.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.components.len()
+    }
+
+    /// Whether no components are registered.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.components.is_empty()
+    }
+
+    /// Advances every component by one cycle.
+    pub fn step(&mut self) {
+        let now = self.now;
+        for c in &mut self.components {
+            c.tick(now);
+        }
+        self.now = self.now.next();
+    }
+
+    /// Runs until no component is [`busy`](Component::busy), or until
+    /// `max_cycles` have elapsed.
+    pub fn run_until_quiescent(&mut self, max_cycles: u64) -> RunResult {
+        self.run_until(max_cycles, |_| false)
+    }
+
+    /// Runs until `stop` returns `true` (checked before each cycle), until
+    /// quiescence, or until `max_cycles` elapse — whichever comes first.
+    pub fn run_until(
+        &mut self,
+        max_cycles: u64,
+        mut stop: impl FnMut(&Engine) -> bool,
+    ) -> RunResult {
+        let deadline = self.now + max_cycles;
+        let outcome = loop {
+            if stop(self) || !self.components.iter().any(|c| c.busy()) {
+                break RunOutcome::Completed;
+            }
+            if self.now >= deadline {
+                break RunOutcome::CycleLimit;
+            }
+            self.step();
+        };
+        let mut stats = Stats::new();
+        for c in &self.components {
+            c.report(&mut stats);
+        }
+        RunResult {
+            outcome,
+            end: self.now,
+            stats,
+        }
+    }
+}
+
+impl std::fmt::Debug for Engine {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_struct("Engine")
+            .field("now", &self.now)
+            .field(
+                "components",
+                &self.components.iter().map(|c| c.name()).collect::<Vec<_>>(),
+            )
+            .finish()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    struct Work {
+        remaining: u64,
+        done_at: Option<Cycle>,
+    }
+
+    impl Component for Work {
+        fn name(&self) -> &str {
+            "work"
+        }
+        fn tick(&mut self, now: Cycle) {
+            if self.remaining > 0 {
+                self.remaining -= 1;
+                if self.remaining == 0 {
+                    self.done_at = Some(now);
+                }
+            }
+        }
+        fn busy(&self) -> bool {
+            self.remaining > 0
+        }
+        fn report(&self, stats: &mut Stats) {
+            stats.add("work.done", u64::from(self.remaining == 0));
+        }
+    }
+
+    #[test]
+    fn runs_to_quiescence() {
+        let mut e = Engine::new();
+        e.add(Work {
+            remaining: 5,
+            done_at: None,
+        });
+        let r = e.run_until_quiescent(100);
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.cycles(), 5);
+        assert_eq!(r.stats.get("work.done"), 1);
+    }
+
+    #[test]
+    fn respects_cycle_limit() {
+        let mut e = Engine::new();
+        e.add(Work {
+            remaining: 1_000,
+            done_at: None,
+        });
+        let r = e.run_until_quiescent(10);
+        assert_eq!(r.outcome, RunOutcome::CycleLimit);
+        assert_eq!(r.cycles(), 10);
+    }
+
+    #[test]
+    fn stop_predicate_wins() {
+        let mut e = Engine::new();
+        e.add(Work {
+            remaining: 1_000,
+            done_at: None,
+        });
+        let r = e.run_until(10_000, |e| e.now() >= Cycle(7));
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.cycles(), 7);
+    }
+
+    #[test]
+    fn ticks_components_in_order() {
+        // Two components; second observes via shared ordering that engine
+        // ticked the first at the same `now`.
+        let mut e = Engine::new();
+        e.add(Work {
+            remaining: 2,
+            done_at: None,
+        });
+        e.add(Work {
+            remaining: 3,
+            done_at: None,
+        });
+        let r = e.run_until_quiescent(100);
+        assert_eq!(r.cycles(), 3);
+        assert!(!e.is_empty());
+        assert_eq!(e.len(), 2);
+    }
+
+    #[test]
+    fn empty_engine_is_immediately_quiescent() {
+        let mut e = Engine::new();
+        let r = e.run_until_quiescent(100);
+        assert_eq!(r.outcome, RunOutcome::Completed);
+        assert_eq!(r.cycles(), 0);
+    }
+}

@@ -1,0 +1,39 @@
+//! # xcache-sim
+//!
+//! Deterministic cycle-level simulation substrate for the X-Cache
+//! reproduction (Sedaghati et al., ISCA 2022).
+//!
+//! The paper drives cycle-accurate RTL simulation through Verilator/TSIM;
+//! this crate provides the equivalent foundation in pure Rust: a cycle
+//! clock, latency-insensitive message queues (the paper's "parameterized
+//! message bundles"), a component/tick abstraction, a statistics registry,
+//! and trace hooks. Every model in the workspace (DRAM, address cache, the
+//! X-Cache controller, the DSA datapaths) is built on these primitives, and
+//! all of them are fully deterministic: the same inputs always produce the
+//! same cycle counts.
+//!
+//! ## Quick example
+//!
+//! ```
+//! use xcache_sim::{Cycle, MsgQueue};
+//!
+//! // A 2-entry queue whose messages become visible 3 cycles after push.
+//! let mut q: MsgQueue<u32> = MsgQueue::new("req", 2, 3);
+//! assert!(q.push(Cycle(0), 7).is_ok());
+//! assert_eq!(q.pop(Cycle(2)), None); // not yet ready
+//! assert_eq!(q.pop(Cycle(3)), Some(7)); // ready at cycle 3
+//! ```
+
+mod clock;
+mod component;
+mod engine;
+mod queue;
+mod stats;
+mod trace;
+
+pub use clock::Cycle;
+pub use component::Component;
+pub use engine::{Engine, RunOutcome, RunResult};
+pub use queue::{MsgQueue, PushError};
+pub use stats::{Histogram, Stats, StatsSnapshot};
+pub use trace::{TraceBuffer, TraceEvent, TraceKind};

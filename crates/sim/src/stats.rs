@@ -1,0 +1,366 @@
+//! Statistics registry.
+//!
+//! Every model in the workspace reports what it did through a [`Stats`]
+//! instance: named monotonic counters plus named [`Histogram`]s. The energy
+//! model (crate `xcache-energy`) converts these event counts into picojoules
+//! using the paper's Table 4 constants, and the figure harnesses read them
+//! to print memory-access and occupancy series.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// A fixed-bucket histogram for latency/occupancy distributions.
+///
+/// Buckets are power-of-two ranges: bucket *i* covers `[2^i, 2^(i+1))`,
+/// except bucket 0 which covers `[0, 2)`. This is enough resolution for the
+/// load-to-use and occupancy distributions in Figures 4 and 7 while staying
+/// allocation-free after construction.
+#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+pub struct Histogram {
+    buckets: Vec<u64>,
+    count: u64,
+    sum: u64,
+    min: u64,
+    max: u64,
+}
+
+impl Default for Histogram {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Histogram {
+    /// Creates an empty histogram covering the full `u64` range.
+    #[must_use]
+    pub fn new() -> Self {
+        Histogram {
+            buckets: vec![0; 65],
+            count: 0,
+            sum: 0,
+            min: u64::MAX,
+            max: 0,
+        }
+    }
+
+    /// Records one sample.
+    pub fn record(&mut self, value: u64) {
+        let idx = if value < 2 {
+            0
+        } else {
+            63 - value.leading_zeros() as usize
+        };
+        self.buckets[idx] += 1;
+        self.count += 1;
+        self.sum = self.sum.saturating_add(value);
+        self.min = self.min.min(value);
+        self.max = self.max.max(value);
+    }
+
+    /// Number of samples recorded.
+    #[must_use]
+    pub fn count(&self) -> u64 {
+        self.count
+    }
+
+    /// Sum of all samples (saturating).
+    #[must_use]
+    pub fn sum(&self) -> u64 {
+        self.sum
+    }
+
+    /// Arithmetic mean, or `None` if empty.
+    #[must_use]
+    pub fn mean(&self) -> Option<f64> {
+        (self.count > 0).then(|| self.sum as f64 / self.count as f64)
+    }
+
+    /// Smallest sample, or `None` if empty.
+    #[must_use]
+    pub fn min(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.min)
+    }
+
+    /// Largest sample, or `None` if empty.
+    #[must_use]
+    pub fn max(&self) -> Option<u64> {
+        (self.count > 0).then_some(self.max)
+    }
+
+    /// Approximate p-th percentile (0.0..=1.0) using bucket upper bounds.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `p` is outside `[0, 1]`.
+    #[must_use]
+    pub fn percentile(&self, p: f64) -> Option<u64> {
+        assert!((0.0..=1.0).contains(&p), "percentile must be in [0,1]");
+        if self.count == 0 {
+            return None;
+        }
+        let target = (p * self.count as f64).ceil() as u64;
+        let mut seen = 0;
+        for (i, &b) in self.buckets.iter().enumerate() {
+            seen += b;
+            if seen >= target.max(1) {
+                return Some(if i == 0 { 1 } else { (1u64 << i).saturating_mul(2) - 1 });
+            }
+        }
+        Some(self.max)
+    }
+
+    /// Iterates over `(bucket_lower_bound, count)` pairs for nonempty buckets.
+    pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
+        self.buckets.iter().enumerate().filter(|&(_i, &c)| c > 0).map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+    }
+}
+
+/// An immutable snapshot of a [`Stats`] registry, suitable for diffing and
+/// serialisation in experiment outputs.
+#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+pub struct StatsSnapshot {
+    /// Counter name → value.
+    pub counters: BTreeMap<String, u64>,
+}
+
+impl StatsSnapshot {
+    /// Value of `name`, or zero when never incremented.
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Mean of the histogram summarised under `name` (from its derived
+    /// `.sum`/`.count` counters), or `None` when absent/empty.
+    #[must_use]
+    pub fn hist_mean(&self, name: &str) -> Option<f64> {
+        let count = self.get(&format!("{name}.count"));
+        (count > 0).then(|| self.get(&format!("{name}.sum")) as f64 / count as f64)
+    }
+
+    /// Sum of all counters whose name starts with `prefix`.
+    #[must_use]
+    pub fn sum_prefix(&self, prefix: &str) -> u64 {
+        self.counters
+            .iter()
+            .filter(|(k, _)| k.starts_with(prefix))
+            .map(|(_, v)| v)
+            .sum()
+    }
+}
+
+/// Registry of named counters and histograms.
+///
+/// Names are free-form; by convention they are dot-separated paths such as
+/// `"metatag.hit"` or `"dram.row_miss"`, which lets consumers aggregate by
+/// prefix.
+///
+/// ```
+/// use xcache_sim::Stats;
+/// let mut s = Stats::new();
+/// s.incr("metatag.hit");
+/// s.add("dram.bytes", 64);
+/// assert_eq!(s.get("metatag.hit"), 1);
+/// assert_eq!(s.snapshot().sum_prefix("dram."), 64);
+/// ```
+#[derive(Debug, Clone, Default)]
+pub struct Stats {
+    counters: BTreeMap<&'static str, u64>,
+    histograms: BTreeMap<&'static str, Histogram>,
+}
+
+impl Stats {
+    /// Creates an empty registry.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Adds one to counter `name`.
+    pub fn incr(&mut self, name: &'static str) {
+        self.add(name, 1);
+    }
+
+    /// Adds `delta` to counter `name`, creating it at zero if new.
+    pub fn add(&mut self, name: &'static str, delta: u64) {
+        *self.counters.entry(name).or_insert(0) += delta;
+    }
+
+    /// Current value of counter `name` (zero if never touched).
+    #[must_use]
+    pub fn get(&self, name: &str) -> u64 {
+        self.counters.get(name).copied().unwrap_or(0)
+    }
+
+    /// Records a histogram sample under `name`.
+    pub fn sample(&mut self, name: &'static str, value: u64) {
+        self.histograms.entry(name).or_default().record(value);
+    }
+
+    /// The histogram registered under `name`, if any sample was recorded.
+    #[must_use]
+    pub fn histogram(&self, name: &str) -> Option<&Histogram> {
+        self.histograms.get(name)
+    }
+
+    /// Iterates over `(name, value)` for all counters in name order.
+    pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
+        self.counters.iter().map(|(k, v)| (*k, *v))
+    }
+
+    /// Takes an owned snapshot of the counters. Histograms are summarised
+    /// into derived counters (`<name>.count/.sum/.min/.max/.p50/.p95`) so
+    /// downstream consumers (reports, the energy model) need only one
+    /// representation.
+    #[must_use]
+    pub fn snapshot(&self) -> StatsSnapshot {
+        let mut counters: BTreeMap<String, u64> = self
+            .counters
+            .iter()
+            .map(|(k, v)| ((*k).to_owned(), *v))
+            .collect();
+        for (name, h) in &self.histograms {
+            counters.insert(format!("{name}.count"), h.count());
+            counters.insert(format!("{name}.sum"), h.sum());
+            if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
+                counters.insert(format!("{name}.min"), mn);
+                counters.insert(format!("{name}.max"), mx);
+            }
+            if let Some(p) = h.percentile(0.5) {
+                counters.insert(format!("{name}.p50"), p);
+            }
+            if let Some(p) = h.percentile(0.95) {
+                counters.insert(format!("{name}.p95"), p);
+            }
+        }
+        StatsSnapshot { counters }
+    }
+
+    /// Merges another registry into this one (counters add, histograms are
+    /// merged sample-count-wise via bucket addition).
+    pub fn merge(&mut self, other: &Stats) {
+        for (k, v) in &other.counters {
+            *self.counters.entry(k).or_insert(0) += v;
+        }
+        for (k, h) in &other.histograms {
+            let mine = self.histograms.entry(k).or_default();
+            for (i, c) in h.buckets.iter().enumerate() {
+                mine.buckets[i] += c;
+            }
+            mine.count += h.count;
+            mine.sum = mine.sum.saturating_add(h.sum);
+            if h.count > 0 {
+                mine.min = mine.min.min(h.min);
+                mine.max = mine.max.max(h.max);
+            }
+        }
+    }
+
+    /// Resets every counter and histogram to empty.
+    pub fn reset(&mut self) {
+        self.counters.clear();
+        self.histograms.clear();
+    }
+}
+
+impl fmt::Display for Stats {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        for (k, v) in &self.counters {
+            writeln!(f, "{k} = {v}")?;
+        }
+        Ok(())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_accumulate() {
+        let mut s = Stats::new();
+        s.incr("a");
+        s.incr("a");
+        s.add("b", 10);
+        assert_eq!(s.get("a"), 2);
+        assert_eq!(s.get("b"), 10);
+        assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn snapshot_prefix_sums() {
+        let mut s = Stats::new();
+        s.add("dram.read", 3);
+        s.add("dram.write", 4);
+        s.add("tag.read", 5);
+        let snap = s.snapshot();
+        assert_eq!(snap.sum_prefix("dram."), 7);
+        assert_eq!(snap.get("tag.read"), 5);
+    }
+
+    #[test]
+    fn histogram_basic_moments() {
+        let mut h = Histogram::new();
+        for v in [1u64, 2, 3, 100] {
+            h.record(v);
+        }
+        assert_eq!(h.count(), 4);
+        assert_eq!(h.sum(), 106);
+        assert_eq!(h.min(), Some(1));
+        assert_eq!(h.max(), Some(100));
+        assert!((h.mean().unwrap() - 26.5).abs() < 1e-9);
+    }
+
+    #[test]
+    fn histogram_percentile_monotone() {
+        let mut h = Histogram::new();
+        for v in 0..1000u64 {
+            h.record(v);
+        }
+        let p50 = h.percentile(0.5).unwrap();
+        let p99 = h.percentile(0.99).unwrap();
+        assert!(p50 <= p99);
+        assert!(p99 >= 512);
+    }
+
+    #[test]
+    fn histogram_empty_is_none() {
+        let h = Histogram::new();
+        assert_eq!(h.mean(), None);
+        assert_eq!(h.percentile(0.5), None);
+        assert_eq!(h.min(), None);
+    }
+
+    #[test]
+    fn merge_combines_both_kinds() {
+        let mut a = Stats::new();
+        a.incr("x");
+        a.sample("lat", 4);
+        let mut b = Stats::new();
+        b.add("x", 2);
+        b.sample("lat", 8);
+        a.merge(&b);
+        assert_eq!(a.get("x"), 3);
+        let h = a.histogram("lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+    }
+
+    #[test]
+    fn sample_via_stats() {
+        let mut s = Stats::new();
+        s.sample("q", 7);
+        assert_eq!(s.histogram("q").unwrap().count(), 1);
+        s.reset();
+        assert!(s.histogram("q").is_none());
+    }
+
+    #[test]
+    fn nonempty_buckets_reports_lower_bounds() {
+        let mut h = Histogram::new();
+        h.record(0);
+        h.record(5);
+        let buckets: Vec<_> = h.nonempty_buckets().collect();
+        assert_eq!(buckets, vec![(0, 1), (4, 1)]);
+    }
+}

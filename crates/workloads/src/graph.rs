@@ -1,0 +1,177 @@
+//! Graph inputs for GraphPulse and SpGEMM, sized to the paper's datasets.
+//!
+//! The paper evaluates on SNAP graphs; we generate R-MAT graphs with the
+//! same vertex/edge counts (§7.2): p2p-Gnutella08 (N=6.3K, NNZ=21K),
+//! p2p-Gnutella31 (N=67K, NNZ=147K), web-Google (N=916K, NNZ=5.1M). R-MAT
+//! reproduces the degree skew that drives reuse behaviour.
+
+use crate::sparse::{CsrMatrix, SparsePattern};
+
+/// The paper's graph inputs.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+pub enum GraphPreset {
+    /// p2p-Gnutella08: N = 6.3K, NNZ = 21K (GraphPulse, Figure 18).
+    P2pGnutella08,
+    /// p2p-Gnutella31: N = 67K, NNZ = 147K (SpGEMM input, §7.2).
+    P2pGnutella31,
+    /// web-Google: N = 916K, NNZ = 5.1M (GraphPulse, §7.2).
+    WebGoogle,
+    /// A miniature for unit tests.
+    Tiny,
+}
+
+impl GraphPreset {
+    /// `(vertices, edges)` of the preset.
+    #[must_use]
+    pub fn dims(self) -> (u32, usize) {
+        match self {
+            GraphPreset::P2pGnutella08 => (6_300, 21_000),
+            GraphPreset::P2pGnutella31 => (67_000, 147_000),
+            GraphPreset::WebGoogle => (916_000, 5_100_000),
+            GraphPreset::Tiny => (64, 256),
+        }
+    }
+
+    /// The preset's display name (paper spelling).
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        match self {
+            GraphPreset::P2pGnutella08 => "p2p-Gnutella08",
+            GraphPreset::P2pGnutella31 => "p2p-Gnutella31",
+            GraphPreset::WebGoogle => "web-Google",
+            GraphPreset::Tiny => "tiny",
+        }
+    }
+}
+
+/// A directed graph in CSR adjacency form.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct Graph {
+    adjacency: CsrMatrix,
+}
+
+impl Graph {
+    /// Generates a preset-sized R-MAT graph.
+    #[must_use]
+    pub fn generate(preset: GraphPreset, seed: u64) -> Self {
+        let (n, e) = preset.dims();
+        Graph {
+            adjacency: CsrMatrix::generate(n, n, e, SparsePattern::RMat, seed),
+        }
+    }
+
+    /// Wraps an explicit adjacency matrix.
+    #[must_use]
+    pub fn from_adjacency(adjacency: CsrMatrix) -> Self {
+        Graph { adjacency }
+    }
+
+    /// Number of vertices.
+    #[must_use]
+    pub fn vertices(&self) -> u32 {
+        self.adjacency.rows
+    }
+
+    /// Number of directed edges.
+    #[must_use]
+    pub fn edges(&self) -> usize {
+        self.adjacency.nnz()
+    }
+
+    /// Out-neighbours of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn neighbors(&self, v: u32) -> &[u32] {
+        self.adjacency.row(v)
+    }
+
+    /// Out-degree of `v`.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `v` is out of range.
+    #[must_use]
+    pub fn out_degree(&self, v: u32) -> usize {
+        self.neighbors(v).len()
+    }
+
+    /// The adjacency matrix.
+    #[must_use]
+    pub fn adjacency(&self) -> &CsrMatrix {
+        &self.adjacency
+    }
+
+    /// Reference (synchronous) PageRank — the functional oracle for the
+    /// GraphPulse simulation. Returns per-vertex ranks after `iters`
+    /// damped iterations.
+    #[must_use]
+    pub fn pagerank(&self, iters: usize, damping: f64) -> Vec<f64> {
+        let n = self.vertices() as usize;
+        let base = (1.0 - damping) / n as f64;
+        let mut rank = vec![1.0 / n as f64; n];
+        for _ in 0..iters {
+            let mut next = vec![base; n];
+            for v in 0..n as u32 {
+                let deg = self.out_degree(v);
+                if deg == 0 {
+                    continue;
+                }
+                let share = damping * rank[v as usize] / deg as f64;
+                for &u in self.neighbors(v) {
+                    next[u as usize] += share;
+                }
+            }
+            rank = next;
+        }
+        rank
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn presets_match_paper_dims() {
+        assert_eq!(GraphPreset::P2pGnutella08.dims(), (6_300, 21_000));
+        assert_eq!(GraphPreset::P2pGnutella31.dims(), (67_000, 147_000));
+        assert_eq!(GraphPreset::WebGoogle.dims(), (916_000, 5_100_000));
+        assert_eq!(GraphPreset::P2pGnutella08.name(), "p2p-Gnutella08");
+    }
+
+    #[test]
+    fn generated_graph_near_target_size() {
+        let g = Graph::generate(GraphPreset::Tiny, 1);
+        assert_eq!(g.vertices(), 64);
+        assert!(g.edges() >= 200, "only {} edges", g.edges());
+    }
+
+    #[test]
+    fn pagerank_sums_to_one() {
+        let g = Graph::generate(GraphPreset::Tiny, 2);
+        let pr = g.pagerank(20, 0.85);
+        let total: f64 = pr.iter().sum();
+        // Dangling vertices leak a little mass; tolerance reflects that.
+        assert!(total > 0.5 && total <= 1.0 + 1e-9, "sum {total}");
+        assert!(pr.iter().all(|&r| r >= 0.0));
+    }
+
+    #[test]
+    fn pagerank_favors_high_in_degree() {
+        // Star graph: everyone points at vertex 0.
+        let triples: Vec<(u32, u32, f64)> = (1..10u32).map(|v| (v, 0, 1.0)).collect();
+        let g = Graph::from_adjacency(CsrMatrix::from_triples(10, 10, &triples));
+        let pr = g.pagerank(30, 0.85);
+        assert!(pr[0] > 5.0 * pr[1], "hub {} vs leaf {}", pr[0], pr[1]);
+    }
+
+    #[test]
+    fn deterministic_generation() {
+        let a = Graph::generate(GraphPreset::Tiny, 3);
+        let b = Graph::generate(GraphPreset::Tiny, 3);
+        assert_eq!(a, b);
+    }
+}

@@ -1,0 +1,346 @@
+//! Chained hash indices — the Widx/DASX data structure (§5).
+//!
+//! "In hash-indexes, each bucket is a chained list." The index is built
+//! functionally, then laid out as a byte image: a bucket array of node
+//! pointers and an arena of 32-byte nodes `[key, rid, next, pad]`, which
+//! is exactly what the Widx walker traverses node by node.
+//!
+//! Bucket placement uses [`hash64`], the same `SplitMix64` the simulated
+//! controller's hash unit computes, so a walker's digest lands on the
+//! bucket the builder used (`xcache-dsa` has a cross-crate test pinning
+//! the two together).
+
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+
+use crate::Zipf;
+
+/// `SplitMix64` — must match `xcache_core::splitmix64`.
+#[must_use]
+pub fn hash64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}
+
+/// Bytes per chain node in the laid-out image.
+pub const NODE_BYTES: u64 = 32;
+
+/// A chained-bucket hash index mapping `key → rid`.
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct HashIndex {
+    buckets: Vec<Vec<(u64, u64)>>, // (key, rid), front = chain head
+    mask: u64,
+    len: usize,
+}
+
+impl HashIndex {
+    /// Creates an index with `buckets` chains (power of two).
+    ///
+    /// # Panics
+    ///
+    /// Panics if `buckets` is zero or not a power of two.
+    #[must_use]
+    pub fn new(buckets: usize) -> Self {
+        assert!(
+            buckets > 0 && buckets.is_power_of_two(),
+            "buckets must be a nonzero power of two"
+        );
+        HashIndex {
+            buckets: vec![Vec::new(); buckets],
+            mask: buckets as u64 - 1,
+            len: 0,
+        }
+    }
+
+    /// Builds an index holding `keys` sequentially-derived keys with the
+    /// given average chain length (`load factor`), deterministically.
+    ///
+    /// Keys are `k * KEY_STRIDE + 1` so they are nonzero and spread; rids
+    /// are the key's ordinal.
+    #[must_use]
+    pub fn build(keys: usize, load_factor: f64) -> Self {
+        let buckets = ((keys as f64 / load_factor).ceil() as usize)
+            .next_power_of_two()
+            .max(1);
+        let mut idx = Self::new(buckets);
+        for k in 0..keys {
+            idx.insert(Self::nth_key(k), k as u64);
+        }
+        idx
+    }
+
+    /// The `n`-th key [`build`](Self::build) inserts.
+    #[must_use]
+    pub fn nth_key(n: usize) -> u64 {
+        (n as u64) * 2654435761 + 1
+    }
+
+    /// Number of buckets.
+    #[must_use]
+    pub fn buckets(&self) -> usize {
+        self.buckets.len()
+    }
+
+    /// Number of keys stored.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// Whether the index is empty.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Inserts at the chain head (like a real hash-join build phase).
+    pub fn insert(&mut self, key: u64, rid: u64) {
+        let b = (hash64(key) & self.mask) as usize;
+        self.buckets[b].insert(0, (key, rid));
+        self.len += 1;
+    }
+
+    /// Functional lookup — the oracle the walkers are checked against.
+    #[must_use]
+    pub fn get(&self, key: u64) -> Option<u64> {
+        let b = (hash64(key) & self.mask) as usize;
+        self.buckets[b]
+            .iter()
+            .find(|(k, _)| *k == key)
+            .map(|(_, r)| *r)
+    }
+
+    /// Chain length of the bucket holding `key` (0 if empty).
+    #[must_use]
+    pub fn chain_len(&self, key: u64) -> usize {
+        self.buckets[(hash64(key) & self.mask) as usize].len()
+    }
+
+    /// Average chain length over nonempty buckets.
+    #[must_use]
+    pub fn avg_chain_len(&self) -> f64 {
+        let nonempty = self.buckets.iter().filter(|b| !b.is_empty()).count();
+        if nonempty == 0 {
+            return 0.0;
+        }
+        self.len as f64 / nonempty as f64
+    }
+
+    /// Lays the index out as a byte image starting at `base`:
+    /// bucket pointer array (8 B each, 0 = empty chain), then the node
+    /// arena (`NODE_BYTES` per node, `[key, rid, next_ptr, 0]`).
+    ///
+    /// Nodes are *scattered* across an arena of `2 × len` slots by a
+    /// deterministic permutation: a real database heap interleaves index
+    /// nodes with other allocations in insertion order, so chasing a
+    /// chain jumps across cache blocks rather than reading neighbours —
+    /// this is precisely why "nested walks increase the footprint of the
+    /// DSA and cache miss rate" for address-tagged designs (§8.1).
+    #[must_use]
+    pub fn layout(&self, base: u64) -> HashIndexLayout {
+        let bucket_base = base;
+        let bucket_bytes = self.buckets.len() as u64 * 8;
+        let node_base = (bucket_base + bucket_bytes + 63) & !63;
+        let arena_slots = (self.len as u64 * 2).max(1);
+        // Deterministic slot permutation: odd multiplier modulo a
+        // power-of-two slot count is a bijection.
+        let slot_count = arena_slots.next_power_of_two();
+        let slot_of = |ordinal: u64| -> u64 { ordinal.wrapping_mul(0x9E37_79B9) & (slot_count - 1) };
+        let addr_of = |ordinal: u64| -> u64 { node_base + slot_of(ordinal) * NODE_BYTES };
+
+        let mut bucket_words = vec![0u64; self.buckets.len()];
+        let mut nodes = vec![0u8; (slot_count * NODE_BYTES) as usize];
+        let mut ordinal = 0u64;
+        for (b, chain) in self.buckets.iter().enumerate() {
+            let mut prev_ptr = 0u64;
+            // Build back-to-front so `next` pointers are known.
+            for &(key, rid) in chain.iter().rev() {
+                let addr = addr_of(ordinal);
+                let off = (addr - node_base) as usize;
+                nodes[off..off + 8].copy_from_slice(&key.to_le_bytes());
+                nodes[off + 8..off + 16].copy_from_slice(&rid.to_le_bytes());
+                nodes[off + 16..off + 24].copy_from_slice(&prev_ptr.to_le_bytes());
+                prev_ptr = addr;
+                ordinal += 1;
+            }
+            bucket_words[b] = prev_ptr; // head of the chain (or 0)
+        }
+        let mut bucket_img = Vec::with_capacity(bucket_words.len() * 8);
+        for w in &bucket_words {
+            bucket_img.extend_from_slice(&w.to_le_bytes());
+        }
+        HashIndexLayout {
+            bucket_base,
+            node_base,
+            buckets: self.buckets.len() as u64,
+            nodes: self.len as u64,
+            segments: vec![(bucket_base, bucket_img), (node_base, nodes)],
+        }
+    }
+
+    /// Generates a probe key stream: `count` keys, Zipf(`alpha`)-skewed
+    /// over the stored keys, with a `miss_rate` fraction of absent keys.
+    #[must_use]
+    pub fn probe_stream(&self, count: usize, alpha: f64, miss_rate: f64, seed: u64) -> Vec<u64> {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let stored = self.len.max(1);
+        let z = Zipf::new(stored, alpha);
+        (0..count)
+            .map(|_| {
+                if rng.gen::<f64>() < miss_rate {
+                    // Absent key: outside the nth_key sequence (even keys
+                    // can collide; offset by a non-multiple).
+                    Self::nth_key(stored + rng.gen_range(0..stored)) ^ 0x5555
+                } else {
+                    Self::nth_key(z.sample(&mut rng))
+                }
+            })
+            .collect()
+    }
+}
+
+/// Simulated-heap image of a [`HashIndex`].
+#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+pub struct HashIndexLayout {
+    /// Address of the bucket pointer array.
+    pub bucket_base: u64,
+    /// Address of the node arena.
+    pub node_base: u64,
+    /// Number of buckets.
+    pub buckets: u64,
+    /// Number of nodes.
+    pub nodes: u64,
+    /// `(address, bytes)` segments to copy into the simulated memory.
+    pub segments: Vec<(u64, Vec<u8>)>,
+}
+
+impl HashIndexLayout {
+    /// First byte past the image.
+    #[must_use]
+    pub fn end(&self) -> u64 {
+        self.segments
+            .iter()
+            .map(|(a, b)| a + b.len() as u64)
+            .max()
+            .unwrap_or(self.bucket_base)
+    }
+
+    /// Functional lookup *through the byte image* — walks buckets and
+    /// chains exactly as the hardware walker will. Used to cross-check
+    /// the layout against [`HashIndex::get`].
+    #[must_use]
+    pub fn lookup_in_image(&self, key: u64) -> Option<u64> {
+        let read_u64 = |addr: u64| -> u64 {
+            for (base, bytes) in &self.segments {
+                if addr >= *base && addr + 8 <= base + bytes.len() as u64 {
+                    let off = (addr - base) as usize;
+                    return u64::from_le_bytes(bytes[off..off + 8].try_into().expect("8 bytes"));
+                }
+            }
+            0
+        };
+        let bucket = hash64(key) & (self.buckets - 1);
+        let mut node = read_u64(self.bucket_base + bucket * 8);
+        while node != 0 {
+            let k = read_u64(node);
+            if k == key {
+                return Some(read_u64(node + 8));
+            }
+            node = read_u64(node + 16);
+        }
+        None
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn insert_and_get() {
+        let mut idx = HashIndex::new(16);
+        idx.insert(10, 100);
+        idx.insert(20, 200);
+        assert_eq!(idx.get(10), Some(100));
+        assert_eq!(idx.get(20), Some(200));
+        assert_eq!(idx.get(30), None);
+        assert_eq!(idx.len(), 2);
+    }
+
+    #[test]
+    fn build_respects_load_factor() {
+        let idx = HashIndex::build(1000, 2.0);
+        assert_eq!(idx.len(), 1000);
+        assert_eq!(idx.buckets(), 512);
+        let avg = idx.avg_chain_len();
+        assert!((1.5..4.0).contains(&avg), "avg chain {avg}");
+    }
+
+    #[test]
+    fn chain_collision_resolved() {
+        let mut idx = HashIndex::new(1); // everything collides
+        for k in 0..20u64 {
+            idx.insert(k * 7 + 1, k);
+        }
+        for k in 0..20u64 {
+            assert_eq!(idx.get(k * 7 + 1), Some(k));
+        }
+        assert_eq!(idx.chain_len(8), 20);
+    }
+
+    #[test]
+    fn layout_walk_matches_functional_lookup() {
+        let idx = HashIndex::build(500, 3.0);
+        let layout = idx.layout(0x10_0000);
+        for n in (0..500).step_by(7) {
+            let key = HashIndex::nth_key(n);
+            assert_eq!(
+                layout.lookup_in_image(key),
+                idx.get(key),
+                "image walk diverged for key ordinal {n}"
+            );
+        }
+        // Absent keys fall off the chain.
+        assert_eq!(layout.lookup_in_image(0xdead_beef_0001), None);
+    }
+
+    #[test]
+    fn layout_node_alignment() {
+        let idx = HashIndex::build(10, 1.0);
+        let l = idx.layout(0x1000);
+        assert_eq!(l.node_base % 64, 0);
+        assert_eq!(l.nodes, 10);
+        assert!(l.end() >= l.node_base + 10 * NODE_BYTES);
+    }
+
+    #[test]
+    fn probe_stream_mixes_hits_and_misses() {
+        let idx = HashIndex::build(1000, 2.0);
+        let probes = idx.probe_stream(2000, 0.9, 0.2, 11);
+        let hits = probes.iter().filter(|&&k| idx.get(k).is_some()).count();
+        let rate = hits as f64 / probes.len() as f64;
+        assert!((0.7..0.9).contains(&rate), "hit rate {rate}");
+        // Determinism.
+        assert_eq!(probes, idx.probe_stream(2000, 0.9, 0.2, 11));
+    }
+
+    #[test]
+    fn probe_stream_skew_reuses_hot_keys() {
+        let idx = HashIndex::build(10_000, 2.0);
+        let probes = idx.probe_stream(10_000, 1.1, 0.0, 3);
+        let unique: std::collections::HashSet<_> = probes.iter().collect();
+        assert!(
+            unique.len() < probes.len() / 2,
+            "Zipf stream should repeat keys heavily ({} unique)",
+            unique.len()
+        );
+    }
+
+    #[test]
+    #[should_panic(expected = "power of two")]
+    fn non_pow2_buckets_panics() {
+        let _ = HashIndex::new(12);
+    }
+}

@@ -1,0 +1,27 @@
+//! # xcache-workloads
+//!
+//! Synthetic workload generators standing in for the paper's inputs (§7.2):
+//!
+//! | Paper input | Here |
+//! |---|---|
+//! | SNAP graphs (p2p-Gnutella08/31, web-Google) | [`graph`] R-MAT generators sized to the same N/NNZ |
+//! | MonetDB + TPC-H hash joins (queries 19/20/22, 100 GB) | [`hashidx`] chained hash indices probed by Zipf-skewed key streams, with per-query-class presets in [`tpch`] |
+//! | Sparse matrices for SpArch/Gamma | [`sparse`] CSR/CSC with R-MAT, Erdős–Rényi and banded non-zero patterns |
+//!
+//! All generators are deterministic given a seed, and every structure can
+//! lay itself out into a [`MainMemory`]-compatible byte image so the
+//! simulated walkers traverse exactly the bytes a real heap would hold.
+//!
+//! [`MainMemory`]: https://docs.rs/xcache-mem
+
+pub mod graph;
+pub mod hashidx;
+pub mod sparse;
+pub mod tpch;
+pub mod zipf;
+
+pub use graph::{Graph, GraphPreset};
+pub use hashidx::{HashIndex, HashIndexLayout};
+pub use sparse::{CscMatrix, CsrMatrix, MatrixLayout, SparsePattern};
+pub use tpch::{QueryClass, TpchPreset};
+pub use zipf::Zipf;

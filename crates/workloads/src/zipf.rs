@@ -1,0 +1,131 @@
+//! Zipf-distributed key sampling.
+//!
+//! Database key popularity (TPC-H join keys) and graph vertex activity are
+//! heavily skewed; the reuse X-Cache captures depends on that skew. This
+//! sampler is deterministic given its RNG and uses the classic
+//! inverse-CDF-over-partial-sums method with a precomputed table, accurate
+//! for the table sizes we simulate (≤ a few million).
+
+use rand::Rng;
+
+/// A Zipf(α) sampler over `{0, 1, …, n-1}` (rank 0 most popular).
+///
+/// ```
+/// use rand::SeedableRng;
+/// use xcache_workloads::Zipf;
+/// let z = Zipf::new(1000, 1.0);
+/// let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+/// let x = z.sample(&mut rng);
+/// assert!(x < 1000);
+/// ```
+#[derive(Debug, Clone)]
+pub struct Zipf {
+    cdf: Vec<f64>,
+}
+
+impl Zipf {
+    /// Builds a sampler over `n` items with exponent `alpha`.
+    ///
+    /// `alpha = 0` degenerates to uniform; `alpha ≈ 1` is the classic
+    /// web/key-popularity skew.
+    ///
+    /// # Panics
+    ///
+    /// Panics if `n == 0` or `alpha` is negative/non-finite.
+    #[must_use]
+    pub fn new(n: usize, alpha: f64) -> Self {
+        assert!(n > 0, "Zipf needs at least one item");
+        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        let mut cdf = Vec::with_capacity(n);
+        let mut acc = 0.0;
+        for k in 1..=n {
+            acc += (k as f64).powf(-alpha);
+            cdf.push(acc);
+        }
+        let total = acc;
+        for c in &mut cdf {
+            *c /= total;
+        }
+        Zipf { cdf }
+    }
+
+    /// Number of items.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.cdf.len()
+    }
+
+    /// Whether the support is empty (never: `new` requires `n > 0`).
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.cdf.is_empty()
+    }
+
+    /// Draws one rank.
+    pub fn sample<R: Rng + ?Sized>(&self, rng: &mut R) -> usize {
+        let u: f64 = rng.gen();
+        self.cdf.partition_point(|&c| c < u).min(self.cdf.len() - 1)
+    }
+
+    /// Draws `count` ranks into a vector.
+    pub fn sample_many<R: Rng + ?Sized>(&self, rng: &mut R, count: usize) -> Vec<usize> {
+        (0..count).map(|_| self.sample(rng)).collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn rng() -> rand::rngs::StdRng {
+        rand::rngs::StdRng::seed_from_u64(42)
+    }
+
+    #[test]
+    fn samples_in_range() {
+        let z = Zipf::new(100, 1.2);
+        let mut r = rng();
+        for _ in 0..10_000 {
+            assert!(z.sample(&mut r) < 100);
+        }
+    }
+
+    #[test]
+    fn skew_concentrates_on_low_ranks() {
+        let z = Zipf::new(1000, 1.0);
+        let mut r = rng();
+        let samples = z.sample_many(&mut r, 50_000);
+        let top10 = samples.iter().filter(|&&s| s < 10).count();
+        // With α=1 over 1000 items, the top 10 ranks carry ~39% of mass.
+        assert!(top10 > 15_000, "top-10 got only {top10}/50000");
+    }
+
+    #[test]
+    fn alpha_zero_is_uniformish() {
+        let z = Zipf::new(10, 0.0);
+        let mut r = rng();
+        let samples = z.sample_many(&mut r, 100_000);
+        let mut counts = [0usize; 10];
+        for s in samples {
+            counts[s] += 1;
+        }
+        for &c in &counts {
+            assert!((8_000..12_000).contains(&c), "uniform bucket off: {c}");
+        }
+    }
+
+    #[test]
+    fn deterministic_under_seed() {
+        let z = Zipf::new(64, 0.8);
+        let a = z.sample_many(&mut rng(), 100);
+        let b = z.sample_many(&mut rng(), 100);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one item")]
+    fn zero_items_panics() {
+        let _ = Zipf::new(0, 1.0);
+    }
+}

@@ -1,0 +1,86 @@
+//! Quickstart: generate an X-Cache for a simple array-indexed structure,
+//! issue meta loads, and watch hits short-circuit the walk.
+//!
+//! ```sh
+//! cargo run --example quickstart
+//! ```
+
+use xcache_core::{MetaAccess, MetaKey, XCache, XCacheConfig};
+use xcache_isa::asm::assemble;
+use xcache_mem::{DramConfig, DramModel};
+use xcache_sim::Cycle;
+
+fn main() {
+    // 1. Describe the walker: on a miss, fetch the 32-byte element at
+    //    `base + key * 32`; cache it under the key; respond.
+    let program = assemble(
+        r#"
+        walker array
+        states Default, Wait
+        regs 2
+        params base
+
+        routine start {
+            allocR
+            allocM
+            mul r0, key, 32
+            add r0, r0, base
+            dram_read r0, 32
+            yield Wait
+        }
+        routine fill {
+            allocD r1, 1
+            filld r1, 4
+            updatem r1, r1
+            respond
+            retire
+        }
+
+        on Default, Miss -> start
+        on Wait, Fill -> fill
+    "#,
+    )
+    .expect("walker assembles");
+    println!(
+        "assembled `{}`: {} routines, {} microcode words",
+        program.name,
+        program.routines().len(),
+        program.microcode_words()
+    );
+
+    // 2. Build the memory image and generate the cache instance.
+    let base = 0x1_0000u64;
+    let mut dram = DramModel::new(DramConfig::default());
+    for k in 0..64u64 {
+        dram.memory_mut().write_u64(base + k * 32, 1000 + k);
+    }
+    let cfg = XCacheConfig::test_tiny().with_params(vec![base]);
+    let mut xc = XCache::new(cfg, program, dram).expect("valid instance");
+
+    // 3. Issue meta loads: the first access to a key walks (DRAM); the
+    //    second hits the meta-tags at the pipelined 3-cycle path.
+    let mut now = Cycle(0);
+    for (id, key) in [(0u64, 5u64), (1, 9), (2, 5), (3, 9), (4, 5)] {
+        let issued = now;
+        xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(key) })
+            .expect("queue has room");
+        let resp = loop {
+            xc.tick(now);
+            if let Some(r) = xc.take_response(now) {
+                break r;
+            }
+            now = now.next();
+        };
+        println!(
+            "load key {key:>2} -> value {} in {:>3} cycles ({})",
+            resp.data[0],
+            now.since(issued),
+            if now.since(issued) < 10 { "meta-tag hit" } else { "walker miss" }
+        );
+    }
+
+    println!("\ncontroller statistics:");
+    for name in ["xcache.hit", "xcache.miss", "xcache.dram_req", "xcache.ucode_read"] {
+        println!("  {name:<20} = {}", xc.stats().get(name));
+    }
+}

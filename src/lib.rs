@@ -1,0 +1,8 @@
+//! Umbrella crate re-exporting the X-Cache reproduction workspace.
+pub use xcache_core as core;
+pub use xcache_dsa as dsa;
+pub use xcache_energy as energy;
+pub use xcache_isa as isa;
+pub use xcache_mem as mem;
+pub use xcache_sim as sim;
+pub use xcache_workloads as workloads;

@@ -1,0 +1,73 @@
+//! The shipped walker sources under `walkers/` must stay in sync with the
+//! programs the DSA models embed — they are the same microcode, published
+//! in both forms (the paper open-sources its five cache designs).
+
+use xcache_isa::asm::assemble;
+
+fn load(name: &str) -> xcache_isa::WalkerProgram {
+    let path = format!("{}/walkers/{name}.xw", env!("CARGO_MANIFEST_DIR"));
+    let src = std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("{path}: {e}"));
+    assemble(&src).unwrap_or_else(|e| panic!("{path}: {e}"))
+}
+
+#[test]
+fn widx_source_matches_embedded_program() {
+    let shipped = load("widx");
+    let embedded = xcache_dsa::widx::walker();
+    assert_eq!(shipped.routines, embedded.routines);
+    assert_eq!(shipped.table, embedded.table);
+    assert_eq!(shipped.param_names, embedded.param_names);
+}
+
+#[test]
+fn graphpulse_source_matches_embedded_program() {
+    let shipped = load("graphpulse");
+    let embedded = xcache_dsa::graphpulse::walker();
+    assert_eq!(shipped.routines, embedded.routines);
+    assert_eq!(shipped.table, embedded.table);
+}
+
+#[test]
+fn graphpulse_min_source_matches_embedded_program() {
+    let shipped = load("graphpulse_min");
+    let embedded = xcache_dsa::graphpulse::min_merge_walker();
+    assert_eq!(shipped.routines, embedded.routines);
+    assert_eq!(shipped.table, embedded.table);
+}
+
+#[test]
+fn spgemm_source_matches_embedded_program() {
+    let shipped = load("spgemm_row");
+    let embedded = xcache_dsa::spgemm::walker();
+    assert_eq!(shipped.routines, embedded.routines);
+    assert_eq!(shipped.table, embedded.table);
+    assert_eq!(shipped.param_names, embedded.param_names);
+}
+
+#[test]
+fn dasx_source_shares_widx_structure() {
+    // DASX reuses the Widx microcode (same physical controller, §5); the
+    // shipped file documents that by carrying identical routines.
+    let dasx = load("dasx");
+    let widx = load("widx");
+    assert_eq!(dasx.routines, widx.routines);
+    assert_eq!(dasx.table, widx.table);
+}
+
+#[test]
+fn all_shipped_walkers_encode_to_binary() {
+    for name in ["widx", "dasx", "graphpulse", "graphpulse_min", "spgemm_row", "open_addressing"] {
+        let p = load(name);
+        assert!(p.validate().is_ok(), "{name} invalid");
+        for r in p.routines() {
+            let words = xcache_isa::encode(&r.actions)
+                .unwrap_or_else(|e| panic!("{name}/{}: {e}", r.name));
+            assert_eq!(
+                xcache_isa::decode(&words).expect("decodes"),
+                r.actions,
+                "{name}/{} round trip",
+                r.name
+            );
+        }
+    }
+}
