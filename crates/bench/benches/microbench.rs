@@ -53,7 +53,8 @@ fn bench_dram(c: &mut Criterion) {
                 d
             },
             |mut d| {
-                d.try_request(Cycle(0), MemReq::read(1, 0x40, 64)).expect("queued");
+                d.try_request(Cycle(0), MemReq::read(1, 0x40, 64))
+                    .expect("queued");
                 let mut now = Cycle(0);
                 loop {
                     d.tick(now);
@@ -118,8 +119,14 @@ fn bench_hit_pipeline(c: &mut Criterion) {
     let mut xc = XCache::new(cfg, program, dram).expect("valid");
     // Warm the entry.
     let mut now = Cycle(0);
-    xc.try_access(now, MetaAccess::Load { id: 0, key: MetaKey::new(0) })
-        .expect("queued");
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 0,
+            key: MetaKey::new(0),
+        },
+    )
+    .expect("queued");
     loop {
         xc.tick(now);
         if xc.take_response(now).is_some() {
@@ -130,7 +137,13 @@ fn bench_hit_pipeline(c: &mut Criterion) {
     let mut id = 1u64;
     c.bench_function("xcache_hit_service", |b| {
         b.iter(|| {
-            let _ = xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(0) });
+            let _ = xc.try_access(
+                now,
+                MetaAccess::Load {
+                    id,
+                    key: MetaKey::new(0),
+                },
+            );
             id += 1;
             xc.tick(now);
             now = now.next();
@@ -141,7 +154,15 @@ fn bench_hit_pipeline(c: &mut Criterion) {
 
 fn bench_workload_generators(c: &mut Criterion) {
     c.bench_function("rmat_generate_10k", |b| {
-        b.iter(|| black_box(CsrMatrix::generate(1024, 1024, 10_000, SparsePattern::RMat, 1)));
+        b.iter(|| {
+            black_box(CsrMatrix::generate(
+                1024,
+                1024,
+                10_000,
+                SparsePattern::RMat,
+                1,
+            ))
+        });
     });
     c.bench_function("hashindex_build_10k", |b| {
         b.iter(|| black_box(HashIndex::build(10_000, 2.0)));

@@ -4,39 +4,59 @@
 //! Not in the paper (it fixes LRU); this quantifies how much the §8
 //! comparison depends on that choice.
 
-use xcache_bench::{render_table, scale, widx_geometry, widx_workload};
+use xcache_bench::{
+    maybe_dump_table_json, render_table, scale, widx_geometry, widx_workload, Runner, Scenario,
+};
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
+
+const HEADERS: [&str; 4] = ["policy", "addr-cache cyc", "addr DRAM", "X-Cache speedup"];
 
 fn main() {
     let scale = scale();
     println!("Ablation 1: address-cache replacement policy, Widx TPC-H-19 (scale 1/{scale})\n");
     let w = widx_workload(QueryClass::Q19, scale, 7);
     let g = widx_geometry(scale);
-    let x = widx::run_xcache(&w, Some(g.clone()));
 
-    let mut rows = Vec::new();
-    for (name, policy) in [
+    // Cell 0 is the X-Cache reference; the rest sweep the policy.
+    let policies = [
         ("LRU", xcache_mem::ReplacementPolicy::Lru),
         ("FIFO", xcache_mem::ReplacementPolicy::Fifo),
         ("Random", xcache_mem::ReplacementPolicy::Random(42)),
-    ] {
-        let mut cache_cfg = widx::matched_address_cache_config(&g);
-        cache_cfg.policy = policy;
-        let a = widx::run_address_cache_with_policy(&w, &g, cache_cfg);
-        rows.push(vec![
-            name.to_owned(),
-            a.cycles.to_string(),
-            a.dram_accesses().to_string(),
-            format!("{:.2}x", x.speedup_over(&a)),
-        ]);
+    ];
+    let mut cells = vec![Scenario::new("X-Cache reference", {
+        let (w, g) = (&w, g.clone());
+        move || widx::run_xcache(w, Some(g))
+    })];
+    for (name, policy) in policies {
+        cells.push(Scenario::new(name, {
+            let (w, g) = (&w, g.clone());
+            move || {
+                let mut cache_cfg = widx::matched_address_cache_config(&g);
+                cache_cfg.policy = policy;
+                widx::run_address_cache_with_policy(w, &g, cache_cfg)
+            }
+        }));
     }
-    print!(
-        "{}",
-        render_table(
-            &["policy", "addr-cache cyc", "addr DRAM", "X-Cache speedup"],
-            &rows
-        )
+    let mut results = Runner::from_env().run(cells);
+    let x = results.remove(0);
+    let rows: Vec<Vec<String>> = policies
+        .iter()
+        .zip(&results)
+        .map(|((name, _), a)| {
+            vec![
+                (*name).to_owned(),
+                a.cycles.to_string(),
+                a.dram_accesses().to_string(),
+                format!("{:.2}x", x.speedup_over(a)),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("abl01_replacement", &HEADERS, &rows);
+    println!(
+        "\nX-Cache reference: {} cycles, {} DRAM accesses",
+        x.cycles,
+        x.dram_accesses()
     );
-    println!("\nX-Cache reference: {} cycles, {} DRAM accesses", x.cycles, x.dram_accesses());
 }

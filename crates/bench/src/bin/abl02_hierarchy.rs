@@ -2,7 +2,9 @@
 //! plain X-Cache over DRAM, MXA (X-Cache over an address cache), and MX
 //! (a walker-less MetaL1 over the X-Cache).
 
-use xcache_bench::{render_table, scale, widx_geometry, widx_workload};
+use xcache_bench::{
+    maybe_dump_table_json, render_table, scale, widx_geometry, widx_workload, Runner, Scenario,
+};
 use xcache_core::hierarchy::{MetaL1Config, MetaPort};
 use xcache_core::{MetaAccess, MetaKey, XCache};
 use xcache_dsa::common::apply_image;
@@ -12,58 +14,92 @@ use xcache_sim::Cycle;
 use xcache_workloads::hashidx::NODE_BYTES;
 use xcache_workloads::QueryClass;
 
+const HEADERS: [&str; 3] = ["hierarchy", "cycles", "vs plain"];
+
 fn main() {
     let scale = scale();
     println!("Ablation 2: hierarchy compositions (Widx TPC-H-19, scale 1/{scale})\n");
     let w = widx_workload(QueryClass::Q19, scale, 7);
     let g = widx_geometry(scale);
 
-    // Plain X-Cache over DRAM (the Figure 14 configuration).
-    let plain = widx::run_xcache(&w, Some(g.clone()));
+    // Each composition is one independent cell; every cell builds its own
+    // memory image from the same (deterministic) workload.
+    let cells = vec![
+        // Plain X-Cache over DRAM (the Figure 14 configuration).
+        Scenario::new("X-Cache over DRAM", {
+            let (w, g) = (&w, g.clone());
+            move || widx::run_xcache(w, Some(g)).cycles
+        }),
+        // MXA: the walker's DRAM traffic filters through an address cache.
+        Scenario::new("MXA: X-Cache over A$", {
+            let (w, g) = (&w, g.clone());
+            move || {
+                let (cfg, mem) = composed_config(w, &g);
+                let dram = DramModel::with_memory(DramConfig::default(), mem);
+                let l2 = AddressCache::new(widx::matched_address_cache_config(&g), dram);
+                let mut mxa = XCache::new(cfg, widx::walker(), l2).expect("mxa builds");
+                drive(&mut mxa, w)
+            }
+        }),
+        // MX: a small walker-less L1 in front of the X-Cache.
+        Scenario::new("MX: MetaL1 + X-Cache", {
+            let (w, g) = (&w, g.clone());
+            move || {
+                let (cfg, mem) = composed_config(w, &g);
+                let dram = DramModel::with_memory(DramConfig::default(), mem);
+                let l2 = XCache::new(cfg, widx::walker(), dram).expect("l2 builds");
+                let mut mx = xcache_core::hierarchy::MetaL1::new(
+                    MetaL1Config {
+                        sets: 32,
+                        ways: 2,
+                        words_per_sector: 4,
+                        data_sectors: 64,
+                        hit_latency: 1,
+                        queue_depth: 16,
+                    },
+                    l2,
+                );
+                drive_meta(&mut mx, w)
+            }
+        }),
+    ];
+    let cycles = Runner::from_env().run(cells);
+    let plain = cycles[0];
 
-    // MXA: the walker's DRAM traffic filters through an address cache.
+    let names = [
+        "X-Cache over DRAM",
+        "MXA: X-Cache over A$",
+        "MX: MetaL1 + X-Cache",
+    ];
+    let rows: Vec<Vec<String>> = names
+        .iter()
+        .zip(&cycles)
+        .map(|(name, &c)| {
+            vec![
+                (*name).to_owned(),
+                c.to_string(),
+                format!("{:.2}x", plain as f64 / c as f64),
+            ]
+        })
+        .collect();
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("abl02_hierarchy", &HEADERS, &rows);
+    println!("\n(MXA filters walker refetches; MX adds a 1-cycle hit level for hot keys)");
+}
+
+/// The walker-ready X-Cache config plus the populated backing memory for
+/// the composed hierarchies.
+fn composed_config(
+    w: &widx::WidxWorkload,
+    g: &xcache_core::XCacheConfig,
+) -> (xcache_core::XCacheConfig, MainMemory) {
     let layout = w.index.layout(0x10_0000);
     let mut mem = MainMemory::new();
     apply_image(&mut mem, &layout.segments);
-    let dram = DramModel::with_memory(DramConfig::default(), mem.clone());
-    let l2 = AddressCache::new(widx::matched_address_cache_config(&g), dram);
     let mut cfg = g.clone();
     cfg.hash_latency = w.hash_latency;
-    cfg = cfg.with_params(vec![layout.bucket_base, NODE_BYTES, layout.buckets - 1]);
-    let mut mxa = XCache::new(cfg.clone(), widx::walker(), l2).expect("mxa builds");
-    let mxa_cycles = drive(&mut mxa, &w);
-
-    // MX: a small walker-less L1 in front of the X-Cache.
-    let dram = DramModel::with_memory(DramConfig::default(), mem);
-    let l2 = XCache::new(cfg, widx::walker(), dram).expect("l2 builds");
-    let mut mx = xcache_core::hierarchy::MetaL1::new(
-        MetaL1Config {
-            sets: 32,
-            ways: 2,
-            words_per_sector: 4,
-            data_sectors: 64,
-            hit_latency: 1,
-            queue_depth: 16,
-        },
-        l2,
-    );
-    let mx_cycles = drive_meta(&mut mx, &w);
-
-    let rows = vec![
-        vec!["X-Cache over DRAM".to_owned(), plain.cycles.to_string(), "1.00x".to_owned()],
-        vec![
-            "MXA: X-Cache over A$".to_owned(),
-            mxa_cycles.to_string(),
-            format!("{:.2}x", plain.cycles as f64 / mxa_cycles as f64),
-        ],
-        vec![
-            "MX: MetaL1 + X-Cache".to_owned(),
-            mx_cycles.to_string(),
-            format!("{:.2}x", plain.cycles as f64 / mx_cycles as f64),
-        ],
-    ];
-    print!("{}", render_table(&["hierarchy", "cycles", "vs plain"], &rows));
-    println!("\n(MXA filters walker refetches; MX adds a 1-cycle hit level for hot keys)");
+    let cfg = cfg.with_params(vec![layout.bucket_base, NODE_BYTES, layout.buckets - 1]);
+    (cfg, mem)
 }
 
 fn drive<D: xcache_mem::MemoryPort>(xc: &mut XCache<D>, w: &widx::WidxWorkload) -> u64 {

@@ -6,44 +6,49 @@
 //! quantifies the design choice by running the same workload with a
 //! walker that only caches the matched node.
 
-use xcache_bench::{pct, render_table, scale, widx_geometry, widx_workload};
+use xcache_bench::{
+    maybe_dump_table_json, pct, render_table, scale, widx_geometry, widx_workload, Runner, Scenario,
+};
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
+
+const HEADERS: [&str; 6] = [
+    "query",
+    "with insertm",
+    "hit rate",
+    "without",
+    "hit rate",
+    "insertm gain",
+];
 
 fn main() {
     let scale = scale();
     println!("Ablation 3: insertm chain-node side-caching (scale 1/{scale})\n");
-    let mut rows = Vec::new();
-    for class in QueryClass::all() {
-        let w = widx_workload(class, scale, 7);
-        let g = widx_geometry(scale);
-        let with = widx::run_xcache(&w, Some(g.clone()));
-        let without = widx::run_xcache_with_walker(&w, Some(g), widx::walker_no_sideinsert());
-        let hr = |r: &xcache_dsa::RunReport| {
-            r.stats.get("xcache.hit") as f64
-                / (r.stats.get("xcache.hit") + r.stats.get("xcache.miss")).max(1) as f64
-        };
-        rows.push(vec![
-            class.name().to_owned(),
-            with.cycles.to_string(),
-            pct(hr(&with)),
-            without.cycles.to_string(),
-            pct(hr(&without)),
-            format!("{:.2}x", without.cycles as f64 / with.cycles as f64),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(
-            &[
-                "query",
-                "with insertm",
-                "hit rate",
-                "without",
-                "hit rate",
-                "insertm gain",
-            ],
-            &rows
-        )
-    );
+    let cells: Vec<Scenario<'_, Vec<String>>> = QueryClass::all()
+        .into_iter()
+        .map(|class| {
+            Scenario::new(class.name(), move || {
+                let w = widx_workload(class, scale, 7);
+                let g = widx_geometry(scale);
+                let with = widx::run_xcache(&w, Some(g.clone()));
+                let without =
+                    widx::run_xcache_with_walker(&w, Some(g), widx::walker_no_sideinsert());
+                let hr = |r: &xcache_dsa::RunReport| {
+                    r.stats.get("xcache.hit") as f64
+                        / (r.stats.get("xcache.hit") + r.stats.get("xcache.miss")).max(1) as f64
+                };
+                vec![
+                    class.name().to_owned(),
+                    with.cycles.to_string(),
+                    pct(hr(&with)),
+                    without.cycles.to_string(),
+                    pct(hr(&without)),
+                    format!("{:.2}x", without.cycles as f64 / with.cycles as f64),
+                ]
+            })
+        })
+        .collect();
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("abl03_insertm", &HEADERS, &rows);
 }

@@ -6,43 +6,47 @@
 //! locality, so the prefetcher should not close the meta-tag gap — which
 //! is the point of measuring it.
 
-use xcache_bench::{render_table, scale, widx_geometry, widx_workload};
+use xcache_bench::{
+    maybe_dump_table_json, render_table, scale, widx_geometry, widx_workload, Runner, Scenario,
+};
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
+
+const HEADERS: [&str; 5] = [
+    "query",
+    "addr cyc",
+    "addr+prefetch cyc",
+    "prefetch gain",
+    "X-Cache vs addr+pf",
+];
 
 fn main() {
     let scale = scale();
     println!("Ablation 4: next-line prefetch on the address cache (scale 1/{scale})\n");
-    let mut rows = Vec::new();
-    for class in QueryClass::all() {
-        let w = widx_workload(class, scale, 7);
-        let g = widx_geometry(scale);
-        let x = widx::run_xcache(&w, Some(g.clone()));
-        let base_cfg = widx::matched_address_cache_config(&g);
-        let plain = widx::run_address_cache_with_policy(&w, &g, base_cfg.clone());
-        let mut pf_cfg = base_cfg;
-        pf_cfg.prefetch_next = true;
-        let pf = widx::run_address_cache_with_policy(&w, &g, pf_cfg);
-        rows.push(vec![
-            class.name().to_owned(),
-            plain.cycles.to_string(),
-            pf.cycles.to_string(),
-            format!("{:.2}x", plain.cycles as f64 / pf.cycles as f64),
-            format!("{:.2}x", x.speedup_over(&pf)),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(
-            &[
-                "query",
-                "addr cyc",
-                "addr+prefetch cyc",
-                "prefetch gain",
-                "X-Cache vs addr+pf",
-            ],
-            &rows
-        )
-    );
+    let cells: Vec<Scenario<'_, Vec<String>>> = QueryClass::all()
+        .into_iter()
+        .map(|class| {
+            Scenario::new(class.name(), move || {
+                let w = widx_workload(class, scale, 7);
+                let g = widx_geometry(scale);
+                let x = widx::run_xcache(&w, Some(g.clone()));
+                let base_cfg = widx::matched_address_cache_config(&g);
+                let plain = widx::run_address_cache_with_policy(&w, &g, base_cfg.clone());
+                let mut pf_cfg = base_cfg;
+                pf_cfg.prefetch_next = true;
+                let pf = widx::run_address_cache_with_policy(&w, &g, pf_cfg);
+                vec![
+                    class.name().to_owned(),
+                    plain.cycles.to_string(),
+                    pf.cycles.to_string(),
+                    format!("{:.2}x", plain.cycles as f64 / pf.cycles as f64),
+                    format!("{:.2}x", x.speedup_over(&pf)),
+                ]
+            })
+        })
+        .collect();
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("abl04_prefetch", &HEADERS, &rows);
     println!("\n(pointer chases have no next-line locality; the gap should persist)");
 }

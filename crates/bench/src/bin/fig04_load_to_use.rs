@@ -4,48 +4,32 @@
 //! the address-tagged design walks (hash + bucket + chain) even when the
 //! element is cache-resident.
 
-use xcache_bench::{render_table, scale, spgemm_geometry, widx_geometry, widx_workload};
-use xcache_dsa::{spgemm, widx};
+use xcache_bench::{
+    maybe_dump_table_json, render_table, scale, spgemm_geometry, widx_geometry, widx_workload,
+    Runner, Scenario,
+};
+use xcache_dsa::{spgemm, widx, RunReport};
 use xcache_workloads::QueryClass;
 
-fn main() {
-    let scale = scale();
-    println!("Figure 4: load-to-use latency, address tags vs meta-tags (scale 1/{scale})\n");
-    let mut rows = Vec::new();
-    for class in QueryClass::all() {
-        let w = widx_workload(class, scale, 7);
-        let g = widx_geometry(scale);
-        let x = widx::run_xcache(&w, Some(g.clone()));
-        let a = widx::run_address_cache(&w, Some(g));
-        let xs = &x.stats;
-        let as_ = &a.stats;
-        let x_mean = xs.get("xcache.load_to_use.sum") as f64
-            / xs.get("xcache.load_to_use.count").max(1) as f64;
-        let a_mean = as_.get("engine.task_latency.sum") as f64
-            / as_.get("engine.task_latency.count").max(1) as f64;
-        rows.push(vec![
-            class.name().to_owned(),
-            format!("{x_mean:.0}"),
-            xs.get("xcache.load_to_use.p50").to_string(),
-            xs.get("xcache.load_to_use.min").to_string(),
-            format!("{a_mean:.0}"),
-            as_.get("engine.task_latency.p50").to_string(),
-            as_.get("engine.task_latency.min").to_string(),
-            format!("{:.2}x", a_mean / x_mean),
-        ]);
-    }
-    // SpGEMM row fetch (the paper's other Figure 4 family): meta-tag =
-    // row id vs row_ptr + per-block address walks.
-    let w = spgemm::SpgemmWorkload::paper_like(spgemm::Algorithm::Gustavson, scale * 4, 7);
-    let g = spgemm_geometry(scale);
-    let x = spgemm::run_xcache(&w, Some(g.clone()));
-    let a = spgemm::run_address_cache(&w, Some(g));
+const HEADERS: [&str; 8] = [
+    "Workload",
+    "meta mean",
+    "meta p50",
+    "meta min",
+    "addr mean",
+    "addr p50",
+    "addr min",
+    "addr/meta",
+];
+
+/// A table row from one (X-Cache, address-cache) run pair.
+fn row(name: &str, x: &RunReport, a: &RunReport) -> Vec<String> {
     let x_mean = x.stats.get("xcache.load_to_use.sum") as f64
         / x.stats.get("xcache.load_to_use.count").max(1) as f64;
     let a_mean = a.stats.get("engine.task_latency.sum") as f64
         / a.stats.get("engine.task_latency.count").max(1) as f64;
-    rows.push(vec![
-        "Gamma rows".to_owned(),
+    vec![
+        name.to_owned(),
         format!("{x_mean:.0}"),
         x.stats.get("xcache.load_to_use.p50").to_string(),
         x.stats.get("xcache.load_to_use.min").to_string(),
@@ -53,23 +37,35 @@ fn main() {
         a.stats.get("engine.task_latency.p50").to_string(),
         a.stats.get("engine.task_latency.min").to_string(),
         format!("{:.2}x", a_mean / x_mean),
-    ]);
+    ]
+}
 
-    print!(
-        "{}",
-        render_table(
-            &[
-                "Workload",
-                "meta mean",
-                "meta p50",
-                "meta min",
-                "addr mean",
-                "addr p50",
-                "addr min",
-                "addr/meta",
-            ],
-            &rows
-        )
-    );
+fn main() {
+    let scale = scale();
+    println!("Figure 4: load-to-use latency, address tags vs meta-tags (scale 1/{scale})\n");
+    let mut cells: Vec<Scenario<'_, Vec<String>>> = QueryClass::all()
+        .into_iter()
+        .map(|class| {
+            Scenario::new(class.name(), move || {
+                let w = widx_workload(class, scale, 7);
+                let g = widx_geometry(scale);
+                let x = widx::run_xcache(&w, Some(g.clone()));
+                let a = widx::run_address_cache(&w, Some(g));
+                row(class.name(), &x, &a)
+            })
+        })
+        .collect();
+    // SpGEMM row fetch (the paper's other Figure 4 family): meta-tag =
+    // row id vs row_ptr + per-block address walks.
+    cells.push(Scenario::new("Gamma rows", move || {
+        let w = spgemm::SpgemmWorkload::paper_like(spgemm::Algorithm::Gustavson, scale * 4, 7);
+        let g = spgemm_geometry(scale);
+        let x = spgemm::run_xcache(&w, Some(g.clone()));
+        let a = spgemm::run_address_cache(&w, Some(g));
+        row("Gamma rows", &x, &a)
+    }));
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig04_load_to_use", &HEADERS, &rows);
     println!("\n(latencies in cycles; the meta-tag min is the pipelined 3-cycle hit path)");
 }

@@ -6,57 +6,60 @@
 //! with the off-chip fraction (long-latency transactions pin whole
 //! hardware contexts).
 
-use xcache_bench::{render_table, scale, widx_workload};
+use xcache_bench::{maybe_dump_table_json, render_table, scale, widx_workload, Runner, Scenario};
 use xcache_core::{WalkerDiscipline, XCacheConfig};
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
+
+const HEADERS: [&str; 6] = [
+    "off-chip",
+    "coroutine occ (x1e4)",
+    "thread occ (x1e4)",
+    "thread/coro",
+    "coro cyc",
+    "thread cyc",
+];
 
 fn main() {
     let scale = scale();
     println!("Figure 7: walker occupancy, coroutine vs thread (scale 1/{scale})\n");
     let w = widx_workload(QueryClass::Q22, scale, 7);
     let keys = w.index.len();
-    let mut rows = Vec::new();
-    for offchip_pct in [20u32, 40, 60, 80, 95] {
-        // Size the meta-tag array so (100 - offchip)% of the keys fit.
-        let resident = (keys as u64 * u64::from(100 - offchip_pct) / 100).max(16);
-        // Fixed power-of-two sets; associativity carries the capacity so
-        // every sweep point is distinct (ways need not be a power of two).
-        let sets = 128usize;
-        let ways = (resident as usize / sets).max(1);
-        let geometry = |discipline| XCacheConfig {
-            sets,
-            ways,
-            data_sectors: (sets * ways).max(64),
-            discipline,
-            ..XCacheConfig::widx()
-        };
-        let coro = widx::run_xcache(&w, Some(geometry(WalkerDiscipline::Coroutine)));
-        let thread = widx::run_xcache(&w, Some(geometry(WalkerDiscipline::BlockingThread)));
-        let occ_c = coro.stats.get("xcache.occupancy_reg_byte_cycles");
-        let occ_t = thread.stats.get("xcache.occupancy_reg_byte_cycles");
-        rows.push(vec![
-            format!("{offchip_pct}%"),
-            format!("{:.1}", occ_c as f64 / 1e4),
-            format!("{:.1}", occ_t as f64 / 1e4),
-            format!("{:.0}x", occ_t as f64 / occ_c.max(1) as f64),
-            coro.cycles.to_string(),
-            thread.cycles.to_string(),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(
-            &[
-                "off-chip",
-                "coroutine occ (x1e4)",
-                "thread occ (x1e4)",
-                "thread/coro",
-                "coro cyc",
-                "thread cyc",
-            ],
-            &rows
-        )
-    );
+    let cells: Vec<Scenario<'_, Vec<String>>> = [20u32, 40, 60, 80, 95]
+        .into_iter()
+        .map(|offchip_pct| {
+            let w = &w;
+            Scenario::new(format!("{offchip_pct}% off-chip"), move || {
+                // Size the meta-tag array so (100 - offchip)% of the keys fit.
+                let resident = (keys as u64 * u64::from(100 - offchip_pct) / 100).max(16);
+                // Fixed power-of-two sets; associativity carries the capacity so
+                // every sweep point is distinct (ways need not be a power of two).
+                let sets = 128usize;
+                let ways = (resident as usize / sets).max(1);
+                let geometry = |discipline| XCacheConfig {
+                    sets,
+                    ways,
+                    data_sectors: (sets * ways).max(64),
+                    discipline,
+                    ..XCacheConfig::widx()
+                };
+                let coro = widx::run_xcache(w, Some(geometry(WalkerDiscipline::Coroutine)));
+                let thread = widx::run_xcache(w, Some(geometry(WalkerDiscipline::BlockingThread)));
+                let occ_c = coro.stats.get("xcache.occupancy_reg_byte_cycles");
+                let occ_t = thread.stats.get("xcache.occupancy_reg_byte_cycles");
+                vec![
+                    format!("{offchip_pct}%"),
+                    format!("{:.1}", occ_c as f64 / 1e4),
+                    format!("{:.1}", occ_t as f64 / 1e4),
+                    format!("{:.0}x", occ_t as f64 / occ_c.max(1) as f64),
+                    coro.cycles.to_string(),
+                    thread.cycles.to_string(),
+                ]
+            })
+        })
+        .collect();
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig07_occupancy", &HEADERS, &rows);
     println!("\n(paper: threads ~1000x higher occupancy, growing with off-chip fraction)");
 }

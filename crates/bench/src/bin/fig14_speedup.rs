@@ -5,11 +5,25 @@
 //! 1.54x on Widx); 1.7x average over address caches; 2-8x fewer memory
 //! accesses (≈6.5x fewer DRAM accesses from nested walks).
 
-use xcache_bench::{render_table, run_all_dsas, scale};
+use xcache_bench::{geomean, maybe_dump_table_json, render_table, run_all_dsas, scale};
+
+const HEADERS: [&str; 9] = [
+    "DSA / input",
+    "X-Cache cyc",
+    "Baseline cyc",
+    "AddrCache cyc",
+    "vs base",
+    "vs addr",
+    "X$ DRAM",
+    "A$ DRAM",
+    "DRAM ratio",
+];
 
 fn main() {
     let scale = scale();
     println!("Figure 14: runtime and memory accesses (scale 1/{scale})\n");
+    // The DSA sweep is the scenario grid; `run_all_dsas` executes it
+    // through the shared parallel runner.
     let runs = run_all_dsas(scale, 7);
     xcache_bench::maybe_dump_json("fig14_speedup", &runs);
     let rows: Vec<Vec<String>> = runs
@@ -28,35 +42,13 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(
-            &[
-                "DSA / input",
-                "X-Cache cyc",
-                "Baseline cyc",
-                "AddrCache cyc",
-                "vs base",
-                "vs addr",
-                "X$ DRAM",
-                "A$ DRAM",
-                "DRAM ratio",
-            ],
-            &rows
-        )
-    );
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig14_speedup_table", &HEADERS, &rows);
     let gmean_addr = geomean(runs.iter().map(xcache_bench::DsaRun::speedup_vs_addr));
     let gmean_base = geomean(runs.iter().map(xcache_bench::DsaRun::speedup_vs_baseline));
     println!();
     println!("Geomean speedup vs address cache : {gmean_addr:.2}x (paper: 1.7x)");
-    println!("Geomean speedup vs baseline DSA  : {gmean_base:.2}x (paper: ~1x, up to 1.54x on Widx)");
-}
-
-fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
-    let (sum, n) = vals.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
-    if n == 0 {
-        0.0
-    } else {
-        (sum / f64::from(n)).exp()
-    }
+    println!(
+        "Geomean speedup vs baseline DSA  : {gmean_base:.2}x (paper: ~1x, up to 1.54x on Widx)"
+    );
 }

@@ -3,13 +3,22 @@
 //! Paper shape target: address-based caches consume 26-79% more power
 //! than X-Cache (walking eliminated, fewer on-chip accesses).
 
-use xcache_bench::{pct, render_table, run_all_dsas, scale};
+use xcache_bench::{maybe_dump_table_json, pct, render_table, run_all_dsas, scale};
 use xcache_energy::EnergyModel;
+
+const HEADERS: [&str; 4] = [
+    "DSA / input",
+    "X-Cache [mW]",
+    "AddrCache [mW]",
+    "addr overhead",
+];
 
 fn main() {
     let scale = scale();
     println!("Figure 15: total power breakdown (scale 1/{scale}, lower is better)\n");
     let model = EnergyModel::new();
+    // The DSA sweep runs through the shared parallel runner; the energy
+    // model is applied to the collected reports afterwards.
     let runs = run_all_dsas(scale, 7);
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -26,12 +35,7 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(
-            &["DSA / input", "X-Cache [mW]", "AddrCache [mW]", "addr overhead"],
-            &rows
-        )
-    );
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig15_power_total", &HEADERS, &rows);
     println!("\n(paper: address caches consume 26-79% more power than X-Cache)");
 }

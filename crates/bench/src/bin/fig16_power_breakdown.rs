@@ -5,13 +5,26 @@
 //! registers) is ~24% of the total; the routine RAM — the price of
 //! programmability — is under 4.2%.
 
-use xcache_bench::{pct, render_table, run_all_dsas, scale};
+use xcache_bench::{maybe_dump_table_json, pct, render_table, run_all_dsas, scale};
 use xcache_energy::EnergyModel;
+
+const HEADERS: [&str; 8] = [
+    "DSA / input",
+    "Data RAM",
+    "Meta-tags",
+    "Rtn RAM",
+    "X-Reg",
+    "Exec+AGEN",
+    "Controller",
+    "tags/data",
+];
 
 fn main() {
     let scale = scale();
     println!("Figure 16: X-Cache RAM + controller power breakdown (scale 1/{scale})\n");
     let model = EnergyModel::new();
+    // The DSA sweep runs through the shared parallel runner; the energy
+    // model is applied to the collected reports afterwards.
     let runs = run_all_dsas(scale, 7);
     let rows: Vec<Vec<String>> = runs
         .iter()
@@ -29,21 +42,7 @@ fn main() {
             ]
         })
         .collect();
-    print!(
-        "{}",
-        render_table(
-            &[
-                "DSA / input",
-                "Data RAM",
-                "Meta-tags",
-                "Rtn RAM",
-                "X-Reg",
-                "Exec+AGEN",
-                "Controller",
-                "tags/data",
-            ],
-            &rows
-        )
-    );
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig16_power_breakdown", &HEADERS, &rows);
     println!("\n(paper: data 66-89%; tags 1.5-6.6% of data; controller ~24%; routine RAM <4.2%)");
 }

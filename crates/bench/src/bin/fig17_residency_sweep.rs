@@ -5,10 +5,18 @@
 //! rises, the meta-tag advantage grows — hits skip hashing and walking
 //! entirely, while the baseline walks regardless.
 
-use xcache_bench::{pct, render_table, scale};
+use xcache_bench::{maybe_dump_table_json, pct, render_table, scale, Runner, Scenario};
 use xcache_core::XCacheConfig;
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
+
+const HEADERS: [&str; 5] = [
+    "% on-chip",
+    "hit rate",
+    "X-Cache cyc",
+    "Widx cyc",
+    "speedup",
+];
 
 fn main() {
     let scale = scale();
@@ -20,37 +28,38 @@ fn main() {
     preset.miss_rate = 0.02;
     let w = xcache_dsa::widx::WidxWorkload::from_preset(&preset, 7);
     let keys = w.index.len();
-    let mut rows = Vec::new();
-    for resident_pct in [10u32, 25, 50, 75, 100] {
-        let resident = (keys as u64 * u64::from(resident_pct) / 100).max(16);
-        // Fixed power-of-two sets; associativity carries the capacity so
-        // every sweep point is distinct (ways need not be a power of two).
-        let sets = 128usize;
-        let ways = (resident as usize / sets).max(1);
-        let g = XCacheConfig {
-            sets,
-            ways,
-            data_sectors: (sets * ways).max(64),
-            ..XCacheConfig::widx()
-        };
-        let x = widx::run_xcache(&w, Some(g.clone()));
-        let b = widx::run_baseline(&w, Some(g));
-        let hit_rate = x.stats.get("xcache.hit") as f64
-            / (x.stats.get("xcache.hit") + x.stats.get("xcache.miss")).max(1) as f64;
-        rows.push(vec![
-            format!("{resident_pct}%"),
-            pct(hit_rate),
-            x.cycles.to_string(),
-            b.cycles.to_string(),
-            format!("{:.2}x", x.speedup_over(&b)),
-        ]);
-    }
-    print!(
-        "{}",
-        render_table(
-            &["% on-chip", "hit rate", "X-Cache cyc", "Widx cyc", "speedup"],
-            &rows
-        )
-    );
+    let cells: Vec<Scenario<'_, Vec<String>>> = [10u32, 25, 50, 75, 100]
+        .into_iter()
+        .map(|resident_pct| {
+            let w = &w;
+            Scenario::new(format!("{resident_pct}% resident"), move || {
+                let resident = (keys as u64 * u64::from(resident_pct) / 100).max(16);
+                // Fixed power-of-two sets; associativity carries the capacity so
+                // every sweep point is distinct (ways need not be a power of two).
+                let sets = 128usize;
+                let ways = (resident as usize / sets).max(1);
+                let g = XCacheConfig {
+                    sets,
+                    ways,
+                    data_sectors: (sets * ways).max(64),
+                    ..XCacheConfig::widx()
+                };
+                let x = widx::run_xcache(w, Some(g.clone()));
+                let b = widx::run_baseline(w, Some(g));
+                let hit_rate = x.stats.get("xcache.hit") as f64
+                    / (x.stats.get("xcache.hit") + x.stats.get("xcache.miss")).max(1) as f64;
+                vec![
+                    format!("{resident_pct}%"),
+                    pct(hit_rate),
+                    x.cycles.to_string(),
+                    b.cycles.to_string(),
+                    format!("{:.2}x", x.speedup_over(&b)),
+                ]
+            })
+        })
+        .collect();
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig17_residency_sweep", &HEADERS, &rows);
     println!("\n(paper: the meta-tag advantage grows with residency/hit rate)");
 }

@@ -1,32 +1,35 @@
 //! Figure 19: FPGA synthesis (register and logic utilisation breakdown),
 //! at the paper's synthesis point #Exe=4, #Active=8 on a Cyclone IV.
 
-use xcache_bench::{pct, render_table};
+use xcache_bench::{maybe_dump_table_json, pct, render_table, Runner, Scenario};
 use xcache_energy::area::{fpga_utilization, reference_config};
+
+const HEADERS: [&str; 5] = ["Component", "Regs", "Reg %", "Logic", "Logic %"];
 
 fn main() {
     println!("Figure 19: FPGA synthesis breakdown (#Exe=4, #Active=8)\n");
     let r = fpga_utilization(&reference_config());
-    let rows: Vec<Vec<String>> = r
+    // One cell per synthesised component (the model is cheap; the grid
+    // form keeps this binary on the same runner path as the sweeps).
+    let cells: Vec<Scenario<'_, Vec<String>>> = r
         .components
         .iter()
         .map(|c| {
-            vec![
-                c.name.to_owned(),
-                format!("{:.0}", c.regs),
-                pct(c.regs / r.total_regs),
-                format!("{:.0}", c.logic),
-                pct(c.logic / r.total_logic),
-            ]
+            let (total_regs, total_logic) = (r.total_regs, r.total_logic);
+            Scenario::new(c.name, move || {
+                vec![
+                    c.name.to_owned(),
+                    format!("{:.0}", c.regs),
+                    pct(c.regs / total_regs),
+                    format!("{:.0}", c.logic),
+                    pct(c.logic / total_logic),
+                ]
+            })
         })
         .collect();
-    print!(
-        "{}",
-        render_table(
-            &["Component", "Regs", "Reg %", "Logic", "Logic %"],
-            &rows
-        )
-    );
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("fig19_fpga_synthesis", &HEADERS, &rows);
     println!();
     println!("Total registers        : {:.0}", r.total_regs);
     println!("Total logic elements   : {:.0}", r.total_logic);

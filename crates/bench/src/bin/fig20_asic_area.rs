@@ -1,8 +1,11 @@
 //! Figure 20: ASIC layout (45 nm, OpenROAD flow in the paper; calibrated
 //! analytical model here) at #Exe=4, #Active=8.
 
+use xcache_bench::{maybe_dump_table_json, Runner, Scenario};
 use xcache_core::XCacheConfig;
 use xcache_energy::area::{asic_area, reference_config};
+
+const HEADERS: [&str; 4] = ["DSA", "data KiB", "RAM mm^2", "controller mm^2"];
 
 fn main() {
     println!("Figure 20: ASIC layout, 45 nm (#Exe=4, #Active=8)\n");
@@ -12,20 +15,33 @@ fn main() {
     println!("RAM area (data + tags)   : {:.3} mm^2", a.ram_mm2);
     println!();
     println!("Per-DSA geometry RAM areas:");
-    for (name, cfg) in [
+    // One cell per DSA geometry, through the shared runner.
+    let cells: Vec<Scenario<'_, Vec<String>>> = [
         ("Widx", XCacheConfig::widx()),
         ("DASX", XCacheConfig::dasx()),
         ("SpArch", XCacheConfig::sparch()),
         ("Gamma", XCacheConfig::gamma()),
         ("GraphPulse", XCacheConfig::graphpulse()),
-    ] {
-        let r = asic_area(&cfg);
+    ]
+    .into_iter()
+    .map(|(name, cfg)| {
+        Scenario::new(name, move || {
+            let r = asic_area(&cfg);
+            vec![
+                name.to_owned(),
+                (cfg.data_capacity_bytes() / 1024).to_string(),
+                format!("{:.3}", r.ram_mm2),
+                format!("{:.3}", r.controller_mm2),
+            ]
+        })
+    })
+    .collect();
+    let rows = Runner::from_env().run(cells);
+    for row in &rows {
         println!(
-            "  {:<11} data {:>7} KiB -> RAM {:.3} mm^2, controller {:.3} mm^2",
-            name,
-            cfg.data_capacity_bytes() / 1024,
-            r.ram_mm2,
-            r.controller_mm2
+            "  {:<11} data {:>7} KiB -> RAM {} mm^2, controller {} mm^2",
+            row[0], row[1], row[2], row[3]
         );
     }
+    maybe_dump_table_json("fig20_asic_area", &HEADERS, &rows);
 }

@@ -1,28 +1,35 @@
 //! Table 1: X-Cache vs. state-of-the-art storage idioms.
 
-use xcache_bench::render_table;
+use xcache_bench::{maybe_dump_table_json, render_table, Runner, Scenario};
 use xcache_core::TAXONOMY;
+
+const HEADERS: [&str; 6] = [
+    "Property",
+    "Caches",
+    "Scratch+DMA",
+    "Scratch+AE",
+    "FIFOs",
+    "X-Cache",
+];
 
 fn main() {
     println!("Table 1: X-Cache vs. state-of-the-art storage idioms\n");
-    let rows: Vec<Vec<String>> = TAXONOMY
+    let cells: Vec<Scenario<'_, Vec<String>>> = TAXONOMY
         .iter()
         .map(|r| {
-            vec![
-                r.property.to_owned(),
-                r.caches.to_owned(),
-                r.scratch_dma.to_owned(),
-                r.scratch_ae.to_owned(),
-                r.fifos.to_owned(),
-                r.xcache.to_owned(),
-            ]
+            Scenario::new(r.property, move || {
+                vec![
+                    r.property.to_owned(),
+                    r.caches.to_owned(),
+                    r.scratch_dma.to_owned(),
+                    r.scratch_ae.to_owned(),
+                    r.fifos.to_owned(),
+                    r.xcache.to_owned(),
+                ]
+            })
         })
         .collect();
-    print!(
-        "{}",
-        render_table(
-            &["Property", "Caches", "Scratch+DMA", "Scratch+AE", "FIFOs", "X-Cache"],
-            &rows
-        )
-    );
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("tab01_taxonomy", &HEADERS, &rows);
 }

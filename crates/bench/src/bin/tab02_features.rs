@@ -1,29 +1,32 @@
 //! Table 2: X-Cache features benefiting DSAs.
 
-use xcache_bench::render_table;
+use xcache_bench::{maybe_dump_table_json, render_table, Runner, Scenario};
 use xcache_dsa::{Coupling, FEATURES};
+
+const HEADERS: [&str; 6] = ["DSA", "Tag", "Preload", "Coupling", "Data", "DS"];
 
 fn main() {
     println!("Table 2: X-Cache features benefiting DSAs\n");
-    let rows: Vec<Vec<String>> = FEATURES
+    let cells: Vec<Scenario<'_, Vec<String>>> = FEATURES
         .iter()
         .map(|f| {
-            vec![
-                f.dsa.to_owned(),
-                f.tag.to_owned(),
-                if f.preload { "Yes" } else { "No" }.to_owned(),
-                match f.coupling {
-                    Coupling::Coupled => "Coupled",
-                    Coupling::Decoupled => "Decoupl.",
-                }
-                .to_owned(),
-                f.data.to_owned(),
-                f.data_structure.to_owned(),
-            ]
+            Scenario::new(f.dsa, move || {
+                vec![
+                    f.dsa.to_owned(),
+                    f.tag.to_owned(),
+                    if f.preload { "Yes" } else { "No" }.to_owned(),
+                    match f.coupling {
+                        Coupling::Coupled => "Coupled",
+                        Coupling::Decoupled => "Decoupl.",
+                    }
+                    .to_owned(),
+                    f.data.to_owned(),
+                    f.data_structure.to_owned(),
+                ]
+            })
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["DSA", "Tag", "Preload", "Coupling", "Data", "DS"], &rows)
-    );
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("tab02_features", &HEADERS, &rows);
 }

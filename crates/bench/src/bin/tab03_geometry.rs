@@ -1,7 +1,9 @@
 //! Table 3: X-Cache design parameters per DSA.
 
-use xcache_bench::render_table;
+use xcache_bench::{maybe_dump_table_json, render_table, Runner, Scenario};
 use xcache_core::XCacheConfig;
+
+const HEADERS: [&str; 6] = ["DSA", "#Active", "#Exe", "#Way", "#Set", "#Word"];
 
 fn main() {
     println!("Table 3: X-Cache design parameters per DSA\n");
@@ -12,21 +14,22 @@ fn main() {
         ("Gamma", XCacheConfig::gamma()),
         ("GraphPulse", XCacheConfig::graphpulse()),
     ];
-    let rows: Vec<Vec<String>> = presets
-        .iter()
+    let cells: Vec<Scenario<'_, Vec<String>>> = presets
+        .into_iter()
         .map(|(name, c)| {
-            vec![
-                (*name).to_owned(),
-                c.active.to_string(),
-                c.exe.to_string(),
-                c.ways.to_string(),
-                c.sets.to_string(),
-                c.words_per_sector.to_string(),
-            ]
+            Scenario::new(name, move || {
+                vec![
+                    name.to_owned(),
+                    c.active.to_string(),
+                    c.exe.to_string(),
+                    c.ways.to_string(),
+                    c.sets.to_string(),
+                    c.words_per_sector.to_string(),
+                ]
+            })
         })
         .collect();
-    print!(
-        "{}",
-        render_table(&["DSA", "#Active", "#Exe", "#Way", "#Set", "#Word"], &rows)
-    );
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("tab03_geometry", &HEADERS, &rows);
 }

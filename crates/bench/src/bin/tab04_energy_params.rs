@@ -1,19 +1,27 @@
 //! Table 4: energy parameters (timing: 1 GHz).
 
-use xcache_bench::render_table;
+use xcache_bench::{maybe_dump_table_json, render_table, Runner, Scenario};
 use xcache_energy::EnergyParams;
+
+const HEADERS: [&str; 2] = ["Component", "Energy [pJ]"];
 
 fn main() {
     println!("Table 4: Power usage per bit [pJ] (timing: 1 GHz)\n");
     let p = EnergyParams::paper_table4();
-    let rows = vec![
-        vec!["Register".to_owned(), format!("{:.1e}", p.register_pj_per_bit)],
-        vec!["Add".to_owned(), format!("{:.1e}", p.add_pj_per_bit)],
-        vec!["Mul".to_owned(), format!("{}", p.mul_pj_per_bit)],
-        vec!["Bitwise Op".to_owned(), format!("{:.1e}", p.bitwise_pj_per_bit)],
-        vec!["Shift".to_owned(), format!("{:.1e}", p.shift_pj_per_bit)],
-        vec!["Tag".to_owned(), format!("{} / Byte", p.tag_pj_per_byte)],
-        vec!["L1 Cache".to_owned(), format!("{} / 32 Bytes", p.l1_pj_per_32b)],
+    let entries: Vec<(&str, String)> = vec![
+        ("Register", format!("{:.1e}", p.register_pj_per_bit)),
+        ("Add", format!("{:.1e}", p.add_pj_per_bit)),
+        ("Mul", format!("{}", p.mul_pj_per_bit)),
+        ("Bitwise Op", format!("{:.1e}", p.bitwise_pj_per_bit)),
+        ("Shift", format!("{:.1e}", p.shift_pj_per_bit)),
+        ("Tag", format!("{} / Byte", p.tag_pj_per_byte)),
+        ("L1 Cache", format!("{} / 32 Bytes", p.l1_pj_per_32b)),
     ];
-    print!("{}", render_table(&["Component", "Energy [pJ]"], &rows));
+    let cells: Vec<Scenario<'_, Vec<String>>> = entries
+        .into_iter()
+        .map(|(name, value)| Scenario::new(name, move || vec![name.to_owned(), value]))
+        .collect();
+    let rows = Runner::from_env().run(cells);
+    print!("{}", render_table(&HEADERS, &rows));
+    maybe_dump_table_json("tab04_energy_params", &HEADERS, &rows);
 }

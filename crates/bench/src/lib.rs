@@ -9,11 +9,21 @@
 //! authors' RTL + DRAMsim2 testbed); EXPERIMENTS.md records paper-vs-
 //! measured for each one.
 //!
-//! ## Scale
+//! ## Scale and parallelism
 //!
 //! Harnesses default to a reduced scale so the whole suite runs in
 //! minutes. Set `XCACHE_SCALE=1` for paper-sized inputs (slow) or a larger
 //! divisor for quicker smoke runs; `scale()` reads it.
+//!
+//! Every binary declares its parameter grid as [`Scenario`]s and executes
+//! them through the [`Runner`], which parallelises across independent
+//! cells (`XCACHE_JOBS` worker threads, default: all cores) while keeping
+//! each simulation deterministic and the output order fixed — the printed
+//! tables and JSON dumps are byte-identical at any job count.
+
+pub mod runner;
+
+pub use runner::{jobs_from_env, merge_snapshots, Runner, Scenario};
 
 use std::fmt::Write as _;
 
@@ -131,29 +141,34 @@ impl DsaRun {
     }
 }
 
-/// Runs every evaluated DSA in all three configurations at `scale`
-/// (Figure 14's full sweep; Figures 15/16 reuse the reports).
+/// The full DSA sweep as a scenario grid: every evaluated DSA in all
+/// three storage configurations at `scale`. Each cell is one DSA cluster
+/// (its three runs), so cells are independent and the runner can execute
+/// them in parallel.
 #[must_use]
-pub fn run_all_dsas(scale: u32, seed: u64) -> Vec<DsaRun> {
+pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
     use xcache_dsa::{dasx, graphpulse, spgemm, widx};
 
-    let mut out = Vec::new();
+    let mut cells = Vec::new();
 
     // Widx: TPC-H queries 19/20/22.
     for class in QueryClass::all() {
-        let w = widx_workload(class, scale, seed);
-        let g = widx_geometry(scale);
-        out.push(DsaRun {
-            name: format!("Widx {}", class.name()),
-            geometry: g.clone(),
-            xcache: widx::run_xcache(&w, Some(g.clone())),
-            addr: widx::run_address_cache(&w, Some(g.clone())),
-            baseline: widx::run_baseline(&w, Some(g)),
-        });
+        let name = format!("Widx {}", class.name());
+        cells.push(Scenario::new(name.clone(), move || {
+            let w = widx_workload(class, scale, seed);
+            let g = widx_geometry(scale);
+            DsaRun {
+                name,
+                geometry: g.clone(),
+                xcache: widx::run_xcache(&w, Some(g.clone())),
+                addr: widx::run_address_cache(&w, Some(g.clone())),
+                baseline: widx::run_baseline(&w, Some(g)),
+            }
+        }));
     }
 
     // DASX on the same dataset (Q22 class, §7.2).
-    {
+    cells.push(Scenario::new("DASX", move || {
         let w = dasx::DasxWorkload::from_preset(
             &{
                 let mut p = QueryClass::Q22.preset().scaled_down(scale as usize);
@@ -164,34 +179,32 @@ pub fn run_all_dsas(scale: u32, seed: u64) -> Vec<DsaRun> {
         );
         let mut g = widx_geometry(scale);
         g.exe = XCacheConfig::dasx().exe;
-        out.push(DsaRun {
+        DsaRun {
             name: "DASX".into(),
             geometry: g.clone(),
             xcache: dasx::run_xcache(&w, Some(g.clone())),
             addr: dasx::run_address_cache(&w, Some(g.clone())),
             baseline: dasx::run_baseline(&w, Some(g)),
-        });
-    }
+        }
+    }));
 
     // GraphPulse: p2p-Gnutella08-shaped graph, PageRank.
-    {
+    cells.push(Scenario::new("GraphPulse p2p-08", move || {
         let (n, e) = xcache_workloads::GraphPreset::P2pGnutella08.dims();
         let n = (n / scale).max(64);
         let e = (e / scale as usize).max(256);
         let w = graphpulse::GraphPulseWorkload {
-            graph: xcache_workloads::Graph::from_adjacency(
-                xcache_workloads::CsrMatrix::generate(
-                    n,
-                    n,
-                    e,
-                    xcache_workloads::SparsePattern::RMat,
-                    seed,
-                ),
-            ),
+            graph: xcache_workloads::Graph::from_adjacency(xcache_workloads::CsrMatrix::generate(
+                n,
+                n,
+                e,
+                xcache_workloads::SparsePattern::RMat,
+                seed,
+            )),
             iterations: 2,
         };
         let g = graphpulse_geometry(n);
-        out.push(DsaRun {
+        DsaRun {
             name: "GraphPulse p2p-08".into(),
             geometry: g.clone(),
             xcache: graphpulse::run_xcache(&w, Some(g.clone())),
@@ -199,23 +212,36 @@ pub fn run_all_dsas(scale: u32, seed: u64) -> Vec<DsaRun> {
             // A single-port hardwired coalescing queue (one event per
             // cycle enters a bin), GraphPulse's dedicated structure.
             baseline: graphpulse::run_baseline(&w, 1),
-        });
-    }
+        }
+    }));
 
     // SpArch and Gamma: A x A on a p2p-Gnutella31-shaped matrix.
-    for alg in [spgemm::Algorithm::OuterProduct, spgemm::Algorithm::Gustavson] {
-        let w = spgemm::SpgemmWorkload::paper_like(alg, scale, seed);
-        let g = spgemm_geometry(scale);
-        out.push(DsaRun {
-            name: format!("{} p2p-31", alg.name()),
-            geometry: g.clone(),
-            xcache: spgemm::run_xcache(&w, Some(g.clone())),
-            addr: spgemm::run_address_cache(&w, Some(g.clone())),
-            baseline: spgemm::run_baseline(&w, Some(g)),
-        });
+    for alg in [
+        spgemm::Algorithm::OuterProduct,
+        spgemm::Algorithm::Gustavson,
+    ] {
+        cells.push(Scenario::new(format!("{} p2p-31", alg.name()), move || {
+            let w = spgemm::SpgemmWorkload::paper_like(alg, scale, seed);
+            let g = spgemm_geometry(scale);
+            DsaRun {
+                name: format!("{} p2p-31", alg.name()),
+                geometry: g.clone(),
+                xcache: spgemm::run_xcache(&w, Some(g.clone())),
+                addr: spgemm::run_address_cache(&w, Some(g.clone())),
+                baseline: spgemm::run_baseline(&w, Some(g)),
+            }
+        }));
     }
 
-    out
+    cells
+}
+
+/// Runs every evaluated DSA in all three configurations at `scale`
+/// (Figure 14's full sweep; Figures 15/16 reuse the reports). Cells run
+/// through the [`Runner`], one per DSA cluster.
+#[must_use]
+pub fn run_all_dsas(scale: u32, seed: u64) -> Vec<DsaRun> {
+    Runner::from_env().run(dsa_scenarios(scale, seed))
 }
 
 /// GraphPulse geometry scaled to a vertex count (direct-mapped, like
@@ -246,10 +272,63 @@ pub fn spgemm_geometry(scale: u32) -> XCacheConfig {
     }
 }
 
-/// Serialises a set of [`DsaRun`]s to `results/<name>.json` when
-/// `XCACHE_JSON` is set — a machine-readable companion to the printed
-/// tables (flat JSON, hand-rendered; the workspace has no serde_json).
-pub fn maybe_dump_json(name: &str, runs: &[DsaRun]) {
+/// Geometric mean of an iterator of (positive) ratios; `0.0` when empty.
+#[must_use]
+pub fn geomean(vals: impl Iterator<Item = f64>) -> f64 {
+    let (sum, n) = vals.fold((0.0, 0u32), |(s, n), v| (s + v.ln(), n + 1));
+    if n == 0 {
+        0.0
+    } else {
+        (sum / f64::from(n)).exp()
+    }
+}
+
+/// Escapes a string for inclusion in a JSON string literal.
+fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len());
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// The checked-out commit (short SHA), or `"unknown"` outside a git
+/// checkout.
+#[must_use]
+pub fn git_sha() -> String {
+    std::process::Command::new("git")
+        .args(["rev-parse", "--short=12", "HEAD"])
+        .output()
+        .ok()
+        .filter(|o| o.status.success())
+        .and_then(|o| String::from_utf8(o.stdout).ok())
+        .map(|s| s.trim().to_owned())
+        .unwrap_or_else(|| "unknown".into())
+}
+
+/// Run metadata recorded in every JSON dump: enough to reproduce the run
+/// (scale divisor, job count, commit) and to identify the format.
+fn meta_json(name: &str) -> String {
+    format!(
+        "{{\"schema\":\"xcache-bench/1\",\"experiment\":\"{}\",\"scale\":{},\"jobs\":{},\"git_sha\":\"{}\"}}",
+        json_escape(name),
+        scale(),
+        jobs_from_env(),
+        json_escape(&git_sha())
+    )
+}
+
+/// Writes `{"meta": ..., "<key>": <body>}` to `results/<name>.json` when
+/// `XCACHE_JSON` is set. Every dump goes through here so all of them
+/// carry the same self-describing metadata envelope.
+fn write_results_json(name: &str, key: &str, body: &str) {
     if std::env::var("XCACHE_JSON").is_err() {
         return;
     }
@@ -257,39 +336,95 @@ pub fn maybe_dump_json(name: &str, runs: &[DsaRun]) {
     if std::fs::create_dir_all(dir).is_err() {
         return;
     }
-    let mut out = String::from("[\n");
-    for (i, r) in runs.iter().enumerate() {
-        let report = |rep: &xcache_dsa::RunReport| {
-            let mut counters = String::from("{");
-            for (j, (k, v)) in rep.stats.counters.iter().enumerate() {
-                if j > 0 {
-                    counters.push(',');
-                }
-                let _ = write!(counters, "\"{k}\":{v}");
-            }
-            counters.push('}');
-            format!(
-                "{{\"label\":\"{}\",\"cycles\":{},\"checksum\":{},\"counters\":{}}}",
-                rep.label, rep.cycles, rep.checksum, counters
-            )
-        };
-        let _ = writeln!(
-            out,
-            "  {{\"name\":\"{}\",\"xcache\":{},\"addr\":{},\"baseline\":{}}}{}",
-            r.name,
-            report(&r.xcache),
-            report(&r.addr),
-            report(&r.baseline),
-            if i + 1 < runs.len() { "," } else { "" }
-        );
-    }
-    out.push(']');
+    let out = format!(
+        "{{\n\"meta\": {},\n\"{key}\": {body}\n}}\n",
+        meta_json(name)
+    );
     let path = dir.join(format!("{name}.json"));
     if let Err(e) = std::fs::write(&path, out) {
         eprintln!("warning: could not write {}: {e}", path.display());
     } else {
         eprintln!("(wrote {})", path.display());
     }
+}
+
+/// Serialises a rendered table (headers + rows) to `results/<name>.json`
+/// when `XCACHE_JSON` is set — the machine-readable twin of what the
+/// binary printed, wrapped in the metadata envelope.
+pub fn maybe_dump_table_json(name: &str, headers: &[&str], rows: &[Vec<String>]) {
+    let mut body = String::from("{\"headers\": [");
+    for (i, h) in headers.iter().enumerate() {
+        if i > 0 {
+            body.push(',');
+        }
+        let _ = write!(body, "\"{}\"", json_escape(h));
+    }
+    body.push_str("], \"rows\": [\n");
+    for (i, row) in rows.iter().enumerate() {
+        body.push_str("  [");
+        for (j, cell) in row.iter().enumerate() {
+            if j > 0 {
+                body.push(',');
+            }
+            let _ = write!(body, "\"{}\"", json_escape(cell));
+        }
+        let _ = write!(body, "]{}", if i + 1 < rows.len() { ",\n" } else { "\n" });
+    }
+    body.push_str("]}");
+    write_results_json(name, "table", &body);
+}
+
+/// Serialises a set of [`DsaRun`]s to `results/<name>.json` when
+/// `XCACHE_JSON` is set — a machine-readable companion to the printed
+/// tables (flat JSON, hand-rendered; the workspace has no serde_json).
+/// The envelope always records run metadata (scale, jobs, git SHA) plus
+/// an `aggregate` section with the X-Cache counters merged across runs.
+pub fn maybe_dump_json(name: &str, runs: &[DsaRun]) {
+    if std::env::var("XCACHE_JSON").is_err() {
+        return;
+    }
+    let counters_json = |snap: &xcache_sim::StatsSnapshot| {
+        let mut counters = String::from("{");
+        for (j, (k, v)) in snap.counters.iter().enumerate() {
+            if j > 0 {
+                counters.push(',');
+            }
+            let _ = write!(counters, "\"{}\":{v}", json_escape(k));
+        }
+        counters.push('}');
+        counters
+    };
+    let mut body = String::from("[\n");
+    for (i, r) in runs.iter().enumerate() {
+        let report = |rep: &xcache_dsa::RunReport| {
+            format!(
+                "{{\"label\":\"{}\",\"cycles\":{},\"checksum\":{},\"counters\":{}}}",
+                json_escape(&rep.label),
+                rep.cycles,
+                rep.checksum,
+                counters_json(&rep.stats)
+            )
+        };
+        let _ = writeln!(
+            body,
+            "  {{\"name\":\"{}\",\"xcache\":{},\"addr\":{},\"baseline\":{}}}{}",
+            json_escape(&r.name),
+            report(&r.xcache),
+            report(&r.addr),
+            report(&r.baseline),
+            if i + 1 < runs.len() { "," } else { "" }
+        );
+    }
+    let aggregate = merge_snapshots(runs.iter().map(|r| &r.xcache.stats));
+    let _ = write!(
+        body,
+        "],\n\"aggregate\": {{\"xcache_counters\": {}}}",
+        counters_json(&aggregate)
+    );
+    // `body` already carries the closing bracket of `runs` plus the
+    // aggregate key, so it slots into the envelope as `"runs": [...],
+    // "aggregate": {...}`.
+    write_results_json(name, "runs", &body);
 }
 
 /// Formats a ratio as `1.23x`.
@@ -351,5 +486,79 @@ mod tests {
         assert_eq!(ratio(17.0, 10.0), "1.70x");
         assert_eq!(ratio(1.0, 0.0), "n/a");
         assert_eq!(pct(0.123), "12.3%");
+    }
+
+    #[test]
+    fn geomean_of_ratios() {
+        assert!((geomean([2.0, 8.0].into_iter()) - 4.0).abs() < 1e-12);
+        assert!((geomean([1.7].into_iter()) - 1.7).abs() < 1e-12);
+        assert_eq!(geomean(std::iter::empty()), 0.0);
+    }
+
+    #[test]
+    fn json_escape_handles_specials() {
+        assert_eq!(json_escape(r#"a"b\c"#), r#"a\"b\\c"#);
+        assert_eq!(json_escape("x\ny"), "x\\u000ay");
+        assert_eq!(json_escape("plain"), "plain");
+    }
+
+    #[test]
+    fn meta_json_is_self_describing() {
+        let m = meta_json("figNN");
+        for key in [
+            "\"schema\"",
+            "\"experiment\"",
+            "\"scale\"",
+            "\"jobs\"",
+            "\"git_sha\"",
+        ] {
+            assert!(m.contains(key), "missing {key} in {m}");
+        }
+        assert!(m.contains("\"figNN\""));
+    }
+
+    /// Parallel and sequential execution of real simulator cells must
+    /// produce byte-identical rows and identical merged stats — the
+    /// property the whole harness relies on for `XCACHE_JOBS`.
+    #[test]
+    fn parallel_simulation_cells_match_sequential() {
+        use xcache_dsa::widx;
+
+        let grid = || {
+            [1u64, 2, 3, 4]
+                .into_iter()
+                .map(|seed| {
+                    Scenario::new(format!("seed {seed}"), move || {
+                        let mut preset = QueryClass::Q19.preset().scaled_down(400);
+                        preset.probes = 300;
+                        let w = WidxWorkload::from_preset(&preset, seed);
+                        let g = widx_geometry(40);
+                        let r = widx::run_xcache(&w, Some(g));
+                        (
+                            vec![
+                                seed.to_string(),
+                                r.cycles.to_string(),
+                                r.checksum.to_string(),
+                            ],
+                            r.stats,
+                        )
+                    })
+                })
+                .collect::<Vec<_>>()
+        };
+        let seq = Runner::with_jobs(1).run(grid());
+        let par = Runner::with_jobs(4).run(grid());
+        let rows = |v: &[(Vec<String>, xcache_sim::StatsSnapshot)]| {
+            v.iter().map(|(r, _)| r.clone()).collect::<Vec<_>>()
+        };
+        assert_eq!(rows(&seq), rows(&par));
+        let headers = ["seed", "cycles", "checksum"];
+        assert_eq!(
+            render_table(&headers, &rows(&seq)),
+            render_table(&headers, &rows(&par))
+        );
+        let merged_seq = merge_snapshots(seq.iter().map(|(_, s)| s));
+        let merged_par = merge_snapshots(par.iter().map(|(_, s)| s));
+        assert_eq!(merged_seq, merged_par);
     }
 }

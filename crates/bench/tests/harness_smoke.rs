@@ -8,7 +8,11 @@ use std::process::Command;
 
 fn run(bin: &str) -> String {
     let out = Command::new(bin).output().expect("binary runs");
-    assert!(out.status.success(), "{bin} failed: {}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{bin} failed: {}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     String::from_utf8_lossy(&out.stdout).into_owned()
 }
 

@@ -2,7 +2,7 @@
 //! Figure 13 / Table 3).
 
 /// How walkers share the controller pipeline — the Choice-3 ablation (§3.3).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum WalkerDiscipline {
     /// Walkers are coroutines: they yield the pipeline at long-latency
     /// events and are rescheduled on wakeup (the X-Cache design).
@@ -19,7 +19,7 @@ pub enum WalkerDiscipline {
 /// files (bounding concurrent walkers and therefore memory-level
 /// parallelism), `#Exe` the executor-stage lanes, `#Way`/`#Set` the
 /// meta-tag geometry, and `#Word` the words striped per sector (`wlen`).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct XCacheConfig {
     /// `#Active`: concurrent walkers / X-register files.
     pub active: usize,
@@ -235,14 +235,26 @@ mod tests {
     #[test]
     fn presets_match_table3() {
         let w = XCacheConfig::widx();
-        assert_eq!((w.active, w.exe, w.ways, w.sets, w.words_per_sector), (16, 2, 8, 1024, 4));
+        assert_eq!(
+            (w.active, w.exe, w.ways, w.sets, w.words_per_sector),
+            (16, 2, 8, 1024, 4)
+        );
         let d = XCacheConfig::dasx();
-        assert_eq!((d.active, d.exe, d.ways, d.sets, d.words_per_sector), (16, 4, 8, 1024, 4));
+        assert_eq!(
+            (d.active, d.exe, d.ways, d.sets, d.words_per_sector),
+            (16, 4, 8, 1024, 4)
+        );
         let s = XCacheConfig::sparch();
-        assert_eq!((s.active, s.exe, s.ways, s.sets, s.words_per_sector), (32, 4, 8, 512, 4));
+        assert_eq!(
+            (s.active, s.exe, s.ways, s.sets, s.words_per_sector),
+            (32, 4, 8, 512, 4)
+        );
         assert_eq!(XCacheConfig::gamma(), XCacheConfig::sparch());
         let g = XCacheConfig::graphpulse();
-        assert_eq!((g.active, g.exe, g.ways, g.sets, g.words_per_sector), (16, 4, 1, 131_072, 8));
+        assert_eq!(
+            (g.active, g.exe, g.ways, g.sets, g.words_per_sector),
+            (16, 4, 1, 131_072, 8)
+        );
     }
 
     #[test]

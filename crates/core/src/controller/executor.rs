@@ -1,0 +1,495 @@
+//! Executor stage (back-end, §4.3).
+//!
+//! `#Exe` executor lanes each run one action of a woken routine per cycle.
+//! Actions evaluate operands against the walker's X-register file and the
+//! shared structural state (meta-tag array, data RAM, downstream port);
+//! their [`Outcome`] advances, redirects, stalls, or ends the routine.
+
+use bytes::Bytes;
+
+use xcache_isa::{Action, ActionCategory, AluOp, Cond, Operand};
+use xcache_mem::{MemReq, MemoryPort};
+use xcache_sim::{Cycle, TraceKind};
+
+use crate::{splitmix64, MetaAccess, MetaKey};
+
+use super::sched::{discipline_stage, YieldPolicy};
+use super::{XCache, HAZARD_RETRY, MSG_WORDS, STALL_LIMIT};
+
+/// How one executed action leaves its lane.
+pub(super) enum Outcome {
+    Advance,
+    Jump(usize),
+    Stall,
+    /// Stalled on a resource held by another walker (see [`HAZARD_RETRY`]).
+    StallHazard,
+    YieldLane,
+    FreeLane,
+}
+
+impl<D: MemoryPort> XCache<D> {
+    /// Runs every active lane for one cycle.
+    pub(super) fn execute(&mut self, now: Cycle) {
+        for lane_idx in 0..self.lanes.len() {
+            let Some(mut lane) = self.lanes[lane_idx] else {
+                continue;
+            };
+            if lane.waiting {
+                continue;
+            }
+            if self.walkers[lane.slot].is_none() {
+                // Walker faulted earlier this cycle.
+                self.lanes[lane_idx] = None;
+                continue;
+            }
+            let action = self.program.routines[lane.routine.0 as usize].actions[lane.pc];
+            self.ctx.stats.incr("xcache.ucode_read");
+            self.ctx.stats.incr(category_counter(action.category()));
+            match self.exec_action(now, lane.slot, action) {
+                Outcome::Advance => {
+                    lane.pc += 1;
+                    lane.stall_cycles = 0;
+                    self.lanes[lane_idx] = Some(lane);
+                }
+                Outcome::Jump(pc) => {
+                    lane.pc = pc;
+                    lane.stall_cycles = 0;
+                    self.lanes[lane_idx] = Some(lane);
+                }
+                Outcome::Stall => {
+                    lane.stall_cycles += 1;
+                    self.ctx.stats.incr("xcache.exec_stall");
+                    if lane.stall_cycles > STALL_LIMIT {
+                        self.ctx.stats.incr("xcache.walker_timeout");
+                        self.lanes[lane_idx] = None;
+                        self.fault_walker(now, lane.slot);
+                    } else {
+                        self.lanes[lane_idx] = Some(lane);
+                    }
+                }
+                Outcome::StallHazard => {
+                    lane.stall_cycles += 1;
+                    self.ctx.stats.incr("xcache.exec_stall");
+                    if lane.stall_cycles > HAZARD_RETRY {
+                        self.lanes[lane_idx] = None;
+                        self.abort_and_replay(now, lane.slot);
+                    } else {
+                        self.lanes[lane_idx] = Some(lane);
+                    }
+                }
+                Outcome::YieldLane => {
+                    match discipline_stage(self.cfg.discipline).on_yield() {
+                        YieldPolicy::ReleaseLane => {
+                            self.lanes[lane_idx] = None;
+                            if let Some(w) = self.walkers[lane.slot].as_mut() {
+                                w.in_lane = false;
+                            }
+                        }
+                        YieldPolicy::HoldLane => {
+                            lane.waiting = true;
+                            self.lanes[lane_idx] = Some(lane);
+                        }
+                    }
+                    self.ctx.trace.emit(
+                        now,
+                        TraceKind::Yield,
+                        "xcache",
+                        format!("slot {}", lane.slot),
+                    );
+                }
+                Outcome::FreeLane => {
+                    self.lanes[lane_idx] = None;
+                }
+            }
+        }
+    }
+
+    /// Evaluates an operand for the walker in `slot`.
+    fn eval(&mut self, slot: usize, op: Operand) -> u64 {
+        match op {
+            Operand::Reg(r) => {
+                self.xregs
+                    .read(crate::xreg::XRegFile(slot as u16), r.0, &mut self.ctx.stats)
+            }
+            Operand::Imm(v) => v,
+            Operand::Key => self.walkers[slot].as_ref().expect("walker").key.0,
+            Operand::MsgWord(i) => {
+                self.walkers[slot].as_ref().expect("walker").msg[usize::from(i) % MSG_WORDS]
+            }
+            Operand::Param(i) => self.cfg.params[usize::from(i)],
+            Operand::MetaSector => {
+                let w = self.walkers[slot].as_ref().expect("walker");
+                let r = w.entry.expect("MetaSector without meta entry");
+                u64::from(self.tags.entry(r).sector_start)
+            }
+        }
+    }
+
+    fn write_reg(&mut self, slot: usize, reg: u8, value: u64) {
+        self.xregs.write(
+            crate::xreg::XRegFile(slot as u16),
+            reg,
+            value,
+            &mut self.ctx.stats,
+        );
+    }
+
+    #[allow(clippy::too_many_lines)]
+    fn exec_action(&mut self, now: Cycle, slot: usize, action: Action) -> Outcome {
+        match action {
+            Action::Alu { op, dst, a, b } => {
+                let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                let v = match op {
+                    AluOp::Add => x.wrapping_add(y),
+                    AluOp::Sub => x.wrapping_sub(y),
+                    AluOp::And => x & y,
+                    AluOp::Or => x | y,
+                    AluOp::Xor => x ^ y,
+                    AluOp::Shl => x.wrapping_shl(y as u32),
+                    AluOp::Srl => x.wrapping_shr(y as u32),
+                    AluOp::Sra => ((x as i64).wrapping_shr(y as u32)) as u64,
+                    AluOp::Mul => x.wrapping_mul(y),
+                };
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::Mov { dst, a } => {
+                let v = self.eval(slot, a);
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::AllocR => Outcome::Advance, // file claimed at launch
+            Action::Hash { done, a } => {
+                let v = self.eval(slot, a);
+                let digest = splitmix64(v);
+                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                self.delayed.push((
+                    now + self.cfg.hash_latency,
+                    slot,
+                    gen,
+                    done,
+                    [digest, 0, 0, 0],
+                ));
+                self.ctx.stats.incr("xcache.hash_issue");
+                Outcome::Advance
+            }
+            Action::DramRead { addr, len } => {
+                let (a, l) = (self.eval(slot, addr), self.eval(slot, len));
+                let id = self.next_req_id;
+                let req = MemReq::read(id, a, l as u32);
+                match self.downstream.try_request(now, req) {
+                    Ok(()) => {
+                        self.next_req_id += 1;
+                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        self.inflight.insert(id, (slot, gen));
+                        self.ctx.stats.incr("xcache.dram_req");
+                        self.ctx.stats.add("xcache.dram_req_bytes", l);
+                        self.ctx.trace.emit(
+                            now,
+                            TraceKind::DramIssue,
+                            "xcache",
+                            format!("slot {slot} addr {a:#x} len {l}"),
+                        );
+                        Outcome::Advance
+                    }
+                    Err(_) => Outcome::Stall,
+                }
+            }
+            Action::DramWrite { addr, sector, len } => {
+                let (a, s, l) = (
+                    self.eval(slot, addr),
+                    self.eval(slot, sector),
+                    self.eval(slot, len),
+                );
+                let sectors = (l as usize).div_ceil(self.data.words_per_sector() * 8);
+                let words = self
+                    .data
+                    .gather(s as u32, sectors as u32, &mut self.ctx.stats);
+                let mut bytes = Vec::with_capacity(l as usize);
+                for w in words {
+                    bytes.extend_from_slice(&w.to_le_bytes());
+                }
+                bytes.truncate(l as usize);
+                let id = self.next_req_id;
+                match self
+                    .downstream
+                    .try_request(now, MemReq::write(id, a, Bytes::from(bytes)))
+                {
+                    Ok(()) => {
+                        self.next_req_id += 1;
+                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        self.inflight.insert(id, (slot, gen));
+                        self.ctx.stats.incr("xcache.dram_req");
+                        self.ctx.stats.add("xcache.dram_req_bytes", l);
+                        Outcome::Advance
+                    }
+                    Err(_) => Outcome::Stall,
+                }
+            }
+            Action::PostEvent {
+                event,
+                delay,
+                payload,
+            } => {
+                let v = self.eval(slot, payload);
+                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                self.delayed
+                    .push((now + u64::from(delay), slot, gen, event, [v, 0, 0, 0]));
+                Outcome::Advance
+            }
+            Action::Peek { dst, word } => {
+                let v =
+                    self.walkers[slot].as_ref().expect("walker").msg[usize::from(word) % MSG_WORDS];
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::Respond => {
+                let (key, origin_id, entry) = {
+                    let w = self.walkers[slot].as_ref().expect("walker");
+                    (w.key, w.origin.id(), w.entry)
+                };
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "Respond without meta entry");
+                };
+                let e = *self.tags.entry(r);
+                let data = self
+                    .data
+                    .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
+                self.respond(now, origin_id, key, true, data.clone());
+                let waiters: Vec<MetaAccess> =
+                    std::mem::take(&mut self.walkers[slot].as_mut().expect("walker").waiters);
+                for wa in waiters {
+                    self.respond(now, wa.id(), key, true, data.clone());
+                }
+                self.walkers[slot].as_mut().expect("walker").responded = true;
+                Outcome::Advance
+            }
+            Action::AllocM => {
+                let (key, state) = {
+                    let w = self.walkers[slot].as_ref().expect("walker");
+                    (w.key, w.state)
+                };
+                match self.tags.alloc(key, state, &mut self.ctx.stats) {
+                    Some((r, evicted)) => {
+                        if let Some(v) = evicted {
+                            if v.sector_count > 0 {
+                                self.data.free(v.sector_start, v.sector_count);
+                            }
+                        }
+                        let w = self.walkers[slot].as_mut().expect("walker");
+                        w.entry = Some(r);
+                        w.owns_entry = true;
+                        Outcome::Advance
+                    }
+                    // Set full: if every way is pinned and idle the stall
+                    // can never clear — fault so the datapath can drain
+                    // and retry (its overflow path). Otherwise a walker
+                    // will retire and free a way: stall.
+                    None if self.tags.set_unevictable(key) => {
+                        self.ctx.stats.incr("xcache.set_pinned_full");
+                        self.fault_walker(now, slot);
+                        Outcome::FreeLane
+                    }
+                    None => Outcome::StallHazard,
+                }
+            }
+            Action::DeallocM => {
+                let taken = self.walkers[slot].as_mut().expect("walker").entry.take();
+                let Some(r) = taken else {
+                    return self.walker_error(now, slot, "DeallocM without meta entry");
+                };
+                let e = self.tags.invalidate(r, &mut self.ctx.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+                Outcome::Advance
+            }
+            Action::PinM => {
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "PinM without meta entry");
+                };
+                self.tags.entry_mut(r).pinned = true;
+                Outcome::Advance
+            }
+            Action::InsertM { key, words } => {
+                let (k, n) = (self.eval(slot, key), self.eval(slot, words));
+                let k = MetaKey(k);
+                // Best-effort: skip when already cached, being walked by
+                // another walker (it will install its own entry), or when
+                // there is no idle capacity.
+                if self.tags.peek(k).is_some() || self.launching.contains_key(&k) {
+                    return Outcome::Advance;
+                }
+                let Some(data) = self.walkers[slot]
+                    .as_ref()
+                    .expect("walker")
+                    .fill_data
+                    .clone()
+                else {
+                    return self.walker_error(now, slot, "InsertM without a DRAM response");
+                };
+                let bytes = (n as usize * 8).min(data.len());
+                let sectors = bytes.div_ceil(self.data.words_per_sector() * 8).max(1);
+                let Some(start) = self.data.alloc(sectors, &mut self.ctx.stats) else {
+                    self.ctx.stats.incr("xcache.insertm_skip");
+                    return Outcome::Advance;
+                };
+                let Some((r, evicted)) =
+                    self.tags
+                        .alloc(k, xcache_isa::StateId::DEFAULT, &mut self.ctx.stats)
+                else {
+                    self.data.free(start, sectors as u32);
+                    self.ctx.stats.incr("xcache.insertm_skip");
+                    return Outcome::Advance;
+                };
+                if let Some(v) = evicted {
+                    if v.sector_count > 0 {
+                        self.data.free(v.sector_start, v.sector_count);
+                    }
+                }
+                self.data
+                    .fill_bytes(start, &data[..bytes], &mut self.ctx.stats);
+                let entry = self.tags.entry_mut(r);
+                entry.sector_start = start;
+                entry.sector_count = sectors as u32;
+                entry.active = false;
+                // Speculative insert: lowest replacement priority so it
+                // cannot displace proven-hot keys.
+                self.tags.demote(r);
+                self.ctx.stats.incr("xcache.insertm");
+                Outcome::Advance
+            }
+            Action::UpdateM { start, end } => {
+                let (s, e) = (self.eval(slot, start), self.eval(slot, end));
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "UpdateM without meta entry");
+                };
+                self.ctx.stats.incr("xcache.tag_write");
+                let entry = self.tags.entry_mut(r);
+                entry.sector_start = s as u32;
+                entry.sector_count = (e.saturating_sub(s) + 1) as u32;
+                Outcome::Advance
+            }
+            Action::Branch { cond, a, b, target } => {
+                let taken = match cond {
+                    Cond::Miss => !self.walkers[slot].as_ref().expect("walker").probe_hit,
+                    Cond::Hit => self.walkers[slot].as_ref().expect("walker").probe_hit,
+                    _ => {
+                        let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                        match cond {
+                            Cond::Eq => x == y,
+                            Cond::Ne => x != y,
+                            Cond::Lt => x < y,
+                            Cond::Ge => x >= y,
+                            Cond::Le => x <= y,
+                            Cond::Miss | Cond::Hit => unreachable!(),
+                        }
+                    }
+                };
+                if taken {
+                    Outcome::Jump(usize::from(target))
+                } else {
+                    Outcome::Advance
+                }
+            }
+            Action::Yield { state } => {
+                let w = self.walkers[slot].as_mut().expect("walker");
+                w.state = state;
+                if let Some(r) = w.entry {
+                    self.tags.entry_mut(r).state = state;
+                }
+                Outcome::YieldLane
+            }
+            Action::Retire => {
+                self.retire_walker(now, slot);
+                Outcome::FreeLane
+            }
+            Action::Fault => {
+                self.fault_walker(now, slot);
+                Outcome::FreeLane
+            }
+            Action::AllocD { dst, count } => {
+                let n = self.eval(slot, count) as usize;
+                if n == 0 {
+                    return self.walker_error(now, slot, "AllocD of zero sectors");
+                }
+                loop {
+                    if let Some(start) = self.data.alloc(n, &mut self.ctx.stats) {
+                        self.write_reg(slot, dst.0, u64::from(start));
+                        return Outcome::Advance;
+                    }
+                    // Capacity pressure: evict an idle entry and retry.
+                    match self.evict_one_idle() {
+                        true => continue,
+                        false => {
+                            self.ctx.stats.incr("xcache.dataram_full_stall");
+                            return Outcome::StallHazard;
+                        }
+                    }
+                }
+            }
+            Action::DeallocD => {
+                let entry = self.walkers[slot].as_ref().expect("walker").entry;
+                let Some(r) = entry else {
+                    return self.walker_error(now, slot, "DeallocD without meta entry");
+                };
+                let entry = self.tags.entry_mut(r);
+                let (s, c) = (entry.sector_start, entry.sector_count);
+                entry.sector_count = 0;
+                if c > 0 {
+                    self.data.free(s, c);
+                }
+                Outcome::Advance
+            }
+            Action::ReadD { dst, sector, word } => {
+                let (s, wd) = (self.eval(slot, sector), self.eval(slot, word));
+                let v = self
+                    .data
+                    .read_word(s as u32, wd as u32, &mut self.ctx.stats);
+                self.write_reg(slot, dst.0, v);
+                Outcome::Advance
+            }
+            Action::WriteD {
+                sector,
+                word,
+                value,
+            } => {
+                let (s, wd, v) = (
+                    self.eval(slot, sector),
+                    self.eval(slot, word),
+                    self.eval(slot, value),
+                );
+                self.data
+                    .write_word(s as u32, wd as u32, v, &mut self.ctx.stats);
+                Outcome::Advance
+            }
+            Action::FillD { sector, words } => {
+                let (s, n) = (self.eval(slot, sector), self.eval(slot, words));
+                let Some(data) = self.walkers[slot]
+                    .as_ref()
+                    .expect("walker")
+                    .fill_data
+                    .clone()
+                else {
+                    return self.walker_error(now, slot, "FillD without a DRAM response");
+                };
+                let bytes = (n as usize * 8).min(data.len());
+                self.data
+                    .fill_bytes(s as u32, &data[..bytes], &mut self.ctx.stats);
+                Outcome::Advance
+            }
+        }
+    }
+}
+
+fn category_counter(c: ActionCategory) -> &'static str {
+    match c {
+        ActionCategory::Agen => "xcache.action.agen",
+        ActionCategory::Queue => "xcache.action.queue",
+        ActionCategory::MetaTag => "xcache.action.metatag",
+        ActionCategory::Control => "xcache.action.control",
+        ActionCategory::DataRam => "xcache.action.dataram",
+    }
+}

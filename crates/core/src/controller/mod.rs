@@ -1,0 +1,409 @@
+//! The programmable X-Cache controller (§4, Figure 8).
+//!
+//! The controller is a two-part pipeline, split across this module tree so
+//! each stage is independently readable and testable:
+//!
+//! * [`trigger`] — the front-end ("the event loop"): monitors the datapath
+//!   access queue, the DRAM response port and the internal event queue, and
+//!   *wakes one walker per cycle*. Meta-tag hits bypass the walkers
+//!   entirely through a dedicated read port with a pipelined `hit_latency`
+//!   load-to-use.
+//! * [`sched`] — lane scheduling: round-robin wakeup of dormant walkers and
+//!   the walker *discipline* policy (§3.3 ablation) behind the
+//!   [`sched::DisciplineStage`] trait: coroutines release their lane at
+//!   every yield; blocking threads hold a lane from launch to retirement,
+//!   including all memory stalls (Figure 7).
+//! * [`executor`] — the back-end: `#Exe` executor lanes run woken routines
+//!   one action per lane per cycle; routines end by yielding (coroutine
+//!   goes dormant, lane freed) or retiring.
+//! * [`walker`] — walker lifecycle: per-walk context, datapath responses,
+//!   retirement, faults, and abort-and-replay.
+//!
+//! The stages communicate through the instance's
+//! [`SimContext`](xcache_sim::SimContext) (cycle, stats, trace hooks,
+//! seed) plus the shared structural state on [`XCache`] itself.
+
+mod executor;
+mod sched;
+mod trigger;
+mod walker;
+
+use std::collections::{HashMap, VecDeque};
+
+use xcache_isa::{Action, Operand, RoutineId, WalkerProgram};
+use xcache_mem::MemoryPort;
+use xcache_sim::{Cycle, MsgQueue, SimContext, Stats, TraceBuffer};
+
+use crate::{
+    dataram::DataRam, metatag::MetaTagArray, xreg::XRegPool, MetaAccess, MetaKey, MetaResp,
+    XCacheConfig,
+};
+
+use sched::discipline_stage;
+use walker::Walker;
+
+/// Error constructing an [`XCache`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum BuildError {
+    /// The geometry failed validation.
+    BadConfig(String),
+    /// The walker program failed validation.
+    BadProgram(String),
+    /// The program needs more X-registers than the geometry provides.
+    RegistersExceeded {
+        /// Registers the program declares.
+        needed: u8,
+        /// Registers per walker in the geometry.
+        available: usize,
+    },
+    /// The program references parameter `idx` but only `provided` exist.
+    MissingParam {
+        /// Referenced parameter index.
+        idx: u8,
+        /// Number of parameters configured.
+        provided: usize,
+    },
+}
+
+impl std::fmt::Display for BuildError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            BuildError::BadConfig(e) => write!(f, "invalid configuration: {e}"),
+            BuildError::BadProgram(e) => write!(f, "invalid walker program: {e}"),
+            BuildError::RegistersExceeded { needed, available } => write!(
+                f,
+                "program needs {needed} X-registers but the geometry provides {available}"
+            ),
+            BuildError::MissingParam { idx, provided } => write!(
+                f,
+                "program references param p{idx} but only {provided} parameter(s) configured"
+            ),
+        }
+    }
+}
+
+impl std::error::Error for BuildError {}
+
+/// Number of payload words carried with an event.
+pub(crate) const MSG_WORDS: usize = 4;
+
+/// Cycles a lane may stall on a structural hazard before the walker faults
+/// (deadlock backstop; counted in `xcache.walker_timeout`).
+pub(crate) const STALL_LIMIT: u32 = 100_000;
+
+/// Trigger-stage scheduling window: how many pending accesses the
+/// front-end examines per cycle when the head cannot make progress.
+pub(crate) const SCHED_WINDOW: usize = 8;
+
+/// Cycles a routine may spin on an *allocation* hazard (a resource held by
+/// another walker) before the walk is aborted and its access replayed
+/// through the trigger stage. Allocation hazards are deadlock-prone — two
+/// stalled routines can hold all executor lanes — so they resolve by
+/// replay, unlike queue-full stalls which always drain.
+pub(crate) const HAZARD_RETRY: u32 = 64;
+
+/// One executor lane: a routine in flight for the walker in `slot`.
+#[derive(Debug, Clone, Copy)]
+pub(crate) struct Lane {
+    pub(crate) slot: usize,
+    pub(crate) routine: RoutineId,
+    pub(crate) pc: usize,
+    /// Thread discipline: lane is held while the walker waits for events.
+    pub(crate) waiting: bool,
+    pub(crate) stall_cycles: u32,
+}
+
+/// A generated domain-specific cache instance.
+///
+/// Generic over its miss-path memory level `D`: a
+/// [`DramModel`](xcache_mem::DramModel) directly, an
+/// [`AddressCache`](xcache_mem::AddressCache) (the MXA hierarchy of §6), or
+/// a [`PortHandle`](xcache_mem::PortHandle) sharing DRAM with a stream
+/// engine (MXS).
+#[derive(Debug)]
+pub struct XCache<D> {
+    pub(crate) cfg: XCacheConfig,
+    pub(crate) program: WalkerProgram,
+    pub(crate) tags: MetaTagArray,
+    pub(crate) data: DataRam,
+    pub(crate) xregs: XRegPool,
+    pub(crate) access_q: MsgQueue<MetaAccess>,
+    pub(crate) replay_q: VecDeque<MetaAccess>,
+    /// The trigger-stage window (drained from `access_q`/`replay_q`).
+    pub(crate) pending: VecDeque<MetaAccess>,
+    pub(crate) resp_q: MsgQueue<MetaResp>,
+    /// Overflow buffer for responses produced while `resp_q` is full
+    /// (e.g. a walker answering many waiters at once); drained in FIFO
+    /// order ahead of new responses, so nothing is ever dropped.
+    pub(crate) resp_spill: VecDeque<(u64, MetaResp)>,
+    pub(crate) walkers: Vec<Option<Walker>>,
+    /// Per-slot generation counters, persisting across walker reuse so
+    /// that stale DRAM responses never wake the wrong walker.
+    pub(crate) slot_gens: Vec<u32>,
+    /// key → walker slot, held from launch to retirement (prevents
+    /// duplicate walkers; queues waiters).
+    pub(crate) launching: HashMap<MetaKey, usize>,
+    pub(crate) lanes: Vec<Option<Lane>>,
+    /// Delayed internal events: (due, slot, gen, event, payload).
+    pub(crate) delayed: Vec<(Cycle, usize, u32, xcache_isa::EventId, [u64; MSG_WORDS])>,
+    pub(crate) inflight: HashMap<u64, (usize, u32)>,
+    pub(crate) issue_times: HashMap<u64, Cycle>,
+    pub(crate) next_req_id: u64,
+    pub(crate) wake_rr: usize,
+    pub(crate) downstream: D,
+    /// Ambient services (cycle, stats, trace, seed) shared by all stages.
+    pub(crate) ctx: SimContext,
+}
+
+impl<D: MemoryPort> XCache<D> {
+    /// Generates an X-Cache instance from a geometry, a compiled walker
+    /// program, and the memory level below.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] when the geometry is invalid, the program
+    /// fails validation, or the program's resource needs (X-registers,
+    /// parameters) exceed what the geometry provides.
+    pub fn new(
+        cfg: XCacheConfig,
+        program: WalkerProgram,
+        downstream: D,
+    ) -> Result<Self, BuildError> {
+        cfg.validate().map_err(BuildError::BadConfig)?;
+        program.validate().map_err(|errs| {
+            BuildError::BadProgram(
+                errs.iter()
+                    .map(ToString::to_string)
+                    .collect::<Vec<_>>()
+                    .join("; "),
+            )
+        })?;
+        if usize::from(program.regs) > cfg.xregs_per_walker {
+            return Err(BuildError::RegistersExceeded {
+                needed: program.regs,
+                available: cfg.xregs_per_walker,
+            });
+        }
+        // Every referenced parameter must be configured.
+        for r in &program.routines {
+            for a in &r.actions {
+                for op in action_operands(a) {
+                    if let Operand::Param(i) = op {
+                        if usize::from(i) >= cfg.params.len() {
+                            return Err(BuildError::MissingParam {
+                                idx: i,
+                                provided: cfg.params.len(),
+                            });
+                        }
+                    }
+                }
+            }
+        }
+        // Coroutines charge only the walker's declared X-registers for its
+        // lifetime; blocking threads additionally pay for their statically
+        // allocated hardware contexts every cycle (see `tick`).
+        let charged = usize::from(program.regs.max(1));
+        Ok(XCache {
+            tags: MetaTagArray::new(cfg.sets, cfg.ways),
+            data: DataRam::new(cfg.data_sectors, cfg.words_per_sector),
+            xregs: XRegPool::new(cfg.active, cfg.xregs_per_walker, charged),
+            access_q: MsgQueue::new("xcache.access", cfg.access_queue_depth, 1),
+            replay_q: VecDeque::new(),
+            pending: VecDeque::new(),
+            resp_q: MsgQueue::new("xcache.resp", cfg.resp_queue_depth, cfg.hit_latency.max(1)),
+            resp_spill: VecDeque::new(),
+            walkers: (0..cfg.active).map(|_| None).collect(),
+            slot_gens: vec![0; cfg.active],
+            launching: HashMap::new(),
+            lanes: vec![None; cfg.exe],
+            delayed: Vec::new(),
+            inflight: HashMap::new(),
+            issue_times: HashMap::new(),
+            next_req_id: 1,
+            wake_rr: 0,
+            downstream,
+            ctx: SimContext::new(0),
+            program,
+            cfg,
+        })
+    }
+
+    /// The geometry in effect.
+    #[must_use]
+    pub fn config(&self) -> &XCacheConfig {
+        &self.cfg
+    }
+
+    /// The loaded walker program.
+    #[must_use]
+    pub fn program(&self) -> &WalkerProgram {
+        &self.program
+    }
+
+    /// Accumulated statistics.
+    #[must_use]
+    pub fn stats(&self) -> &Stats {
+        &self.ctx.stats
+    }
+
+    /// The simulation context shared by the pipeline stages.
+    #[must_use]
+    pub fn context(&self) -> &SimContext {
+        &self.ctx
+    }
+
+    /// The memory level below.
+    #[must_use]
+    pub fn downstream(&self) -> &D {
+        &self.downstream
+    }
+
+    /// The memory level below, mutably (workload setup).
+    pub fn downstream_mut(&mut self) -> &mut D {
+        &mut self.downstream
+    }
+
+    /// Enables bounded tracing for debugging and the figure narratives.
+    pub fn enable_trace(&mut self, capacity: usize) {
+        self.ctx.enable_trace(capacity);
+    }
+
+    /// The trace buffer.
+    #[must_use]
+    pub fn trace(&self) -> &TraceBuffer {
+        &self.ctx.trace
+    }
+
+    /// Meta-tag hit ratio so far, or `None` before any access.
+    #[must_use]
+    pub fn hit_rate(&self) -> Option<f64> {
+        let h = self.ctx.stats.get("xcache.hit");
+        let m = self.ctx.stats.get("xcache.miss");
+        (h + m > 0).then(|| h as f64 / (h + m) as f64)
+    }
+
+    /// Offers a meta access from the datapath.
+    ///
+    /// # Errors
+    ///
+    /// Returns the access back when the queue is full this cycle.
+    pub fn try_access(&mut self, now: Cycle, access: MetaAccess) -> Result<(), MetaAccess> {
+        match self.access_q.push(now, access) {
+            Ok(()) => Ok(()),
+            Err(e) => {
+                self.ctx.stats.incr("xcache.access_stall");
+                Err(e.0)
+            }
+        }
+    }
+
+    /// Removes one datapath response ready at `now`, if any.
+    pub fn take_response(&mut self, now: Cycle) -> Option<MetaResp> {
+        self.resp_q.pop(now)
+    }
+
+    /// Whether any work is outstanding anywhere in the instance.
+    #[must_use]
+    pub fn busy(&self) -> bool {
+        !self.access_q.is_empty()
+            || !self.replay_q.is_empty()
+            || !self.pending.is_empty()
+            || !self.resp_q.is_empty()
+            || !self.resp_spill.is_empty()
+            || !self.delayed.is_empty()
+            || self.walkers.iter().any(Option::is_some)
+            || self.downstream.busy()
+    }
+
+    /// Advances the instance (and its downstream level) one cycle: each
+    /// pipeline stage runs once, in dependency order.
+    pub fn tick(&mut self, now: Cycle) {
+        self.ctx.advance(now);
+        let charge = discipline_stage(self.cfg.discipline).static_occupancy(&self.cfg);
+        if charge > 0 {
+            self.ctx
+                .stats
+                .add("xcache.occupancy_reg_byte_cycles", charge);
+        }
+        self.downstream.tick(now);
+        self.drain_resp_spill(now);
+        self.collect_fills(now);
+        self.deliver_delayed(now);
+        let mut wake_budget = 1usize;
+        self.process_access(now, &mut wake_budget);
+        if wake_budget > 0 {
+            self.wake_one(now);
+        }
+        self.execute(now);
+    }
+}
+
+impl<D: MemoryPort> xcache_sim::Component for XCache<D> {
+    fn name(&self) -> &str {
+        &self.program.name
+    }
+    fn tick(&mut self, now: Cycle) {
+        XCache::tick(self, now);
+    }
+    fn busy(&self) -> bool {
+        XCache::busy(self)
+    }
+    fn report(&self, stats: &mut Stats) {
+        stats.merge(&self.ctx.stats);
+    }
+}
+
+pub(crate) fn action_operands(a: &Action) -> Vec<Operand> {
+    let mut v: Vec<Operand> = a.reads().into_iter().map(Operand::Reg).collect();
+    match a {
+        Action::Alu { a, b, .. } | Action::UpdateM { start: a, end: b } => {
+            v.push(*a);
+            v.push(*b);
+        }
+        Action::Mov { a, .. } | Action::Hash { a, .. } | Action::PostEvent { payload: a, .. } => {
+            v.push(*a);
+        }
+        Action::DramRead { addr, len } => {
+            v.push(*addr);
+            v.push(*len);
+        }
+        Action::DramWrite { addr, sector, len } => {
+            v.push(*addr);
+            v.push(*sector);
+            v.push(*len);
+        }
+        Action::Branch { a, b, .. } => {
+            v.push(*a);
+            v.push(*b);
+        }
+        Action::AllocD { count, .. } => v.push(*count),
+        Action::ReadD { sector, word, .. } => {
+            v.push(*sector);
+            v.push(*word);
+        }
+        Action::WriteD {
+            sector,
+            word,
+            value,
+        } => {
+            v.push(*sector);
+            v.push(*word);
+            v.push(*value);
+        }
+        Action::FillD { sector, words } => {
+            v.push(*sector);
+            v.push(*words);
+        }
+        _ => {}
+    }
+    v
+}
+
+/// `SplitMix64` — the deterministic stand-in for the DSA hash unit.
+#[must_use]
+pub fn splitmix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9E37_79B9_7F4A_7C15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xBF58_476D_1CE4_E5B9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94D0_49BB_1331_11EB);
+    x ^ (x >> 31)
+}

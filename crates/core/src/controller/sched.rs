@@ -1,0 +1,196 @@
+//! Lane scheduling and the walker-discipline policy (§3.3).
+//!
+//! The §3.3 ablation contrasts two ways of binding walkers to executor
+//! lanes. Both are expressed through one [`DisciplineStage`] trait so the
+//! rest of the pipeline is discipline-agnostic:
+//!
+//! * [`CoroutineStage`] — a yield releases the lane; the walker goes
+//!   dormant holding only its X-register file. Resources are allocated and
+//!   freed at action granularity.
+//! * [`BlockingThreadStage`] — a yield parks the lane (`waiting`); the
+//!   walker holds it from launch to retirement, including all memory
+//!   stalls, and every statically partitioned thread context charges its
+//!   full register file each cycle ("resources are allocated/freed at a
+//!   coarse granularity").
+
+use xcache_mem::MemoryPort;
+use xcache_sim::{Cycle, TraceKind};
+
+use crate::config::{WalkerDiscipline, XCacheConfig};
+
+use super::{Lane, XCache};
+
+/// What a discipline does with a lane whose routine just yielded.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub(crate) enum YieldPolicy {
+    /// Free the lane; the walker re-arbitrates for one on its next event.
+    ReleaseLane,
+    /// Park the lane (`waiting = true`); the walker resumes in place.
+    HoldLane,
+}
+
+/// Discipline-specific scheduling behaviour, one implementor per
+/// [`WalkerDiscipline`] variant.
+pub(crate) trait DisciplineStage {
+    /// Register-byte-cycles statically charged every cycle regardless of
+    /// activity (zero for disciplines that only pay for live walkers).
+    fn static_occupancy(&self, cfg: &XCacheConfig) -> u64;
+
+    /// How a routine yield disposes of its lane.
+    fn on_yield(&self) -> YieldPolicy;
+}
+
+/// Coroutine discipline: fine-grained lane release (§3.3, X-Cache).
+pub(crate) struct CoroutineStage;
+
+impl DisciplineStage for CoroutineStage {
+    fn static_occupancy(&self, _cfg: &XCacheConfig) -> u64 {
+        0
+    }
+    fn on_yield(&self) -> YieldPolicy {
+        YieldPolicy::ReleaseLane
+    }
+}
+
+/// Blocking-thread discipline: coarse-grained lane retention (§3.3
+/// baseline).
+pub(crate) struct BlockingThreadStage;
+
+impl DisciplineStage for BlockingThreadStage {
+    fn static_occupancy(&self, cfg: &XCacheConfig) -> u64 {
+        // Thread contexts are statically partitioned hardware: every
+        // context's full register file is occupied every cycle, whether
+        // walking or stalled.
+        (cfg.thread_context_regs * 8 * cfg.active) as u64
+    }
+    fn on_yield(&self) -> YieldPolicy {
+        YieldPolicy::HoldLane
+    }
+}
+
+/// The stage implementing `discipline`.
+pub(crate) fn discipline_stage(discipline: WalkerDiscipline) -> &'static dyn DisciplineStage {
+    match discipline {
+        WalkerDiscipline::Coroutine => &CoroutineStage,
+        WalkerDiscipline::BlockingThread => &BlockingThreadStage,
+    }
+}
+
+impl<D: MemoryPort> XCache<D> {
+    /// First free executor lane, if any.
+    pub(super) fn free_lane(&self) -> Option<usize> {
+        self.lanes.iter().position(Option::is_none)
+    }
+
+    /// Dispatches the next pending event of walker `slot` into a lane.
+    pub(super) fn dispatch(&mut self, now: Cycle, slot: usize) -> bool {
+        let (event, payload, in_lane, state) = {
+            let w = self.walkers[slot].as_ref().expect("dispatch on empty slot");
+            let Some(&(event, payload)) = w.pending.front() else {
+                return false;
+            };
+            (event, payload, w.in_lane, w.state)
+        };
+        // Thread discipline: reuse the walker's blocked lane if it has one.
+        let lane_idx = if let Some(i) = self
+            .lanes
+            .iter()
+            .position(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
+        {
+            i
+        } else if in_lane {
+            return false; // already running
+        } else if let Some(i) = self.free_lane() {
+            i
+        } else {
+            return false;
+        };
+        let Some(routine) = self.program.table.lookup(state, event) else {
+            // Protocol error: no transition for (state, event).
+            self.ctx.stats.incr("xcache.protocol_error");
+            self.walkers[slot]
+                .as_mut()
+                .expect("walker")
+                .pending
+                .pop_front();
+            self.fault_walker(now, slot);
+            return true;
+        };
+        let w = self.walkers[slot].as_mut().expect("walker");
+        w.pending.pop_front();
+        w.msg = payload;
+        w.in_lane = true;
+        self.lanes[lane_idx] = Some(Lane {
+            slot,
+            routine,
+            pc: 0,
+            waiting: false,
+            stall_cycles: 0,
+        });
+        self.ctx.stats.incr("xcache.wakeup");
+        self.ctx.trace.emit(
+            now,
+            TraceKind::Wake,
+            "xcache",
+            format!("slot {slot} event {event}"),
+        );
+        true
+    }
+
+    /// Wakes one dormant walker with a pending event (round-robin).
+    pub(super) fn wake_one(&mut self, now: Cycle) {
+        let n = self.walkers.len();
+        for off in 0..n {
+            let slot = (self.wake_rr + off) % n;
+            let ready = self.walkers[slot]
+                .as_ref()
+                .is_some_and(|w| !w.in_lane && !w.pending.is_empty());
+            let blocked_thread = self.walkers[slot].as_ref().is_some_and(|w| {
+                w.in_lane
+                    && !w.pending.is_empty()
+                    && self
+                        .lanes
+                        .iter()
+                        .any(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
+            });
+            if (ready || blocked_thread) && self.dispatch(now, slot) {
+                self.wake_rr = (slot + 1) % n;
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::XCacheConfig;
+
+    #[test]
+    fn coroutine_discipline_is_free_when_idle() {
+        let cfg = XCacheConfig::test_tiny();
+        let stage = discipline_stage(WalkerDiscipline::Coroutine);
+        assert_eq!(stage.static_occupancy(&cfg), 0);
+        assert_eq!(stage.on_yield(), YieldPolicy::ReleaseLane);
+    }
+
+    #[test]
+    fn blocking_thread_discipline_charges_all_contexts() {
+        let cfg = XCacheConfig::test_tiny();
+        let stage = discipline_stage(WalkerDiscipline::BlockingThread);
+        assert_eq!(
+            stage.static_occupancy(&cfg),
+            (cfg.thread_context_regs * 8 * cfg.active) as u64
+        );
+        assert_eq!(stage.on_yield(), YieldPolicy::HoldLane);
+    }
+
+    #[test]
+    fn disciplines_map_to_distinct_stages() {
+        // The two policies must disagree on yield handling — that is the
+        // entire §3.3 ablation.
+        let co = discipline_stage(WalkerDiscipline::Coroutine).on_yield();
+        let th = discipline_stage(WalkerDiscipline::BlockingThread).on_yield();
+        assert_ne!(co, th);
+    }
+}

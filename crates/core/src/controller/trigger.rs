@@ -1,0 +1,421 @@
+//! Trigger stage (front-end, §4.1–§4.2).
+//!
+//! Monitors the DRAM response port, the delayed-event queue, and the
+//! datapath access queue. Meta-tag hits are answered directly through the
+//! dedicated read port; misses launch walkers, subject to the hazard
+//! checks of §4.1 ③ ("routines are not triggered until all the hazard
+//! conditions are eliminated").
+
+use std::collections::VecDeque;
+
+use xcache_isa::{EventId, StateId};
+use xcache_mem::MemoryPort;
+use xcache_sim::{Cycle, TraceKind};
+
+use crate::metatag::EntryRef;
+use crate::{MetaAccess, MetaKey};
+
+use super::walker::Walker;
+use super::{XCache, MSG_WORDS, SCHED_WINDOW};
+
+impl<D: MemoryPort> XCache<D> {
+    /// Collects DRAM responses into the owning walkers' event queues.
+    pub(super) fn collect_fills(&mut self, now: Cycle) {
+        while let Some(resp) = self.downstream.take_response(now) {
+            let Some((slot, gen)) = self.inflight.remove(&resp.id.0) else {
+                continue; // stale (walker faulted); drop
+            };
+            let Some(w) = self.walkers[slot].as_mut() else {
+                continue;
+            };
+            if w.gen != gen {
+                continue;
+            }
+            let mut payload = [0u64; MSG_WORDS];
+            for (i, chunk) in resp.data.chunks(8).take(MSG_WORDS).enumerate() {
+                let mut b = [0u8; 8];
+                b[..chunk.len()].copy_from_slice(chunk);
+                payload[i] = u64::from_le_bytes(b);
+            }
+            w.fill_data = Some(resp.data.clone());
+            w.pending.push_back((EventId::FILL, payload));
+            self.ctx.stats.incr("xcache.fill_resp");
+            self.ctx.trace.emit(
+                now,
+                TraceKind::DramResp,
+                "xcache",
+                format!("slot {slot} addr {:#x}", resp.addr),
+            );
+        }
+    }
+
+    /// Delivers due delayed events (hash results, posted events).
+    pub(super) fn deliver_delayed(&mut self, now: Cycle) {
+        let mut i = 0;
+        while i < self.delayed.len() {
+            if self.delayed[i].0 <= now {
+                let (_, slot, gen, ev, payload) = self.delayed.swap_remove(i);
+                if let Some(w) = self.walkers[slot].as_mut() {
+                    if w.gen == gen {
+                        w.pending.push_back((ev, payload));
+                    }
+                }
+            } else {
+                i += 1;
+            }
+        }
+    }
+
+    /// Processes at most one datapath access per cycle.
+    ///
+    /// Meta hits are "handled by a dedicated read port … fully pipelined"
+    /// (§4.2), so a miss that cannot launch a walker this cycle (no free
+    /// X-register file) must not block younger hits. The trigger stage
+    /// therefore scans a bounded window of the pending accesses and serves
+    /// the first one that can make progress, never reordering two accesses
+    /// to the same key.
+    pub(super) fn process_access(&mut self, now: Cycle, wake_budget: &mut usize) {
+        // Refill the trigger-stage window from the replay queue (waiters
+        // released by a retiring walker) then the datapath queue.
+        while self.pending.len() < self.cfg.access_queue_depth {
+            if let Some(a) = self.replay_q.pop_front() {
+                self.pending.push_back(a);
+            } else if let Some(a) = self.access_q.pop(now) {
+                self.pending.push_back(a);
+            } else {
+                break;
+            }
+        }
+
+        let window = self.pending.len().min(SCHED_WINDOW);
+        let mut seen_keys: Vec<MetaKey> = Vec::with_capacity(window);
+        let mut serve: Option<usize> = None;
+        for i in 0..window {
+            let access = self.pending[i];
+            let key = access.key();
+            if seen_keys.contains(&key) {
+                continue; // per-key order preserved
+            }
+            seen_keys.push(key);
+            if self.can_serve(&access, wake_budget) {
+                serve = Some(i);
+                break;
+            }
+        }
+        let Some(i) = serve else {
+            if !self.pending.is_empty() {
+                self.ctx.stats.incr("xcache.launch_stall");
+            }
+            return;
+        };
+        let access = self.pending.remove(i).expect("index in window");
+        self.serve_access(now, access, wake_budget);
+    }
+
+    /// Whether `access` can make progress this cycle (trigger-stage hazard
+    /// check — "routines are not triggered until all the hazard conditions
+    /// are eliminated", §4.1 ③).
+    fn can_serve(&mut self, access: &MetaAccess, wake_budget: &usize) -> bool {
+        let key = access.key();
+        if let Some(_slot) = self.launching.get(&key) {
+            // Loads attach as waiters (always possible); stores/takes must
+            // wait for the walker to finish.
+            return matches!(access, MetaAccess::Load { .. });
+        }
+        let hit = self.tags.peek(key).is_some();
+        match access {
+            MetaAccess::Load { .. } if hit => true,
+            MetaAccess::Take { .. } => true, // hit or definitive not-found
+            // Walker launch needs the cycle's wake, a lane, an X-reg file,
+            // and — unless the walker will attach to an existing entry —
+            // an allocatable way in the key's set ("routines are not
+            // triggered until all the hazard conditions are eliminated").
+            // Permanently pinned-full sets still launch so the walker can
+            // fast-fault and inform the datapath.
+            _ => {
+                let alloc_ok = hit || self.tags.can_alloc(key) || self.tags.set_unevictable(key);
+                *wake_budget > 0 && self.xregs.has_free() && self.free_lane().is_some() && alloc_ok
+            }
+        }
+    }
+
+    fn serve_access(&mut self, now: Cycle, access: MetaAccess, wake_budget: &mut usize) {
+        let key = access.key();
+        // Load-to-use is measured from dispatch (the trigger stage picked
+        // the access) to response — matching how the probe-engine
+        // baselines measure their per-walk latency.
+        self.issue_times.insert(access.id(), now);
+        if let Some(&slot) = self.launching.get(&key) {
+            let w = self.walkers[slot].as_mut().expect("launching entry");
+            w.waiters.push(access);
+            self.ctx.stats.incr("xcache.waiter");
+            return;
+        }
+        let probe = self.tags.probe(key, &mut self.ctx.stats);
+        match access {
+            MetaAccess::Load { id, .. } => {
+                if let Some(r) = probe {
+                    let e = *self.tags.entry(r);
+                    debug_assert!(!e.active, "active entry without launching record");
+                    self.ctx.stats.incr("xcache.hit");
+                    let data =
+                        self.data
+                            .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
+                    self.respond(now, id, key, true, data);
+                    self.ctx
+                        .trace
+                        .emit(now, TraceKind::Hit, "xcache", format!("{key}"));
+                } else {
+                    self.launch(
+                        now,
+                        access,
+                        false,
+                        None,
+                        [0; MSG_WORDS],
+                        EventId::MISS,
+                        wake_budget,
+                    );
+                }
+            }
+            MetaAccess::Store { payload, .. } => {
+                let mut msg = [0u64; MSG_WORDS];
+                msg[0] = payload[0];
+                msg[1] = payload[1];
+                if let Some(r) = probe {
+                    self.ctx.stats.incr("xcache.store_hit");
+                    self.launch(
+                        now,
+                        access,
+                        true,
+                        Some(r),
+                        msg,
+                        EventId::UPDATE,
+                        wake_budget,
+                    );
+                } else {
+                    self.ctx.stats.incr("xcache.store_miss");
+                    self.launch(now, access, false, None, msg, EventId::UPDATE, wake_budget);
+                }
+            }
+            MetaAccess::Take { id, .. } => {
+                if let Some(r) = probe {
+                    let e = self.tags.invalidate(r, &mut self.ctx.stats);
+                    self.ctx.stats.incr("xcache.take_hit");
+                    let data =
+                        self.data
+                            .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
+                    if e.sector_count > 0 {
+                        self.data.free(e.sector_start, e.sector_count);
+                    }
+                    self.respond(now, id, key, true, data);
+                } else {
+                    self.ctx.stats.incr("xcache.take_miss");
+                    self.respond(now, id, key, false, Vec::new());
+                }
+            }
+        }
+    }
+
+    /// Launches a walker for `access`; `can_serve` already checked the
+    /// resources, so failure here is a logic error.
+    #[allow(clippy::too_many_arguments)]
+    fn launch(
+        &mut self,
+        now: Cycle,
+        access: MetaAccess,
+        probe_hit: bool,
+        entry: Option<EntryRef>,
+        msg: [u64; MSG_WORDS],
+        event: EventId,
+        wake_budget: &mut usize,
+    ) {
+        let file = self
+            .xregs
+            .alloc(now)
+            .expect("can_serve checked a free file");
+        let slot = usize::from(file.0);
+        self.slot_gens[slot] = self.slot_gens[slot].wrapping_add(1);
+        let gen = self.slot_gens[slot];
+        if let Some(r) = entry {
+            self.tags.entry_mut(r).active = true;
+        }
+        let state = entry.map_or(StateId::DEFAULT, |r| self.tags.entry(r).state);
+        let mut w = Walker {
+            key: access.key(),
+            entry,
+            state: if event == EventId::MISS {
+                StateId::DEFAULT
+            } else {
+                state
+            },
+            probe_hit,
+            pending: VecDeque::new(),
+            msg,
+            fill_data: None,
+            origin: access,
+            responded: false,
+            owns_entry: false,
+            waiters: Vec::new(),
+            launched_at: now,
+            gen,
+            in_lane: false,
+        };
+        w.pending.push_back((event, msg));
+        self.walkers[slot] = Some(w);
+        self.launching.insert(access.key(), slot);
+        self.ctx.stats.incr("xcache.walker_launch");
+        if event == EventId::MISS {
+            self.ctx.stats.incr("xcache.miss");
+            self.ctx
+                .trace
+                .emit(now, TraceKind::Miss, "xcache", format!("{}", access.key()));
+        }
+        // Launch consumes the cycle's wake: dispatch immediately.
+        *wake_budget = 0;
+        self.dispatch(now, slot);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetaAccess, MetaKey, XCache, XCacheConfig};
+    use xcache_isa::asm::assemble;
+    use xcache_mem::{DramConfig, DramModel};
+    use xcache_sim::Cycle;
+
+    fn array_walker() -> xcache_isa::WalkerProgram {
+        assemble(
+            r#"
+            walker t
+            states Default, Wait
+            regs 2
+            params base
+            routine start {
+                allocR
+                allocM
+                mul r0, key, 32
+                add r0, r0, base
+                dram_read r0, 32
+                yield Wait
+            }
+            routine fill {
+                allocD r1, 1
+                filld r1, 4
+                updatem r1, r1
+                respond
+                retire
+            }
+            on Default, Miss -> start
+            on Wait, Fill -> fill
+        "#,
+        )
+        .expect("valid")
+    }
+
+    fn tiny() -> XCache<DramModel> {
+        let mut dram = DramModel::new(DramConfig::test_tiny());
+        for k in 0..32u64 {
+            dram.memory_mut().write_u64(0x1000 + k * 32, 9000 + k);
+        }
+        let cfg = XCacheConfig::test_tiny().with_params(vec![0x1000]);
+        XCache::new(cfg, array_walker(), dram).expect("builds")
+    }
+
+    fn run_until_response(xc: &mut XCache<DramModel>, mut now: Cycle) -> (Cycle, crate::MetaResp) {
+        loop {
+            xc.tick(now);
+            if let Some(r) = xc.take_response(now) {
+                return (now, r);
+            }
+            now = now.next();
+            assert!(now.raw() < 100_000, "trigger stage deadlocked");
+        }
+    }
+
+    #[test]
+    fn miss_launches_walker_then_hit_bypasses() {
+        let mut xc = tiny();
+        let a = MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(3),
+        };
+        xc.try_access(Cycle(0), a).expect("queue empty");
+        let (now, r) = run_until_response(&mut xc, Cycle(0));
+        assert!(r.found);
+        assert_eq!(r.data[0], 9003);
+        assert_eq!(xc.stats().get("xcache.miss"), 1);
+        assert_eq!(xc.stats().get("xcache.walker_launch"), 1);
+
+        // Second access to the same key: pure meta-tag hit, no walker.
+        let a = MetaAccess::Load {
+            id: 2,
+            key: MetaKey::new(3),
+        };
+        xc.try_access(now.next(), a).expect("queue empty");
+        let (_, r) = run_until_response(&mut xc, now.next());
+        assert!(r.found);
+        assert_eq!(r.data[0], 9003);
+        assert_eq!(xc.stats().get("xcache.hit"), 1);
+        assert_eq!(
+            xc.stats().get("xcache.walker_launch"),
+            1,
+            "no second walker"
+        );
+    }
+
+    #[test]
+    fn duplicate_key_loads_attach_as_waiters() {
+        let mut xc = tiny();
+        xc.try_access(
+            Cycle(0),
+            MetaAccess::Load {
+                id: 1,
+                key: MetaKey::new(5),
+            },
+        )
+        .expect("queue empty");
+        xc.try_access(
+            Cycle(0),
+            MetaAccess::Load {
+                id: 2,
+                key: MetaKey::new(5),
+            },
+        )
+        .expect("queue has room");
+        let mut now = Cycle(0);
+        let mut got = Vec::new();
+        while got.len() < 2 {
+            xc.tick(now);
+            while let Some(r) = xc.take_response(now) {
+                got.push(r.id);
+            }
+            now = now.next();
+            assert!(now.raw() < 100_000, "waiter never answered");
+        }
+        got.sort_unstable();
+        assert_eq!(got, vec![1, 2]);
+        assert_eq!(
+            xc.stats().get("xcache.walker_launch"),
+            1,
+            "one walk serves both"
+        );
+        assert_eq!(xc.stats().get("xcache.waiter"), 1);
+    }
+
+    #[test]
+    fn take_miss_answers_not_found_without_walker() {
+        let mut xc = tiny();
+        xc.try_access(
+            Cycle(0),
+            MetaAccess::Take {
+                id: 9,
+                key: MetaKey::new(7),
+            },
+        )
+        .expect("queue empty");
+        let (_, r) = run_until_response(&mut xc, Cycle(0));
+        assert!(!r.found);
+        assert_eq!(xc.stats().get("xcache.take_miss"), 1);
+        assert_eq!(xc.stats().get("xcache.walker_launch"), 0);
+    }
+}

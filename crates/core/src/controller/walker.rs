@@ -1,0 +1,286 @@
+//! Walker lifecycle: per-walk context and completion paths.
+//!
+//! A walker is one in-flight structure walk: launched by the trigger
+//! stage, advanced by the executor, and ended here — by retiring
+//! (success), faulting (resources invalidated, datapath told "not
+//! found"), or aborting with replay (lost an allocation race; the access
+//! re-enters the trigger stage unanswered).
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use xcache_isa::{EventId, StateId};
+use xcache_mem::MemoryPort;
+use xcache_sim::{Cycle, TraceKind};
+
+use crate::metatag::EntryRef;
+use crate::{MetaAccess, MetaKey, MetaResp};
+
+use super::executor::Outcome;
+use super::{XCache, MSG_WORDS};
+
+/// One in-flight structure walk.
+#[derive(Debug)]
+pub(crate) struct Walker {
+    pub(crate) key: MetaKey,
+    pub(crate) entry: Option<EntryRef>,
+    pub(crate) state: StateId,
+    pub(crate) probe_hit: bool,
+    pub(crate) pending: VecDeque<(EventId, [u64; MSG_WORDS])>,
+    pub(crate) msg: [u64; MSG_WORDS],
+    pub(crate) fill_data: Option<Bytes>,
+    pub(crate) origin: MetaAccess,
+    pub(crate) responded: bool,
+    /// The walker allocated its meta entry (vs. attached to an existing
+    /// one on a store hit); faults may only invalidate owned entries.
+    pub(crate) owns_entry: bool,
+    pub(crate) waiters: Vec<MetaAccess>,
+    pub(crate) launched_at: Cycle,
+    pub(crate) gen: u32,
+    pub(crate) in_lane: bool,
+}
+
+impl<D: MemoryPort> XCache<D> {
+    /// Moves spilled responses into the response queue as room appears.
+    pub(super) fn drain_resp_spill(&mut self, now: Cycle) {
+        while !self.resp_spill.is_empty() {
+            if self.resp_q.is_full() {
+                break;
+            }
+            let (extra, resp) = self.resp_spill.pop_front().expect("front exists");
+            self.resp_q
+                .push_after(now, extra, resp)
+                .expect("checked not full");
+        }
+    }
+
+    /// Sends a datapath response, spilling FIFO if the queue is full.
+    pub(super) fn respond(
+        &mut self,
+        now: Cycle,
+        id: u64,
+        key: MetaKey,
+        found: bool,
+        data: Vec<u64>,
+    ) {
+        let sectors = data.len().div_ceil(self.data.words_per_sector()).max(1) as u64;
+        let resp = MetaResp {
+            id,
+            key,
+            found,
+            data,
+        };
+        if let Some(t) = self.issue_times.remove(&id) {
+            self.ctx.stats.sample(
+                "xcache.load_to_use",
+                now.since(t) + self.cfg.hit_latency + sectors - 1,
+            );
+        }
+        // Serial return of multi-sector elements (§5: "all blocks are
+        // serially returned to compute datapath").
+        let extra = sectors - 1;
+        // FIFO order: once anything spilled, later responses follow it.
+        if !self.resp_spill.is_empty() || self.resp_q.is_full() {
+            self.ctx.stats.incr("xcache.resp_spill");
+            self.resp_spill.push_back((extra, resp));
+            return;
+        }
+        self.resp_q
+            .push_after(now, extra, resp)
+            .expect("checked not full");
+    }
+
+    /// Successful completion: entry rests, waiters replay, resources free.
+    pub(super) fn retire_walker(&mut self, now: Cycle, slot: usize) {
+        let mut w = self.walkers[slot].take().expect("retire on empty slot");
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            let e = self.tags.entry_mut(r);
+            e.active = false;
+            // A completed entry rests in `Default`: future events on it
+            // (e.g. a Store merge) dispatch from the resting state, not
+            // from whatever mid-walk state the last yield recorded.
+            e.state = StateId::DEFAULT;
+        }
+        if !w.responded {
+            // Auto-acknowledge (stores / preloads that never Respond).
+            self.respond(now, w.origin.id(), w.key, true, Vec::new());
+        }
+        // Remaining waiters replay through the front-end and hit.
+        for wa in w.waiters.drain(..) {
+            self.replay_q.push_back(wa);
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
+        self.ctx.stats.incr("xcache.walker_retire");
+        self.ctx
+            .stats
+            .sample("xcache.walk_latency", now.since(w.launched_at));
+        self.ctx
+            .trace
+            .emit(now, TraceKind::Retire, "xcache", format!("slot {slot}"));
+    }
+
+    /// Failure: owned resources invalidated, origin and waiters answered
+    /// "not found", lanes freed.
+    pub(super) fn fault_walker(&mut self, now: Cycle, slot: usize) {
+        let Some(mut w) = self.walkers[slot].take() else {
+            return;
+        };
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            if w.owns_entry {
+                let e = self.tags.invalidate(r, &mut self.ctx.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+            } else {
+                // Attached to a pre-existing entry (store hit): the data
+                // is still valid, just release the active claim.
+                self.tags.entry_mut(r).active = false;
+            }
+        }
+        if !w.responded {
+            self.respond(now, w.origin.id(), w.key, false, Vec::new());
+        }
+        for wa in w.waiters.drain(..) {
+            self.respond(now, wa.id(), w.key, false, Vec::new());
+        }
+        // Free any lane the walker held (thread discipline).
+        for l in &mut self.lanes {
+            if l.is_some_and(|l| l.slot == slot) {
+                *l = None;
+            }
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
+        self.ctx.stats.incr("xcache.walker_fault");
+    }
+
+    /// Aborts a walker that lost an allocation race and replays its access
+    /// (and waiters) through the trigger stage — no response is sent, so
+    /// the datapath just sees a longer walk.
+    pub(super) fn abort_and_replay(&mut self, now: Cycle, slot: usize) {
+        let Some(mut w) = self.walkers[slot].take() else {
+            return;
+        };
+        self.launching.remove(&w.key);
+        if let Some(r) = w.entry {
+            if w.owns_entry {
+                let e = self.tags.invalidate(r, &mut self.ctx.stats);
+                if e.sector_count > 0 {
+                    self.data.free(e.sector_start, e.sector_count);
+                }
+            } else {
+                self.tags.entry_mut(r).active = false;
+            }
+        }
+        self.replay_q.push_back(w.origin);
+        for wa in w.waiters.drain(..) {
+            self.replay_q.push_back(wa);
+        }
+        for l in &mut self.lanes {
+            if l.is_some_and(|l| l.slot == slot) {
+                *l = None;
+            }
+        }
+        self.xregs
+            .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
+        self.ctx.stats.incr("xcache.walker_replay");
+    }
+
+    /// Records a protocol violation and faults the walker.
+    pub(super) fn walker_error(&mut self, now: Cycle, slot: usize, what: &str) -> Outcome {
+        self.ctx.stats.incr("xcache.walker_error");
+        self.ctx.trace.emit(
+            now,
+            TraceKind::Other,
+            "xcache",
+            format!("slot {slot}: {what}"),
+        );
+        self.fault_walker(now, slot);
+        Outcome::FreeLane
+    }
+
+    /// Evicts one idle, unpinned meta entry (LRU-ish: first found in scan
+    /// order), freeing its sectors. Returns whether anything was evicted.
+    pub(super) fn evict_one_idle(&mut self) -> bool {
+        let victim = self
+            .tags
+            .iter()
+            .filter(|e| !e.active && !e.pinned && e.sector_count > 0)
+            .min_by_key(|e| e.sector_count)
+            .map(|e| e.key);
+        let Some(key) = victim else {
+            return false;
+        };
+        let r = self.tags.peek(key).expect("victim present");
+        let e = self.tags.invalidate(r, &mut self.ctx.stats);
+        self.data.free(e.sector_start, e.sector_count);
+        self.ctx.stats.incr("xcache.capacity_evict");
+        true
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use crate::{MetaAccess, MetaKey, XCache, XCacheConfig};
+    use xcache_isa::asm::assemble;
+    use xcache_mem::{DramConfig, DramModel};
+    use xcache_sim::Cycle;
+
+    /// A walker that always faults — exercises the fault path end to end.
+    fn faulting_walker() -> xcache_isa::WalkerProgram {
+        assemble(
+            r#"
+            walker f
+            states Default
+            regs 1
+            routine start {
+                allocR
+                fault
+            }
+            on Default, Miss -> start
+        "#,
+        )
+        .expect("valid")
+    }
+
+    #[test]
+    fn fault_answers_not_found_and_frees_resources() {
+        let dram = DramModel::new(DramConfig::test_tiny());
+        let cfg = XCacheConfig::test_tiny();
+        let mut xc = XCache::new(cfg, faulting_walker(), dram).expect("builds");
+        xc.try_access(
+            Cycle(0),
+            MetaAccess::Load {
+                id: 4,
+                key: MetaKey::new(1),
+            },
+        )
+        .expect("queue empty");
+        let mut now = Cycle(0);
+        let r = loop {
+            xc.tick(now);
+            if let Some(r) = xc.take_response(now) {
+                break r;
+            }
+            now = now.next();
+            assert!(now.raw() < 10_000, "fault path deadlocked");
+        };
+        assert!(!r.found, "faulted walk must answer not-found");
+        assert_eq!(xc.stats().get("xcache.walker_fault"), 1);
+        // Resource conservation: everything released, instance quiescent.
+        while xc.busy() {
+            now = now.next();
+            xc.tick(now);
+            let _ = xc.take_response(now);
+            assert!(now.raw() < 10_000, "never drained");
+        }
+        assert_eq!(
+            xc.stats().get("xcache.walker_launch"),
+            xc.stats().get("xcache.walker_retire") + xc.stats().get("xcache.walker_fault")
+        );
+    }
+}

@@ -194,7 +194,7 @@ mod tests {
         let b = d.alloc(1, &mut s).unwrap(); // sector 1
         let _c = d.alloc(1, &mut s).unwrap(); // sector 2
         d.free(b, 1); // hole at 1, free tail at 3
-        // Two free sectors exist but not contiguously.
+                      // Two free sectors exist but not contiguously.
         assert_eq!(d.free_sectors(), 2);
         assert!(d.alloc(2, &mut s).is_none());
         assert!(d.alloc(1, &mut s).is_some());

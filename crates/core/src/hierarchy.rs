@@ -64,7 +64,7 @@ impl<D: MemoryPort> MetaPort for XCache<D> {
 }
 
 /// Geometry of a [`MetaL1`] level.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MetaL1Config {
     /// Meta-tag sets (power of two).
     pub sets: usize,
@@ -190,10 +190,7 @@ impl<L: MetaPort> MetaL1<L> {
     }
 
     fn fill_local(&mut self, key: MetaKey, words: &[u64]) {
-        let sectors = words
-            .len()
-            .div_ceil(self.cfg.words_per_sector)
-            .max(1);
+        let sectors = words.len().div_ceil(self.cfg.words_per_sector).max(1);
         // Make room: evict idle entries while allocation fails.
         let start = loop {
             if let Some(s) = self.data.alloc(sectors, &mut self.stats) {
@@ -218,7 +215,9 @@ impl<L: MetaPort> MetaL1<L> {
         let Some(start) = start else {
             return; // cannot cache; serve uncached
         };
-        let Some((r, evicted)) = self.tags.alloc(key, xcache_isa::StateId::DEFAULT, &mut self.stats)
+        let Some((r, evicted)) =
+            self.tags
+                .alloc(key, xcache_isa::StateId::DEFAULT, &mut self.stats)
         else {
             self.data.free(start, sectors as u32);
             return;
@@ -297,7 +296,9 @@ impl<L: MetaPort> MetaPort for MetaL1<L> {
                     let e = *self.tags.entry(r);
                     self.access_q.pop(now);
                     self.stats.incr("metal1.hit");
-                    let data = self.data.gather(e.sector_start, e.sector_count, &mut self.stats);
+                    let data = self
+                        .data
+                        .gather(e.sector_start, e.sector_count, &mut self.stats);
                     let _ = self.resp_q.push(
                         now,
                         MetaResp {

@@ -18,7 +18,7 @@ use std::fmt;
 /// let k = MetaKey::pack2(3, 17); // e.g. (matrix B, row 17)
 /// assert_eq!(k.field2(), (3, 17));
 /// ```
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct MetaKey(pub u64);
 
 impl MetaKey {
@@ -48,7 +48,10 @@ impl MetaKey {
     /// Panics if a field exceeds its width.
     #[must_use]
     pub fn pack3(a: u16, b: u32, c: u32) -> Self {
-        assert!(b < (1 << 24) && c < (1 << 24), "pack3 fields exceed 24 bits");
+        assert!(
+            b < (1 << 24) && c < (1 << 24),
+            "pack3 fields exceed 24 bits"
+        );
         MetaKey((u64::from(a) << 48) | (u64::from(b) << 24) | u64::from(c))
     }
 
@@ -82,7 +85,7 @@ impl From<u64> for MetaKey {
 }
 
 /// A meta access issued by the DSA datapath.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum MetaAccess {
     /// Fetch the data element tagged `key`; on a miss the walker finds it.
     Load {
@@ -134,7 +137,7 @@ impl MetaAccess {
 }
 
 /// The X-Cache's answer to a [`MetaAccess`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct MetaResp {
     /// Correlation id of the access.
     pub id: u64,

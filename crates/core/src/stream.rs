@@ -16,7 +16,7 @@ use xcache_mem::{MemReq, MemoryPort};
 use xcache_sim::{Cycle, Stats};
 
 /// Configuration of a [`StreamReader`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct StreamConfig {
     /// First byte of the streamed region.
     pub base: u64,

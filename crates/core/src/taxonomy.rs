@@ -7,7 +7,7 @@
 //! column's claims against the implemented model.
 
 /// One row of Table 1: a property and its value for each idiom.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct IdiomRow {
     /// Property name (e.g. "Granularity").
     pub property: &'static str,
@@ -146,7 +146,10 @@ mod tests {
     fn xcache_column_claims() {
         let walker = TAXONOMY.iter().find(|r| r.property == "Walker").unwrap();
         assert_eq!(walker.xcache, "Programmable");
-        let fill = TAXONOMY.iter().find(|r| r.property == "Multi.Fill").unwrap();
+        let fill = TAXONOMY
+            .iter()
+            .find(|r| r.property == "Multi.Fill")
+            .unwrap();
         assert!(fill.xcache.contains("coroutine"));
     }
 }

@@ -135,7 +135,11 @@ fn drain<D: xcache_mem::MemoryPort>(
             got.push(r);
         }
         *now = now.next();
-        assert!(now.raw() < 1_000_000, "controller deadlock: {:?}", xc.stats());
+        assert!(
+            now.raw() < 1_000_000,
+            "controller deadlock: {:?}",
+            xc.stats()
+        );
     }
     got
 }
@@ -343,10 +347,9 @@ fn thread_discipline_inflates_occupancy() {
         let mut sent = 0u64;
         let mut recv = 0;
         while recv < 32 {
-            if sent < 32
-                && xc.try_access(now, load(sent, sent)).is_ok() {
-                    sent += 1;
-                }
+            if sent < 32 && xc.try_access(now, load(sent, sent)).is_ok() {
+                sent += 1;
+            }
             xc.tick(now);
             while xc.take_response(now).is_some() {
                 recv += 1;
@@ -365,7 +368,10 @@ fn thread_discipline_inflates_occupancy() {
         occ_thread > 4 * occ_coro,
         "thread occupancy {occ_thread} should dwarf coroutine {occ_coro}"
     );
-    assert!(t_thread >= t_coro, "threads cannot be faster ({t_thread} vs {t_coro})");
+    assert!(
+        t_thread >= t_coro,
+        "threads cannot be faster ({t_thread} vs {t_coro})"
+    );
 }
 
 #[test]

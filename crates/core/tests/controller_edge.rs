@@ -77,7 +77,11 @@ fn dram_with_array(elems: u64, base: u64) -> DramModel {
     dram
 }
 
-fn drain<D: MemoryPort>(xc: &mut XCache<D>, now: &mut Cycle, want: usize) -> Vec<xcache_core::MetaResp> {
+fn drain<D: MemoryPort>(
+    xc: &mut XCache<D>,
+    now: &mut Cycle,
+    want: usize,
+) -> Vec<xcache_core::MetaResp> {
     let mut got = Vec::new();
     while got.len() < want {
         xc.tick(*now);
@@ -98,10 +102,24 @@ fn store_take_same_key_order_preserved() {
     let mut xc = XCache::new(cfg, merge_walker(), DramModel::new(DramConfig::test_tiny())).unwrap();
     let mut now = Cycle(0);
     let key = MetaKey::new(7);
-    xc.try_access(now, MetaAccess::Store { id: 1, key, payload: [5, 0] })
-        .unwrap();
-    xc.try_access(now, MetaAccess::Store { id: 2, key, payload: [6, 0] })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Store {
+            id: 1,
+            key,
+            payload: [5, 0],
+        },
+    )
+    .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Store {
+            id: 2,
+            key,
+            payload: [6, 0],
+        },
+    )
+    .unwrap();
     xc.try_access(now, MetaAccess::Take { id: 3, key }).unwrap();
     let rs = drain(&mut xc, &mut now, 3);
     let take = rs.iter().find(|r| r.id == 3).expect("take answered");
@@ -121,17 +139,41 @@ fn loads_to_distinct_keys_bypass_a_blocked_store() {
     let mut xc = XCache::new(cfg, array_walker(), dram_with_array(8, 0x1000)).unwrap();
     let mut now = Cycle(0);
     // Warm key 1.
-    xc.try_access(now, MetaAccess::Load { id: 0, key: MetaKey::new(1) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 0,
+            key: MetaKey::new(1),
+        },
+    )
+    .unwrap();
     let _ = drain(&mut xc, &mut now, 1);
     // Start a long walk on key 2 (occupies the single walker)...
-    xc.try_access(now, MetaAccess::Load { id: 1, key: MetaKey::new(2) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(2),
+        },
+    )
+    .unwrap();
     // ...and a miss on key 3 that cannot launch, then a hit on key 1.
-    xc.try_access(now, MetaAccess::Load { id: 2, key: MetaKey::new(3) })
-        .unwrap();
-    xc.try_access(now, MetaAccess::Load { id: 3, key: MetaKey::new(1) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 2,
+            key: MetaKey::new(3),
+        },
+    )
+    .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 3,
+            key: MetaKey::new(1),
+        },
+    )
+    .unwrap();
     let rs = drain(&mut xc, &mut now, 3);
     // The hit (id 3) must complete before the blocked miss (id 2).
     let pos = |id: u64| rs.iter().position(|r| r.id == id).expect("answered");
@@ -144,11 +186,23 @@ fn trace_records_walker_lifecycle() {
     let mut xc = XCache::new(cfg, array_walker(), dram_with_array(4, 0x1000)).unwrap();
     xc.enable_trace(64);
     let mut now = Cycle(0);
-    xc.try_access(now, MetaAccess::Load { id: 1, key: MetaKey::new(2) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(2),
+        },
+    )
+    .unwrap();
     let _ = drain(&mut xc, &mut now, 1);
-    xc.try_access(now, MetaAccess::Load { id: 2, key: MetaKey::new(2) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 2,
+            key: MetaKey::new(2),
+        },
+    )
+    .unwrap();
     let _ = drain(&mut xc, &mut now, 1);
     let t = xc.trace();
     assert!(t.of_kind(TraceKind::Miss).count() >= 1);
@@ -210,8 +264,14 @@ fn thread_discipline_multi_stage_walker_completes() {
     let mut xc = XCache::new(cfg, program, dram).unwrap();
     let mut now = Cycle(0);
     for id in 0..6u64 {
-        xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(id * 3 + 1) })
-            .unwrap();
+        xc.try_access(
+            now,
+            MetaAccess::Load {
+                id,
+                key: MetaKey::new(id * 3 + 1),
+            },
+        )
+        .unwrap();
     }
     let rs = drain(&mut xc, &mut now, 6);
     assert_eq!(rs.len(), 6);
@@ -235,7 +295,10 @@ fn hazard_replay_resolves_single_way_conflicts() {
     let mut now = Cycle(0);
     for id in 0..24u64 {
         loop {
-            let a = MetaAccess::Load { id, key: MetaKey::new(id % 12) };
+            let a = MetaAccess::Load {
+                id,
+                key: MetaKey::new(id % 12),
+            };
             if xc.try_access(now, a).is_ok() {
                 break;
             }
@@ -295,13 +358,25 @@ fn insertm_does_not_duplicate_existing_entries() {
     // Every walk side-inserts key 5. Run several walks, then load key 5:
     // it must be found exactly once with consistent data.
     for id in 0..4u64 {
-        xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(id) })
-            .unwrap();
+        xc.try_access(
+            now,
+            MetaAccess::Load {
+                id,
+                key: MetaKey::new(id),
+            },
+        )
+        .unwrap();
         let _ = drain(&mut xc, &mut now, 1);
     }
     assert!(xc.stats().get("xcache.insertm") >= 1);
-    xc.try_access(now, MetaAccess::Load { id: 99, key: MetaKey::new(5) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 99,
+            key: MetaKey::new(5),
+        },
+    )
+    .unwrap();
     let r = drain(&mut xc, &mut now, 1);
     assert!(r[0].found);
     // Side-inserted data is the *fill payload* of the inserting walker

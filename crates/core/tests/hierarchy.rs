@@ -70,16 +70,28 @@ fn mx_l1_serves_repeated_loads_locally() {
     let mut now = Cycle(0);
 
     // First load: L1 miss, L2 miss, walker fetch.
-    mx.try_access(now, MetaAccess::Load { id: 1, key: MetaKey::new(3) })
-        .unwrap();
+    mx.try_access(
+        now,
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(3),
+        },
+    )
+    .unwrap();
     let r = drain_port(&mut mx, &mut now, 1);
     assert_eq!(r[0].data[0], 1003);
     let t_cold = now.raw();
 
     // Second load of the same key: L1 hit, L2 untouched.
     let start = now;
-    mx.try_access(now, MetaAccess::Load { id: 2, key: MetaKey::new(3) })
-        .unwrap();
+    mx.try_access(
+        now,
+        MetaAccess::Load {
+            id: 2,
+            key: MetaKey::new(3),
+        },
+    )
+    .unwrap();
     let r = drain_port(&mut mx, &mut now, 1);
     assert_eq!(r[0].data[0], 1003);
     let t_l1 = now.since(start);
@@ -102,8 +114,14 @@ fn mx_coalesces_concurrent_loads() {
     .unwrap();
     let mut now = Cycle(0);
     for id in 0..3 {
-        mx.try_access(now, MetaAccess::Load { id, key: MetaKey::new(5) })
-            .unwrap();
+        mx.try_access(
+            now,
+            MetaAccess::Load {
+                id,
+                key: MetaKey::new(5),
+            },
+        )
+        .unwrap();
     }
     let rs = drain_port(&mut mx, &mut now, 3);
     for r in &rs {
@@ -137,11 +155,23 @@ fn mxa_walker_misses_filter_through_address_cache() {
 
     // Key 0 (bytes 0x1000..0x1020) and key 1 (0x1020..0x1040) share the
     // 64-byte block 0x1000.
-    xc.try_access(now, MetaAccess::Load { id: 1, key: MetaKey::new(0) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(0),
+        },
+    )
+    .unwrap();
     let _ = drain_port(&mut xc, &mut now, 1);
-    xc.try_access(now, MetaAccess::Load { id: 2, key: MetaKey::new(1) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 2,
+            key: MetaKey::new(1),
+        },
+    )
+    .unwrap();
     let r = drain_port(&mut xc, &mut now, 1);
     assert_eq!(r[0].data[0], 1001);
     let l2_stats = xc.downstream().stats();
@@ -176,8 +206,14 @@ fn mxs_stream_and_xcache_share_dram() {
     let mut now = Cycle(0);
     let mut streamed = Vec::new();
     let mut resp = None;
-    xc.try_access(now, MetaAccess::Load { id: 1, key: MetaKey::new(2) })
-        .unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(2),
+        },
+    )
+    .unwrap();
     while streamed.len() < 64 || resp.is_none() {
         stream.tick(now);
         xc.tick(now);
@@ -252,8 +288,15 @@ fn mx_store_invalidates_stale_l1_copy() {
     let r = drain_port(&mut mx, &mut now, 1);
     assert_eq!(r[0].data[0], 50);
     // Store +7: forwarded to L2 (merge), L1 copy invalidated.
-    mx.try_access(now, MetaAccess::Store { id: 2, key, payload: [7, 0] })
-        .unwrap();
+    mx.try_access(
+        now,
+        MetaAccess::Store {
+            id: 2,
+            key,
+            payload: [7, 0],
+        },
+    )
+    .unwrap();
     let _ = drain_port(&mut mx, &mut now, 1);
     assert!(mx.stats().get("metal1.inval") >= 1);
     // Re-load: must observe 57, refetched from the owning level.
@@ -317,7 +360,15 @@ fn store_merge_after_load_created_entry() {
     xc.try_access(now, MetaAccess::Load { id: 1, key }).unwrap();
     let r = drain_port(&mut xc, &mut now, 1);
     assert_eq!(r[0].data[0], 50);
-    xc.try_access(now, MetaAccess::Store { id: 2, key, payload: [7, 0] }).unwrap();
+    xc.try_access(
+        now,
+        MetaAccess::Store {
+            id: 2,
+            key,
+            payload: [7, 0],
+        },
+    )
+    .unwrap();
     let _ = drain_port(&mut xc, &mut now, 1);
     xc.try_access(now, MetaAccess::Load { id: 3, key }).unwrap();
     let r = drain_port(&mut xc, &mut now, 1);

@@ -18,7 +18,7 @@ pub fn apply_image(mem: &mut MainMemory, segments: &[(u64, Vec<u8>)]) {
 }
 
 /// The outcome of one simulated configuration.
-#[derive(Debug, Clone, serde::Serialize)]
+#[derive(Debug, Clone)]
 pub struct RunReport {
     /// Configuration label (e.g. `"xcache"`, `"addr-cache"`, `"baseline"`).
     pub label: String,
@@ -177,7 +177,13 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
         }
     }
 
-    fn step(&mut self, now: Cycle, mut task: T, data: Option<&[u8]>, started: Cycle) -> Option<Slot<T>> {
+    fn step(
+        &mut self,
+        now: Cycle,
+        mut task: T,
+        data: Option<&[u8]>,
+        started: Cycle,
+    ) -> Option<Slot<T>> {
         match task.advance(data) {
             TaskStep::Delay(d) => {
                 self.stats.add("engine.delay_cycles", d);
@@ -207,7 +213,8 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
                 self.stats.incr("engine.done");
                 // Per-task latency: the addr-cache analogue of the
                 // controller's load-to-use histogram (Figure 4).
-                self.stats.sample("engine.task_latency", now.since(started).max(1));
+                self.stats
+                    .sample("engine.task_latency", now.since(started).max(1));
                 None
             }
         }

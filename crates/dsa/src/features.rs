@@ -1,7 +1,7 @@
 //! Table 2: "X-Cache features benefiting DSAs" as data.
 
 /// How a DSA's accesses couple to its datapath (Table 2's column).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Coupling {
     /// The datapath blocks on each meta access (load-to-use).
     Coupled,
@@ -10,7 +10,7 @@ pub enum Coupling {
 }
 
 /// One row of Table 2.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct DsaFeatures {
     /// DSA name as the paper prints it.
     pub dsa: &'static str,

@@ -25,7 +25,9 @@ use std::collections::HashMap;
 use xcache_core::{MetaAccess, MetaKey, StreamConfig, StreamReader, XCache, XCacheConfig};
 use xcache_isa::asm::assemble;
 use xcache_isa::WalkerProgram;
-use xcache_mem::{AddressCache, DramConfig, DramModel, MainMemory, MemoryPort, PortHandle, SharedPort};
+use xcache_mem::{
+    AddressCache, DramConfig, DramModel, MainMemory, MemoryPort, PortHandle, SharedPort,
+};
 use xcache_sim::{Cycle, Stats};
 use xcache_workloads::{CsrMatrix, MatrixLayout, SparsePattern};
 
@@ -33,7 +35,7 @@ use crate::common::{apply_image, ProbeTask, RunReport, TaskStep};
 use crate::widx::matched_address_cache_config;
 
 /// Which SpGEMM dataflow drives the access order.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Algorithm {
     /// SpArch: outer product, A streamed column-major (CSC).
     OuterProduct,
@@ -244,7 +246,11 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
         sector_bytes,
         max_row_bytes,
     ]);
-    assert_eq!(cfg.sector_bytes(), 32, "walker's srl #5 assumes 32-byte sectors");
+    assert_eq!(
+        cfg.sector_bytes(),
+        32,
+        "walker's srl #5 assumes 32-byte sectors"
+    );
     let mut xc: XCache<PortHandle<DramModel>> =
         XCache::new(cfg, walker(), shared.handle()).expect("valid spgemm instance");
 

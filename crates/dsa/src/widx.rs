@@ -270,7 +270,7 @@ struct WidxProbe {
 enum ProbeState {
     Hash,
     LoadBucket,
-    LoadNode(u64), // address, kept so port back-pressure can re-issue
+    LoadNode(u64),  // address, kept so port back-pressure can re-issue
     DelayThen(u64), // node address to fetch after the coupled delay
 }
 
@@ -492,7 +492,10 @@ mod tests {
         let r = run_xcache(&w, Some(small_geometry()));
         assert_eq!(r.checksum, w.oracle_checksum());
         assert!(r.cycles > 0);
-        assert!(r.stats.get("xcache.hit") > 0, "zipf stream must produce hits");
+        assert!(
+            r.stats.get("xcache.hit") > 0,
+            "zipf stream must produce hits"
+        );
     }
 
     #[test]

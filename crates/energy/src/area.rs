@@ -43,7 +43,7 @@ const REF_EXE: f64 = 4.0;
 const REF_ACTIVE: f64 = 8.0;
 
 /// Per-component resource estimate.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct ComponentShare {
     /// Component name (paper's labels).
     pub name: &'static str,
@@ -54,7 +54,7 @@ pub struct ComponentShare {
 }
 
 /// FPGA synthesis estimate (Figure 19).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct FpgaReport {
     /// Per-component estimates.
     pub components: Vec<ComponentShare>,
@@ -87,7 +87,7 @@ impl FpgaReport {
 }
 
 /// ASIC layout estimate (Figure 20).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct AsicReport {
     /// Controller area (no RAMs), mm² at 45 nm.
     pub controller_mm2: f64,

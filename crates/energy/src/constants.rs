@@ -4,7 +4,7 @@
 ///
 /// Datapath-op entries are per *bit*; memory entries are per byte (tags)
 /// or per 32-byte access (L1/data arrays).
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct EnergyParams {
     /// Register read/write, pJ per bit.
     pub register_pj_per_bit: f64,

@@ -11,7 +11,7 @@ use crate::EnergyParams;
 /// routine RAM (the programmability cost), X-registers, action-execution
 /// logic, and the AGEN/walking share that a hardwired DSA would account
 /// inside its datapath.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct EnergyBreakdown {
     /// Data RAM (sector reads/writes).
     pub data_ram_pj: f64,
@@ -124,8 +124,8 @@ impl EnergyModel {
             + stats.get("xcache.tag_write") as f64 * p.tag_access_pj(tag_bytes);
 
         // One 128-bit microinstruction fetch per executed action.
-        let routine_ram_pj = stats.get("xcache.ucode_read") as f64
-            * p.ucode_fetch_pj(xcache_isa::ACTION_BITS);
+        let routine_ram_pj =
+            stats.get("xcache.ucode_read") as f64 * p.ucode_fetch_pj(xcache_isa::ACTION_BITS);
 
         let xreg_pj = (stats.get("xcache.xreg_read") + stats.get("xcache.xreg_write")) as f64
             * p.register_access_pj();
@@ -155,11 +155,7 @@ impl EnergyModel {
     /// walker's address-generation work (one ALU op per access issued —
     /// conservative, since the paper charges the hardwired walker zero).
     #[must_use]
-    pub fn address_cache_energy(
-        &self,
-        stats: &StatsSnapshot,
-        block_bytes: u64,
-    ) -> EnergyBreakdown {
+    pub fn address_cache_energy(&self, stats: &StatsSnapshot, block_bytes: u64) -> EnergyBreakdown {
         let p = &self.params;
         // Address tags: ~6 B (tag + state) per access.
         let tag_accesses = stats.get("cache.tag_reads");

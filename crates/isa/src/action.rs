@@ -14,7 +14,7 @@ use std::fmt;
 use crate::{EventId, StateId};
 
 /// An X-register index within a walker's temporary register file.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct Reg(pub u8);
 
 impl fmt::Display for Reg {
@@ -24,7 +24,7 @@ impl fmt::Display for Reg {
 }
 
 /// A source operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Operand {
     /// An X-register (walker temporary).
     Reg(Reg),
@@ -60,7 +60,7 @@ impl fmt::Display for Operand {
 /// Covers the paper's `add, and, or, xor, addi, inc, dec, shl, shr, sra,
 /// srl, not` — immediates are folded into [`Operand::Imm`], so `addi`/`inc`/
 /// `dec` are `Add` with an immediate operand.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum AluOp {
     /// `dst = a + b`
     Add,
@@ -101,7 +101,7 @@ impl fmt::Display for AluOp {
 
 /// Branch condition for the control-flow category
 /// (`bmiss, bhit, beq, bnz, blt, bge, ble`).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum Cond {
     /// Taken if `a == b` (`beq`).
     Eq,
@@ -135,7 +135,7 @@ impl fmt::Display for Cond {
 }
 
 /// The five hardware modules an action can target (Figure 8's table).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum ActionCategory {
     /// ALU / address generation.
     Agen,
@@ -156,7 +156,7 @@ pub enum ActionCategory {
 /// hashes) is *initiated* by an action and *completed* by a later event,
 /// with the walker yielding in between — that is the coroutine discipline
 /// of §4.2.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum Action {
     // ---- AGEN ----
     /// `dst = op(a, b)`.
@@ -389,7 +389,11 @@ impl Action {
                 op(len, &mut v);
             }
             Action::PostEvent { payload, .. } => op(payload, &mut v),
-            Action::UpdateM { start, end } | Action::InsertM { key: start, words: end } => {
+            Action::UpdateM { start, end }
+            | Action::InsertM {
+                key: start,
+                words: end,
+            } => {
                 op(start, &mut v);
                 op(end, &mut v);
             }

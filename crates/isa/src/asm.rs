@@ -159,7 +159,10 @@ impl Ctx {
     fn reg(&self, tok: &str, line: usize) -> Result<Reg, AsmError> {
         match self.operand(tok, line)? {
             Operand::Reg(r) => Ok(r),
-            _ => Err(AsmError::at(line, format!("expected a register, got `{tok}`"))),
+            _ => Err(AsmError::at(
+                line,
+                format!("expected a register, got `{tok}`"),
+            )),
         }
     }
 }
@@ -361,7 +364,8 @@ fn parse_instruction(
     let (mn, rest) = line.split_once(char::is_whitespace).unwrap_or((line, ""));
     let args = split_csv(rest);
     let argc = args.len();
-    let wrong = |want: usize| AsmError::at(lno, format!("`{mn}` expects {want} operand(s), got {argc}"));
+    let wrong =
+        |want: usize| AsmError::at(lno, format!("`{mn}` expects {want} operand(s), got {argc}"));
 
     let alu = |op: AluOp| -> Result<(Action, Option<PendingTarget>), AsmError> {
         if argc != 3 {
@@ -377,35 +381,36 @@ fn parse_instruction(
             None,
         ))
     };
-    let branch = |cond: Cond, operands: bool| -> Result<(Action, Option<PendingTarget>), AsmError> {
-        if operands {
-            if argc != 3 {
-                return Err(wrong(3));
+    let branch =
+        |cond: Cond, operands: bool| -> Result<(Action, Option<PendingTarget>), AsmError> {
+            if operands {
+                if argc != 3 {
+                    return Err(wrong(3));
+                }
+                Ok((
+                    Action::Branch {
+                        cond,
+                        a: ctx.operand(&args[0], lno)?,
+                        b: ctx.operand(&args[1], lno)?,
+                        target: 0,
+                    },
+                    Some(parse_target(&args[2], lno)?),
+                ))
+            } else {
+                if argc != 1 {
+                    return Err(wrong(1));
+                }
+                Ok((
+                    Action::Branch {
+                        cond,
+                        a: Operand::Imm(0),
+                        b: Operand::Imm(0),
+                        target: 0,
+                    },
+                    Some(parse_target(&args[0], lno)?),
+                ))
             }
-            Ok((
-                Action::Branch {
-                    cond,
-                    a: ctx.operand(&args[0], lno)?,
-                    b: ctx.operand(&args[1], lno)?,
-                    target: 0,
-                },
-                Some(parse_target(&args[2], lno)?),
-            ))
-        } else {
-            if argc != 1 {
-                return Err(wrong(1));
-            }
-            Ok((
-                Action::Branch {
-                    cond,
-                    a: Operand::Imm(0),
-                    b: Operand::Imm(0),
-                    target: 0,
-                },
-                Some(parse_target(&args[0], lno)?),
-            ))
-        }
-    };
+        };
 
     match mn {
         "add" => alu(AluOp::Add),
@@ -655,7 +660,11 @@ pub fn disassemble(p: &WalkerProgram) -> String {
 fn render_action(p: &WalkerProgram, a: &Action) -> String {
     // Event names need symbolic rendering so the output reassembles.
     match a {
-        Action::Hash { done, a } => format!("hash {}, {}", p.event_names[done.index()], render_operand(p, a)),
+        Action::Hash { done, a } => format!(
+            "hash {}, {}",
+            p.event_names[done.index()],
+            render_operand(p, a)
+        ),
         Action::PostEvent {
             event,
             delay,
@@ -693,7 +702,12 @@ fn render_action(p: &WalkerProgram, a: &Action) -> String {
             render_operand(p, key),
             render_operand(p, words)
         ),
-        Action::Branch { cond, a: x, b, target } => match cond {
+        Action::Branch {
+            cond,
+            a: x,
+            b,
+            target,
+        } => match cond {
             Cond::Miss | Cond::Hit => format!("{cond} @{target}"),
             _ => format!(
                 "{cond} {}, {}, @{target}",
@@ -807,7 +821,10 @@ mod tests {
             Some(RoutineId(0))
         );
         let hash_done = p.event("HashDone").unwrap();
-        assert_eq!(p.table.lookup(StateId::DEFAULT, hash_done), Some(RoutineId(1)));
+        assert_eq!(
+            p.table.lookup(StateId::DEFAULT, hash_done),
+            Some(RoutineId(1))
+        );
         let data = p.state("Data").unwrap();
         assert_eq!(p.table.lookup(data, EventId::FILL), Some(RoutineId(2)));
     }
@@ -872,10 +889,9 @@ mod tests {
     #[test]
     fn error_validation_surfaces() {
         // Routine falls off the end.
-        let err = assemble(
-            "walker w\nstates Default\nroutine r {\n  allocR\n}\non Default, Miss -> r\n",
-        )
-        .unwrap_err();
+        let err =
+            assemble("walker w\nstates Default\nroutine r {\n  allocR\n}\non Default, Miss -> r\n")
+                .unwrap_err();
         assert!(err.message.contains("terminator"));
     }
 

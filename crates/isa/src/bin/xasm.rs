@@ -99,7 +99,11 @@ fn cmd_build(src: &str, out: &str) -> Result<(), String> {
 fn cmd_dump(src: &str) -> Result<(), String> {
     let p = load(src)?;
     println!("walker {}", p.name);
-    println!("\nroutine table ({} states x {} events):", p.table.states(), p.table.events());
+    println!(
+        "\nroutine table ({} states x {} events):",
+        p.table.states(),
+        p.table.events()
+    );
     print!("{:>12}", "");
     for e in 0..p.table.events() {
         print!(" {:>12}", p.event_names[e as usize]);

@@ -380,7 +380,10 @@ pub fn decode(words: &[u64]) -> Result<Vec<Action>, DecodeError> {
                 word: b,
                 value: c,
             },
-            0x44 => Action::FillD { sector: a, words: b },
+            0x44 => Action::FillD {
+                sector: a,
+                words: b,
+            },
             other => return Err(DecodeError::BadOpcode(other)),
         });
     }
@@ -423,7 +426,10 @@ mod tests {
                 delay: 60,
                 payload: Operand::MsgWord(0),
             },
-            Action::Peek { dst: Reg(2), word: 1 },
+            Action::Peek {
+                dst: Reg(2),
+                word: 1,
+            },
             Action::Respond,
             Action::UpdateM {
                 start: Operand::Reg(Reg(3)),
@@ -471,9 +477,7 @@ mod tests {
                 sector: Operand::MetaSector,
                 word: Operand::Imm(0),
             },
-            Action::Yield {
-                state: StateId(2),
-            },
+            Action::Yield { state: StateId(2) },
             Action::Retire,
             Action::Fault,
         ]
@@ -506,7 +510,10 @@ mod tests {
 
     #[test]
     fn decode_rejects_garbage() {
-        assert_eq!(decode(&[0xff, 0]).unwrap_err(), DecodeError::BadOpcode(0xff));
+        assert_eq!(
+            decode(&[0xff, 0]).unwrap_err(),
+            DecodeError::BadOpcode(0xff)
+        );
         assert_eq!(decode(&[1]).unwrap_err(), DecodeError::Truncated);
     }
 

@@ -6,7 +6,7 @@ use std::fmt;
 ///
 /// State 0 is always `Default`, "the starting state for misses, i.e., no
 /// entry in the meta-tag array" (§4.1).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct StateId(pub u8);
 
 impl StateId {
@@ -30,7 +30,7 @@ impl fmt::Display for StateId {
 ///
 /// Events 0–3 are architectural — every X-Cache instance generates them —
 /// and the remainder are walker-defined (hash-done, pointer-ready, ...).
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct EventId(pub u8);
 
 impl EventId {

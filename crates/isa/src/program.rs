@@ -6,7 +6,7 @@ use std::fmt;
 use crate::{Action, EventId, StateId};
 
 /// Index of a routine in the microcode RAM.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct RoutineId(pub u16);
 
 impl fmt::Display for RoutineId {
@@ -16,7 +16,7 @@ impl fmt::Display for RoutineId {
 }
 
 /// A named, run-to-completion sequence of actions.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Routine {
     /// Human-readable name (from the assembler source).
     pub name: String,
@@ -44,7 +44,7 @@ impl Routine {
 /// "The rows of the routine table correspond to the coroutine states; the
 /// columns correspond to the events that can occur. Each entry is a pointer
 /// to a routine in the microcode RAM."
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct RoutineTable {
     states: u8,
     events: u8,
@@ -149,10 +149,16 @@ impl fmt::Display for ProgramError {
                 write!(f, "routine `{n}`: actions after index {i} are unreachable")
             }
             ProgramError::BranchOutOfRange(n, i, t) => {
-                write!(f, "routine `{n}` action {i}: branch target @{t} out of range")
+                write!(
+                    f,
+                    "routine `{n}` action {i}: branch target @{t} out of range"
+                )
             }
             ProgramError::RegisterOutOfRange(n, r) => {
-                write!(f, "routine `{n}` uses r{r} beyond the declared register count")
+                write!(
+                    f,
+                    "routine `{n}` uses r{r} beyond the declared register count"
+                )
             }
             ProgramError::StateOutOfRange(n, s) => {
                 write!(f, "routine `{n}` yields to undeclared state S{s}")
@@ -161,7 +167,10 @@ impl fmt::Display for ProgramError {
                 write!(f, "table entry ({s}, {e}) points at missing {r}")
             }
             ProgramError::NoMissHandler => {
-                write!(f, "no routine handles (Default, Miss); the walker can never start")
+                write!(
+                    f,
+                    "no routine handles (Default, Miss); the walker can never start"
+                )
             }
             ProgramError::EventOutOfRange(n, e) => {
                 write!(f, "routine `{n}` posts undeclared event E{e}")
@@ -176,7 +185,7 @@ impl std::error::Error for ProgramError {}
 ///
 /// This is what the assembler produces and what the controller in
 /// `xcache-core` loads into its routine RAM.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct WalkerProgram {
     /// Walker name (from the `walker` directive).
     pub name: String,
@@ -268,11 +277,7 @@ impl WalkerProgram {
                 match &r.actions[i] {
                     Action::Branch { target, .. } => {
                         if (*target as usize) >= n {
-                            errs.push(ProgramError::BranchOutOfRange(
-                                r.name.clone(),
-                                i,
-                                *target,
-                            ));
+                            errs.push(ProgramError::BranchOutOfRange(r.name.clone(), i, *target));
                         } else {
                             stack.push(*target as usize);
                         }
@@ -430,7 +435,9 @@ mod tests {
         let mut p = minimal_program();
         p.routines[0].actions.clear();
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ProgramError::EmptyRoutine(_))));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ProgramError::EmptyRoutine(_))));
     }
 
     #[test]
@@ -483,7 +490,9 @@ mod tests {
         p.table = RoutineTable::new(2, 3);
         p.table.set(StateId(1), EventId::FILL, RoutineId(1));
         let errs = p.validate().unwrap_err();
-        assert!(errs.iter().any(|e| matches!(e, ProgramError::NoMissHandler)));
+        assert!(errs
+            .iter()
+            .any(|e| matches!(e, ProgramError::NoMissHandler)));
     }
 
     #[test]
@@ -502,7 +511,10 @@ mod tests {
         // two terminators reached via a branch.
         let mut p = minimal_program();
         p.routines[1].actions = vec![
-            Action::Peek { dst: Reg(0), word: 0 },
+            Action::Peek {
+                dst: Reg(0),
+                word: 0,
+            },
             Action::Branch {
                 cond: crate::Cond::Eq,
                 a: Operand::Reg(Reg(0)),

@@ -30,7 +30,11 @@ fn check_accepts_valid_walker() {
         .args(["check", src.to_str().expect("utf8")])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let stdout = String::from_utf8_lossy(&out.stdout);
     assert!(stdout.contains("walker `t`"));
     assert!(stdout.contains("2 microcode words"));
@@ -38,7 +42,10 @@ fn check_accepts_valid_walker() {
 
 #[test]
 fn check_rejects_invalid_walker() {
-    let src = write_tmp("invalid.xw", "walker t\nstates Default\nroutine r {\n allocR\n}\non Default, Miss -> r\n");
+    let src = write_tmp(
+        "invalid.xw",
+        "walker t\nstates Default\nroutine r {\n allocR\n}\non Default, Miss -> r\n",
+    );
     let out = Command::new(XASM)
         .args(["check", src.to_str().expect("utf8")])
         .output()
@@ -60,7 +67,11 @@ fn build_produces_decodable_image() {
         ])
         .output()
         .expect("runs");
-    assert!(out.status.success(), "{}", String::from_utf8_lossy(&out.stderr));
+    assert!(
+        out.status.success(),
+        "{}",
+        String::from_utf8_lossy(&out.stderr)
+    );
     let image = std::fs::read(&out_path).expect("image written");
     // Header: routine count (1), offset (0), then 2 actions x 2 words.
     let count = u64::from_le_bytes(image[0..8].try_into().expect("count"));

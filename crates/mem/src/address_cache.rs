@@ -21,8 +21,7 @@ use xcache_sim::{Cycle, MsgQueue, Stats};
 use crate::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
 
 /// Victim selection policy.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, serde::Serialize)]
-#[derive(Default)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
 pub enum ReplacementPolicy {
     /// Evict the least-recently-used way.
     #[default]
@@ -33,9 +32,8 @@ pub enum ReplacementPolicy {
     Random(u64),
 }
 
-
 /// Geometry and timing of an [`AddressCache`].
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct CacheConfig {
     /// Number of sets (power of two).
     pub sets: usize,
@@ -347,7 +345,12 @@ impl<D: MemoryPort> AddressCache<D> {
         if self.downstream.try_request(now, fill).is_ok() {
             self.next_internal_id += 1;
             self.inflight_fills.insert(ReqId(fill_id), block);
-            self.mshrs.insert(block, Mshr { waiters: Vec::new() });
+            self.mshrs.insert(
+                block,
+                Mshr {
+                    waiters: Vec::new(),
+                },
+            );
             self.stats.incr("cache.prefetches");
         }
     }
@@ -369,7 +372,8 @@ impl<D: MemoryPort> AddressCache<D> {
 impl<D: MemoryPort> MemoryPort for AddressCache<D> {
     fn try_request(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq> {
         assert!(
-            self.cfg.block_of(req.addr) == self.cfg.block_of(req.addr + u64::from(req.len.max(1)) - 1),
+            self.cfg.block_of(req.addr)
+                == self.cfg.block_of(req.addr + u64::from(req.len.max(1)) - 1),
             "request {:?} crosses a cache block boundary",
             req
         );
@@ -398,7 +402,9 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
 
         // 2. Process up to `ports` input requests.
         for _ in 0..self.cfg.ports {
-            let Some(req) = self.input.peek(now) else { break };
+            let Some(req) = self.input.peek(now) else {
+                break;
+            };
             let block = self.cfg.block_of(req.addr);
             let set = self.cfg.set_of(block);
             self.stats.incr("cache.tag_reads");
@@ -473,7 +479,12 @@ mod tests {
         AddressCache::new(cfg, DramModel::new(DramConfig::test_tiny()))
     }
 
-    fn run_read(cache: &mut AddressCache<DramModel>, id: u64, addr: u64, len: u32) -> (MemResp, u64) {
+    fn run_read(
+        cache: &mut AddressCache<DramModel>,
+        id: u64,
+        addr: u64,
+        len: u32,
+    ) -> (MemResp, u64) {
         let mut now = Cycle(0);
         loop {
             if cache.try_request(now, MemReq::read(id, addr, len)).is_ok() {
@@ -522,8 +533,11 @@ mod tests {
         // Fill block A, dirty it, then evict by filling the same set.
         let _ = run_read(&mut c, 1, 0x0, 8);
         let mut now = Cycle(0);
-        c.try_request(now, MemReq::write(2, 0x0, Bytes::copy_from_slice(&5u64.to_le_bytes())))
-            .unwrap();
+        c.try_request(
+            now,
+            MemReq::write(2, 0x0, Bytes::copy_from_slice(&5u64.to_le_bytes())),
+        )
+        .unwrap();
         while c.busy() {
             c.tick(now);
             let _ = c.take_response(now);
@@ -603,7 +617,12 @@ mod tests {
             }
             results.push(c.stats().get("cache.hits"));
         }
-        assert!(results[0] > results[1], "LRU {} !> FIFO {}", results[0], results[1]);
+        assert!(
+            results[0] > results[1],
+            "LRU {} !> FIFO {}",
+            results[0],
+            results[1]
+        );
     }
 
     #[test]
@@ -677,7 +696,8 @@ mod prefetch_tests {
     }
 
     fn read(c: &mut AddressCache<DramModel>, now: &mut Cycle, id: u64, addr: u64) -> u64 {
-        c.try_request(*now, MemReq::read(id, addr, 8)).expect("queued");
+        c.try_request(*now, MemReq::read(id, addr, 8))
+            .expect("queued");
         loop {
             c.tick(*now);
             if c.take_response(*now).is_some() {
@@ -693,7 +713,7 @@ mod prefetch_tests {
         let mut c = cache(true);
         let mut now = Cycle(0);
         let _ = read(&mut c, &mut now, 1, 0); // miss, prefetches block 32
-        // Let the prefetch land.
+                                              // Let the prefetch land.
         for _ in 0..200 {
             c.tick(now);
             let _ = c.take_response(now);

@@ -27,7 +27,7 @@ use crate::{MainMemory, MemReq, MemReqKind, MemResp, MemoryPort};
 ///
 /// Defaults approximate DDR3-1600 as configured in DRAMsim2's shipped
 /// `ini` files, rounded to integer controller cycles.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct DramConfig {
     /// Number of independent channels, each with its own data bus; banks
     /// are striped across channels.
@@ -404,7 +404,10 @@ mod tests {
         let mut d = DramModel::new(DramConfig::test_tiny());
         d.memory_mut().write_u64(0x40, 0xfeed);
         let (resp, _) = run_one(&mut d, MemReq::read(1, 0x40, 8));
-        assert_eq!(u64::from_le_bytes(resp.data[..8].try_into().unwrap()), 0xfeed);
+        assert_eq!(
+            u64::from_le_bytes(resp.data[..8].try_into().unwrap()),
+            0xfeed
+        );
     }
 
     #[test]
@@ -476,7 +479,10 @@ mod tests {
         let t_last = done.iter().map(|(_, t)| *t).max().unwrap();
         let mut serial = DramModel::new(cfg);
         let (_, t_one) = run_one(&mut serial, MemReq::read(1, 0, 8));
-        assert!(t_last < 2 * t_one, "no bank parallelism: {t_last} vs {t_one}");
+        assert!(
+            t_last < 2 * t_one,
+            "no bank parallelism: {t_last} vs {t_one}"
+        );
     }
 
     #[test]
@@ -627,7 +633,9 @@ mod channel_tests {
         while done < reqs {
             while issued < reqs {
                 let addr = issued as u64 * cfg.row_bytes;
-                if d.try_request(now, MemReq::read(issued as u64, addr, 256)).is_err() {
+                if d.try_request(now, MemReq::read(issued as u64, addr, 256))
+                    .is_err()
+                {
                     break;
                 }
                 issued += 1;
@@ -657,8 +665,9 @@ mod channel_tests {
             channels: 2,
             ..DramConfig::default()
         };
-        let used: std::collections::HashSet<usize> =
-            (0..16u64).map(|i| cfg.channel_of(i * cfg.row_bytes)).collect();
+        let used: std::collections::HashSet<usize> = (0..16u64)
+            .map(|i| cfg.channel_of(i * cfg.row_bytes))
+            .collect();
         assert_eq!(used.len(), 2);
     }
 

@@ -9,7 +9,7 @@ use xcache_sim::Cycle;
 /// The issuer chooses ids; they are opaque to the memory system. X-Cache
 /// walkers put their walker index here so a DRAM response wakes the right
 /// coroutine.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord, Hash)]
 pub struct ReqId(pub u64);
 
 impl std::fmt::Display for ReqId {
@@ -19,7 +19,7 @@ impl std::fmt::Display for ReqId {
 }
 
 /// Read or write.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum MemReqKind {
     /// Fetch `len` bytes.
     Read,

@@ -77,12 +77,6 @@ impl From<u64> for Cycle {
     }
 }
 
-impl serde::Serialize for Cycle {
-    fn serialize<S: serde::Serializer>(&self, s: S) -> Result<S::Ok, S::Error> {
-        s.serialize_u64(self.0)
-    }
-}
-
 #[cfg(test)]
 mod tests {
     use super::*;

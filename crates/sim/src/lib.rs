@@ -26,6 +26,7 @@
 
 mod clock;
 mod component;
+mod context;
 mod engine;
 mod queue;
 mod stats;
@@ -33,6 +34,7 @@ mod trace;
 
 pub use clock::Cycle;
 pub use component::Component;
+pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
 pub use queue::{MsgQueue, PushError};
 pub use stats::{Histogram, Stats, StatsSnapshot};

@@ -15,7 +15,7 @@ use std::fmt;
 /// except bucket 0 which covers `[0, 2)`. This is enough resolution for the
 /// load-to-use and occupancy distributions in Figures 4 and 7 while staying
 /// allocation-free after construction.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct Histogram {
     buckets: Vec<u64>,
     count: u64,
@@ -103,7 +103,11 @@ impl Histogram {
         for (i, &b) in self.buckets.iter().enumerate() {
             seen += b;
             if seen >= target.max(1) {
-                return Some(if i == 0 { 1 } else { (1u64 << i).saturating_mul(2) - 1 });
+                return Some(if i == 0 {
+                    1
+                } else {
+                    (1u64 << i).saturating_mul(2) - 1
+                });
             }
         }
         Some(self.max)
@@ -111,13 +115,17 @@ impl Histogram {
 
     /// Iterates over `(bucket_lower_bound, count)` pairs for nonempty buckets.
     pub fn nonempty_buckets(&self) -> impl Iterator<Item = (u64, u64)> + '_ {
-        self.buckets.iter().enumerate().filter(|&(_i, &c)| c > 0).map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
+        self.buckets
+            .iter()
+            .enumerate()
+            .filter(|&(_i, &c)| c > 0)
+            .map(|(i, &c)| (if i == 0 { 0 } else { 1u64 << i }, c))
     }
 }
 
 /// An immutable snapshot of a [`Stats`] registry, suitable for diffing and
 /// serialisation in experiment outputs.
-#[derive(Debug, Clone, Default, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Default, PartialEq)]
 pub struct StatsSnapshot {
     /// Counter name → value.
     pub counters: BTreeMap<String, u64>,

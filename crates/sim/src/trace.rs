@@ -10,7 +10,7 @@ use std::fmt;
 use crate::Cycle;
 
 /// Category of a trace event.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum TraceKind {
     /// A meta-tag probe hit.
     Hit,
@@ -50,7 +50,7 @@ impl fmt::Display for TraceKind {
 }
 
 /// One timestamped trace record.
-#[derive(Debug, Clone, PartialEq, Eq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq, Eq)]
 pub struct TraceEvent {
     /// When the event happened.
     pub at: Cycle,

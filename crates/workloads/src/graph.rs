@@ -8,7 +8,7 @@
 use crate::sparse::{CsrMatrix, SparsePattern};
 
 /// The paper's graph inputs.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum GraphPreset {
     /// p2p-Gnutella08: N = 6.3K, NNZ = 21K (GraphPulse, Figure 18).
     P2pGnutella08,
@@ -45,7 +45,7 @@ impl GraphPreset {
 }
 
 /// A directed graph in CSR adjacency form.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct Graph {
     adjacency: CsrMatrix,
 }

@@ -28,7 +28,7 @@ pub fn hash64(mut x: u64) -> u64 {
 pub const NODE_BYTES: u64 = 32;
 
 /// A chained-bucket hash index mapping `key → rid`.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HashIndex {
     buckets: Vec<Vec<(u64, u64)>>, // (key, rid), front = chain head
     mask: u64,
@@ -147,7 +147,8 @@ impl HashIndex {
         // Deterministic slot permutation: odd multiplier modulo a
         // power-of-two slot count is a bijection.
         let slot_count = arena_slots.next_power_of_two();
-        let slot_of = |ordinal: u64| -> u64 { ordinal.wrapping_mul(0x9E37_79B9) & (slot_count - 1) };
+        let slot_of =
+            |ordinal: u64| -> u64 { ordinal.wrapping_mul(0x9E37_79B9) & (slot_count - 1) };
         let addr_of = |ordinal: u64| -> u64 { node_base + slot_of(ordinal) * NODE_BYTES };
 
         let mut bucket_words = vec![0u64; self.buckets.len()];
@@ -202,7 +203,7 @@ impl HashIndex {
 }
 
 /// Simulated-heap image of a [`HashIndex`].
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct HashIndexLayout {
     /// Address of the bucket pointer array.
     pub bucket_base: u64,

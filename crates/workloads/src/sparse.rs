@@ -13,7 +13,7 @@ use rand::{Rng, SeedableRng};
 use std::collections::BTreeSet;
 
 /// Non-zero placement patterns for the generators.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub enum SparsePattern {
     /// R-MAT (recursive matrix) power-law pattern, the standard synthetic
     /// stand-in for SNAP graphs. Probabilities follow the Graph500
@@ -29,7 +29,7 @@ pub enum SparsePattern {
 }
 
 /// A compressed-sparse-row matrix with `f64` values.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CsrMatrix {
     /// Row count.
     pub rows: u32,
@@ -217,7 +217,7 @@ impl CsrMatrix {
 }
 
 /// A compressed-sparse-column matrix.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct CscMatrix {
     /// Row count.
     pub rows: u32,
@@ -275,7 +275,7 @@ impl CscMatrix {
 /// * `row_ptr_base`: `rows + 1` little-endian `u64` element offsets;
 /// * `pairs_base`: `nnz` interleaved `(col: u64, value: f64)` pairs of
 ///   `pair_bytes` each.
-#[derive(Debug, Clone, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, PartialEq)]
 pub struct MatrixLayout {
     /// Address of the `row_ptr` array.
     pub row_ptr_base: u64,
@@ -353,11 +353,7 @@ mod tests {
             SparsePattern::Banded { bandwidth: 8 },
         ] {
             let m = CsrMatrix::generate(256, 256, 2000, pattern, 1);
-            assert!(
-                m.nnz() >= 1800,
-                "{pattern:?} produced only {} nnz",
-                m.nnz()
-            );
+            assert!(m.nnz() >= 1800, "{pattern:?} produced only {} nnz", m.nnz());
             assert!(m.nnz() <= 2000);
         }
     }
@@ -430,7 +426,7 @@ mod tests {
         let rp = &l.segments[0].1;
         let p1 = u64::from_le_bytes(rp[8..16].try_into().unwrap());
         assert_eq!(p1, 2); // row 0 has 2 nnz
-        // First pair is (col=1, 2.5).
+                           // First pair is (col=1, 2.5).
         let pairs = &l.segments[1].1;
         assert_eq!(u64::from_le_bytes(pairs[0..8].try_into().unwrap()), 1);
         assert_eq!(

@@ -10,7 +10,7 @@
 use crate::hashidx::HashIndex;
 
 /// The evaluated TPC-H query classes.
-#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub enum QueryClass {
     /// TPC-H query 19 (string keys, expensive hash).
     Q19,
@@ -76,7 +76,7 @@ impl QueryClass {
 }
 
 /// A scaled-down hash-join workload description.
-#[derive(Debug, Clone, Copy, PartialEq, serde::Serialize)]
+#[derive(Debug, Clone, Copy, PartialEq)]
 pub struct TpchPreset {
     /// Which query class this models.
     pub class: QueryClass,

@@ -35,7 +35,10 @@ impl Zipf {
     #[must_use]
     pub fn new(n: usize, alpha: f64) -> Self {
         assert!(n > 0, "Zipf needs at least one item");
-        assert!(alpha >= 0.0 && alpha.is_finite(), "alpha must be finite and >= 0");
+        assert!(
+            alpha >= 0.0 && alpha.is_finite(),
+            "alpha must be finite and >= 0"
+        );
         let mut cdf = Vec::with_capacity(n);
         let mut acc = 0.0;
         for k in 1..=n {

@@ -121,8 +121,14 @@ fn main() {
     let mut run = |xc: &mut XCache<DramModel>, key: u64, expect: Option<u64>| {
         let id = lookups;
         lookups += 1;
-        xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(key) })
-            .expect("queue has room");
+        xc.try_access(
+            now,
+            MetaAccess::Load {
+                id,
+                key: MetaKey::new(key),
+            },
+        )
+        .expect("queue has room");
         let resp = loop {
             xc.tick(now);
             if let Some(r) = xc.take_response(now) {

@@ -33,8 +33,16 @@ fn main() {
     let x = graphpulse::run_xcache(&workload, Some(geometry.clone()));
     let a = graphpulse::run_address_cache(&workload, Some(geometry));
 
-    println!("X-Cache event queue   : {:>8} cycles, {} DRAM accesses", x.cycles, x.dram_accesses());
-    println!("DRAM event array + A$ : {:>8} cycles, {} DRAM accesses", a.cycles, a.dram_accesses());
+    println!(
+        "X-Cache event queue   : {:>8} cycles, {} DRAM accesses",
+        x.cycles,
+        x.dram_accesses()
+    );
+    println!(
+        "DRAM event array + A$ : {:>8} cycles, {} DRAM accesses",
+        a.cycles,
+        a.dram_accesses()
+    );
     println!(
         "\ncoalescing: {} inserts, {} on-chip merges ({:.1}% of events never left the chip)",
         x.stats.get("xcache.store_miss"),
@@ -42,7 +50,10 @@ fn main() {
         100.0 * x.stats.get("xcache.store_hit") as f64
             / (x.stats.get("xcache.store_hit") + x.stats.get("xcache.store_miss")) as f64,
     );
-    println!("speedup from on-chip coalescing: {:.2}x", x.speedup_over(&a));
+    println!(
+        "speedup from on-chip coalescing: {:.2}x",
+        x.speedup_over(&a)
+    );
 
     // Show the top-ranked vertices from the verified simulation state.
     let oracle = workload.oracle();

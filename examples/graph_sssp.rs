@@ -51,5 +51,7 @@ fn main() {
     for (v, d) in by_dist.iter().take(5) {
         println!("  vertex {v:>3}: distance {d}");
     }
-    println!("\n(compare walkers/graphpulse.xw and walkers/graphpulse_min.xw: one routine differs)");
+    println!(
+        "\n(compare walkers/graphpulse.xw and walkers/graphpulse_min.xw: one routine differs)"
+    );
 }

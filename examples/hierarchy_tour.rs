@@ -137,7 +137,10 @@ fn main() {
     );
     let t_mx = drive("mx", &mut mx);
 
-    println!("{:<24} {:>10} {:>10}", "configuration", "cycles", "vs plain");
+    println!(
+        "{:<24} {:>10} {:>10}",
+        "configuration", "cycles", "vs plain"
+    );
     println!("{:<24} {:>10} {:>9.2}x", "X-Cache over DRAM", t_plain, 1.0);
     println!(
         "{:<24} {:>10} {:>9.2}x",

@@ -62,8 +62,14 @@ fn main() {
     let mut now = Cycle(0);
     for (id, key) in [(0u64, 5u64), (1, 9), (2, 5), (3, 9), (4, 5)] {
         let issued = now;
-        xc.try_access(now, MetaAccess::Load { id, key: MetaKey::new(key) })
-            .expect("queue has room");
+        xc.try_access(
+            now,
+            MetaAccess::Load {
+                id,
+                key: MetaKey::new(key),
+            },
+        )
+        .expect("queue has room");
         let resp = loop {
             xc.tick(now);
             if let Some(r) = xc.take_response(now) {
@@ -75,12 +81,21 @@ fn main() {
             "load key {key:>2} -> value {} in {:>3} cycles ({})",
             resp.data[0],
             now.since(issued),
-            if now.since(issued) < 10 { "meta-tag hit" } else { "walker miss" }
+            if now.since(issued) < 10 {
+                "meta-tag hit"
+            } else {
+                "walker miss"
+            }
         );
     }
 
     println!("\ncontroller statistics:");
-    for name in ["xcache.hit", "xcache.miss", "xcache.dram_req", "xcache.ucode_read"] {
+    for name in [
+        "xcache.hit",
+        "xcache.miss",
+        "xcache.dram_req",
+        "xcache.ucode_read",
+    ] {
         println!("  {name:<20} = {}", xc.stats().get(name));
     }
 }

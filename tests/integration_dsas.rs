@@ -89,7 +89,10 @@ fn spgemm_portability_and_reuse_orders() {
         ..XCacheConfig::sparch()
     };
     let mut results = Vec::new();
-    for alg in [spgemm::Algorithm::OuterProduct, spgemm::Algorithm::Gustavson] {
+    for alg in [
+        spgemm::Algorithm::OuterProduct,
+        spgemm::Algorithm::Gustavson,
+    ] {
         let w = spgemm::SpgemmWorkload {
             a: a.clone(),
             b: a.clone(),

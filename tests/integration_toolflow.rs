@@ -44,8 +44,14 @@ fn run_keys(keys: &[u64]) -> (XCache<DramModel>, u64) {
     let mut xc = XCache::new(cfg, program, dram).expect("builds");
     let mut now = Cycle(0);
     for (id, &k) in keys.iter().enumerate() {
-        xc.try_access(now, MetaAccess::Load { id: id as u64, key: MetaKey::new(k) })
-            .expect("queued");
+        xc.try_access(
+            now,
+            MetaAccess::Load {
+                id: id as u64,
+                key: MetaKey::new(k),
+            },
+        )
+        .expect("queued");
         loop {
             xc.tick(now);
             if let Some(r) = xc.take_response(now) {

@@ -46,35 +46,64 @@ fn arb_action() -> impl Strategy<Value = Action> {
         Just(Cond::Hit),
     ];
     prop_oneof![
-        (alu, 0u8..16, arb_operand(), arb_operand())
-            .prop_map(|(op, d, a, b)| Action::Alu { op, dst: Reg(d), a, b }),
+        (alu, 0u8..16, arb_operand(), arb_operand()).prop_map(|(op, d, a, b)| Action::Alu {
+            op,
+            dst: Reg(d),
+            a,
+            b
+        }),
         (0u8..16, arb_operand()).prop_map(|(d, a)| Action::Mov { dst: Reg(d), a }),
         Just(Action::AllocR),
-        (0u8..16, arb_operand()).prop_map(|(e, a)| Action::Hash { done: EventId(e), a }),
+        (0u8..16, arb_operand()).prop_map(|(e, a)| Action::Hash {
+            done: EventId(e),
+            a
+        }),
         (arb_operand(), arb_operand()).prop_map(|(addr, len)| Action::DramRead { addr, len }),
         (arb_operand(), arb_operand(), arb_operand())
             .prop_map(|(addr, sector, len)| Action::DramWrite { addr, sector, len }),
-        (0u8..16, 0u16..1000, arb_operand())
-            .prop_map(|(e, d, p)| Action::PostEvent { event: EventId(e), delay: d, payload: p }),
-        (0u8..16, 0u8..4).prop_map(|(d, w)| Action::Peek { dst: Reg(d), word: w }),
+        (0u8..16, 0u16..1000, arb_operand()).prop_map(|(e, d, p)| Action::PostEvent {
+            event: EventId(e),
+            delay: d,
+            payload: p
+        }),
+        (0u8..16, 0u8..4).prop_map(|(d, w)| Action::Peek {
+            dst: Reg(d),
+            word: w
+        }),
         Just(Action::Respond),
         Just(Action::AllocM),
         Just(Action::DeallocM),
         Just(Action::PinM),
         (arb_operand(), arb_operand()).prop_map(|(k, w)| Action::InsertM { key: k, words: w }),
         (arb_operand(), arb_operand()).prop_map(|(s, e)| Action::UpdateM { start: s, end: e }),
-        (cond, arb_operand(), arb_operand(), 0u8..64)
-            .prop_map(|(c, a, b, t)| Action::Branch { cond: c, a, b, target: t }),
+        (cond, arb_operand(), arb_operand(), 0u8..64).prop_map(|(c, a, b, t)| Action::Branch {
+            cond: c,
+            a,
+            b,
+            target: t
+        }),
         (0u8..16).prop_map(|s| Action::Yield { state: StateId(s) }),
         Just(Action::Retire),
         Just(Action::Fault),
-        (0u8..16, arb_operand()).prop_map(|(d, c)| Action::AllocD { dst: Reg(d), count: c }),
+        (0u8..16, arb_operand()).prop_map(|(d, c)| Action::AllocD {
+            dst: Reg(d),
+            count: c
+        }),
         Just(Action::DeallocD),
-        (0u8..16, arb_operand(), arb_operand())
-            .prop_map(|(d, s, w)| Action::ReadD { dst: Reg(d), sector: s, word: w }),
-        (arb_operand(), arb_operand(), arb_operand())
-            .prop_map(|(s, w, v)| Action::WriteD { sector: s, word: w, value: v }),
-        (arb_operand(), arb_operand()).prop_map(|(s, w)| Action::FillD { sector: s, words: w }),
+        (0u8..16, arb_operand(), arb_operand()).prop_map(|(d, s, w)| Action::ReadD {
+            dst: Reg(d),
+            sector: s,
+            word: w
+        }),
+        (arb_operand(), arb_operand(), arb_operand()).prop_map(|(s, w, v)| Action::WriteD {
+            sector: s,
+            word: w,
+            value: v
+        }),
+        (arb_operand(), arb_operand()).prop_map(|(s, w)| Action::FillD {
+            sector: s,
+            words: w
+        }),
     ]
 }
 

@@ -56,12 +56,19 @@ fn dasx_source_shares_widx_structure() {
 
 #[test]
 fn all_shipped_walkers_encode_to_binary() {
-    for name in ["widx", "dasx", "graphpulse", "graphpulse_min", "spgemm_row", "open_addressing"] {
+    for name in [
+        "widx",
+        "dasx",
+        "graphpulse",
+        "graphpulse_min",
+        "spgemm_row",
+        "open_addressing",
+    ] {
         let p = load(name);
         assert!(p.validate().is_ok(), "{name} invalid");
         for r in p.routines() {
-            let words = xcache_isa::encode(&r.actions)
-                .unwrap_or_else(|e| panic!("{name}/{}: {e}", r.name));
+            let words =
+                xcache_isa::encode(&r.actions).unwrap_or_else(|e| panic!("{name}/{}: {e}", r.name));
             assert_eq!(
                 xcache_isa::decode(&words).expect("decodes"),
                 r.actions,

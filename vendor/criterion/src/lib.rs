@@ -1,0 +1,160 @@
+//! Offline stand-in for the `criterion` crate.
+//!
+//! The build container has no crates.io access, so the workspace vendors
+//! the subset its benches use: [`Criterion::bench_function`],
+//! [`Bencher::iter`]/[`Bencher::iter_batched`], and the
+//! [`criterion_group!`]/[`criterion_main!`] macros.
+//!
+//! Instead of criterion's statistical machinery this harness runs a short
+//! calibration pass, then times a fixed batch and reports mean
+//! time-per-iteration on stdout. Good enough to catch order-of-magnitude
+//! regressions by eye; not a substitute for the real crate's analysis.
+
+use std::time::{Duration, Instant};
+
+/// Per-iteration input sizing hint (accepted for API compatibility; the
+/// batch size only affects how many setups run per measurement).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum BatchSize {
+    /// Small per-iteration inputs: many iterations per batch.
+    SmallInput,
+    /// Large per-iteration inputs: few iterations per batch.
+    LargeInput,
+    /// One setup per iteration.
+    PerIteration,
+}
+
+/// Times one benchmark body.
+pub struct Bencher {
+    /// Mean wall-clock time per iteration, filled in by `iter*`.
+    elapsed_per_iter: Duration,
+    iters_done: u64,
+}
+
+impl Bencher {
+    fn new() -> Self {
+        Bencher {
+            elapsed_per_iter: Duration::ZERO,
+            iters_done: 0,
+        }
+    }
+
+    /// Calibrates an iteration count targeting ~50 ms of runtime, then
+    /// measures `routine` over that many iterations.
+    pub fn iter<O, R: FnMut() -> O>(&mut self, mut routine: R) {
+        // Calibration: double until the batch takes at least ~5 ms.
+        let mut n: u64 = 1;
+        loop {
+            let start = Instant::now();
+            for _ in 0..n {
+                std::hint::black_box(routine());
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(5) || n >= 1 << 20 {
+                // Measurement batch: scale toward ~50 ms, capped.
+                let scale = if took.is_zero() {
+                    10
+                } else {
+                    (Duration::from_millis(50).as_nanos() / took.as_nanos().max(1)).clamp(1, 16)
+                };
+                let m = (n * scale as u64).max(1);
+                let start = Instant::now();
+                for _ in 0..m {
+                    std::hint::black_box(routine());
+                }
+                self.elapsed_per_iter = start.elapsed() / u32::try_from(m).unwrap_or(u32::MAX);
+                self.iters_done = m;
+                return;
+            }
+            n *= 2;
+        }
+    }
+
+    /// Like [`Bencher::iter`], but runs `setup` outside the timed region
+    /// before each iteration.
+    pub fn iter_batched<I, O, S, R>(&mut self, mut setup: S, mut routine: R, _size: BatchSize)
+    where
+        S: FnMut() -> I,
+        R: FnMut(I) -> O,
+    {
+        let mut n: u64 = 1;
+        loop {
+            let inputs: Vec<I> = (0..n).map(|_| setup()).collect();
+            let start = Instant::now();
+            for input in inputs {
+                std::hint::black_box(routine(input));
+            }
+            let took = start.elapsed();
+            if took >= Duration::from_millis(5) || n >= 1 << 16 {
+                self.elapsed_per_iter = took / u32::try_from(n).unwrap_or(u32::MAX);
+                self.iters_done = n;
+                return;
+            }
+            n *= 2;
+        }
+    }
+}
+
+/// Benchmark registry and runner.
+#[derive(Default)]
+pub struct Criterion {
+    _private: (),
+}
+
+impl Criterion {
+    /// Runs `body` under the timing harness and prints the result.
+    pub fn bench_function<F: FnMut(&mut Bencher)>(&mut self, name: &str, mut body: F) -> &mut Self {
+        let mut bencher = Bencher::new();
+        body(&mut bencher);
+        println!(
+            "{name:<40} {:>12.3} us/iter  ({} iters)",
+            bencher.elapsed_per_iter.as_secs_f64() * 1e6,
+            bencher.iters_done
+        );
+        self
+    }
+}
+
+/// Declares a benchmark group function that runs each registered bench.
+#[macro_export]
+macro_rules! criterion_group {
+    ($group:ident, $($target:path),+ $(,)?) => {
+        fn $group() {
+            let mut c = $crate::Criterion::default();
+            $($target(&mut c);)+
+        }
+    };
+}
+
+/// Declares the bench entry point running the given groups.
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $($group();)+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn harness_runs_and_times() {
+        let mut c = Criterion::default();
+        c.bench_function("noop", |b| b.iter(|| 1 + 1));
+        let mut saw = 0u64;
+        c.bench_function("batched", |b| {
+            b.iter_batched(
+                || 21u64,
+                |x| {
+                    saw = x * 2;
+                    saw
+                },
+                BatchSize::SmallInput,
+            )
+        });
+        assert_eq!(saw, 42);
+    }
+}
