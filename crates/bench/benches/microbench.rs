@@ -45,25 +45,32 @@ fn bench_assembler(c: &mut Criterion) {
 }
 
 fn bench_dram(c: &mut Criterion) {
+    let setup = || {
+        let mut d = DramModel::new(DramConfig::default());
+        d.memory_mut().write_u64(0x40, 1);
+        d
+    };
+    let roundtrip = |mut d: DramModel| {
+        d.try_request(Cycle(0), MemReq::read(1, 0x40, 64))
+            .expect("queued");
+        let mut now = Cycle(0);
+        loop {
+            d.tick(now);
+            if let Some(r) = d.take_response(now) {
+                break black_box(r);
+            }
+            now = xcache_sim::fast_forward(now, d.next_event(now));
+        }
+    };
+    // Skip on vs off on the same DRAM-latency-bound loop: the pair is the
+    // headline fast-forwarding speedup measurement.
     c.bench_function("dram_read_roundtrip", |b| {
+        b.iter_batched(setup, roundtrip, BatchSize::SmallInput);
+    });
+    c.bench_function("dram_read_roundtrip_no_skip", |b| {
         b.iter_batched(
-            || {
-                let mut d = DramModel::new(DramConfig::default());
-                d.memory_mut().write_u64(0x40, 1);
-                d
-            },
-            |mut d| {
-                d.try_request(Cycle(0), MemReq::read(1, 0x40, 64))
-                    .expect("queued");
-                let mut now = Cycle(0);
-                loop {
-                    d.tick(now);
-                    if let Some(r) = d.take_response(now) {
-                        break black_box(r);
-                    }
-                    now = now.next();
-                }
-            },
+            setup,
+            |d| xcache_sim::with_skip(false, || roundtrip(d)),
             BatchSize::SmallInput,
         );
     });
@@ -82,6 +89,13 @@ fn bench_walker_throughput(c: &mut Criterion) {
     };
     c.bench_function("widx_xcache_512_probes", |b| {
         b.iter(|| black_box(widx::run_xcache(&workload, Some(geometry.clone()))));
+    });
+    c.bench_function("widx_xcache_512_probes_no_skip", |b| {
+        b.iter(|| {
+            xcache_sim::with_skip(false, || {
+                black_box(widx::run_xcache(&workload, Some(geometry.clone())))
+            })
+        });
     });
 }
 
@@ -132,7 +146,7 @@ fn bench_hit_pipeline(c: &mut Criterion) {
         if xc.take_response(now).is_some() {
             break;
         }
-        now = now.next();
+        now = xcache_sim::fast_forward(now, xc.next_event(now));
     }
     let mut id = 1u64;
     c.bench_function("xcache_hit_service", |b| {

@@ -107,21 +107,27 @@ fn drive<D: xcache_mem::MemoryPort>(xc: &mut XCache<D>, w: &widx::WidxWorkload) 
     let (mut next, mut done) = (0usize, 0usize);
     let total = w.probes.len();
     while done < total {
-        while next < total {
+        while next < total && xc.can_accept() {
             let a = MetaAccess::Load {
                 id: next as u64,
                 key: MetaKey::new(w.probes[next]),
             };
-            if xc.try_access(now, a).is_err() {
-                break;
-            }
+            xc.try_access(now, a).expect("can_accept checked");
             next += 1;
         }
         xc.tick(now);
         while xc.take_response(now).is_some() {
             done += 1;
         }
-        now = now.next();
+        now = if done >= total {
+            now.next() // same end-cycle as the single-stepped loop
+        } else {
+            let mut wake = xc.next_event(now);
+            if next < total && xc.can_accept() {
+                wake = Some(now.next()); // more probes to issue next cycle
+            }
+            xcache_sim::fast_forward(now, wake)
+        };
         assert!(now.raw() < 100_000_000, "mxa deadlock");
     }
     now.raw()
@@ -132,21 +138,27 @@ fn drive_meta<P: MetaPort>(p: &mut P, w: &widx::WidxWorkload) -> u64 {
     let (mut next, mut done) = (0usize, 0usize);
     let total = w.probes.len();
     while done < total {
-        while next < total {
+        while next < total && p.can_accept() {
             let a = MetaAccess::Load {
                 id: next as u64,
                 key: MetaKey::new(w.probes[next]),
             };
-            if p.try_access(now, a).is_err() {
-                break;
-            }
+            p.try_access(now, a).expect("can_accept checked");
             next += 1;
         }
         p.tick(now);
         while p.take_response(now).is_some() {
             done += 1;
         }
-        now = now.next();
+        now = if done >= total {
+            now.next() // same end-cycle as the single-stepped loop
+        } else {
+            let mut wake = p.next_event(now);
+            if next < total && p.can_accept() {
+                wake = Some(now.next()); // more probes to issue next cycle
+            }
+            xcache_sim::fast_forward(now, wake)
+        };
         assert!(now.raw() < 100_000_000, "mx deadlock");
     }
     now.raw()

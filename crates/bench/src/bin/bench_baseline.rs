@@ -1,0 +1,193 @@
+//! Perf-trajectory baseline: runs a small *fixed* scenario set (immune to
+//! `XCACHE_SCALE`) once with idle-cycle fast-forwarding and once without,
+//! and writes `BENCH_baseline.json` with wall-clock times, simulated
+//! cycles, and the skip/no-skip speedup per scenario. The committed copy
+//! at the repo root gives future changes a perf record to compare against.
+//!
+//! Both modes run inline on the main thread (`with_skip` is thread-local)
+//! and every observable is re-checked to agree between modes, so the file
+//! doubles as one more differential check.
+//!
+//! Usage: `cargo run --release --bin bench_baseline [-- <output path>]`
+
+use std::time::Instant;
+
+use xcache_bench::{meta_json, note_sim_cycles, widx_geometry, widx_workload};
+use xcache_core::XCacheConfig;
+use xcache_dsa::{graphpulse, spgemm, widx};
+use xcache_mem::{DramConfig, DramModel, MemReq, MemoryPort};
+use xcache_sim::{with_skip, Cycle};
+use xcache_workloads::QueryClass;
+
+/// Observables of one scenario run, compared across modes.
+type Outcome = (u64, u64); // (cycles, checksum)
+
+struct Measurement {
+    name: &'static str,
+    sim_cycles: u64,
+    wall_ms_skip: f64,
+    wall_ms_no_skip: f64,
+}
+
+impl Measurement {
+    fn speedup(&self) -> f64 {
+        if self.wall_ms_skip > 0.0 {
+            self.wall_ms_no_skip / self.wall_ms_skip
+        } else {
+            0.0
+        }
+    }
+
+    fn cycles_per_sec_skip(&self) -> u64 {
+        if self.wall_ms_skip > 0.0 {
+            (self.sim_cycles as f64 * 1000.0 / self.wall_ms_skip) as u64
+        } else {
+            0
+        }
+    }
+}
+
+/// Times `f` in one skip mode: best of `reps` runs (minimum wall time
+/// rejects scheduler noise), plus the outcome for cross-mode comparison.
+fn time_mode(skip: bool, reps: u32, f: &dyn Fn() -> Outcome) -> (f64, Outcome) {
+    let mut best = f64::INFINITY;
+    let mut outcome = (0, 0);
+    for _ in 0..reps {
+        let start = Instant::now();
+        outcome = with_skip(skip, f);
+        best = best.min(start.elapsed().as_secs_f64() * 1000.0);
+    }
+    (best, outcome)
+}
+
+fn measure(name: &'static str, f: &dyn Fn() -> Outcome) -> Measurement {
+    let (wall_ms_skip, fast) = time_mode(true, 3, f);
+    let (wall_ms_no_skip, slow) = time_mode(false, 3, f);
+    assert_eq!(
+        fast, slow,
+        "{name}: skip and no-skip runs diverged — fast-forwarding is unsound"
+    );
+    note_sim_cycles(fast.0);
+    eprintln!(
+        "{name}: {} cycles, {wall_ms_skip:.2} ms skip vs {wall_ms_no_skip:.2} ms no-skip ({:.2}x)",
+        fast.0,
+        wall_ms_no_skip / wall_ms_skip.max(1e-9)
+    );
+    Measurement {
+        name,
+        sim_cycles: fast.0,
+        wall_ms_skip,
+        wall_ms_no_skip,
+    }
+}
+
+/// A chain of dependent DRAM read round-trips: the canonical
+/// DRAM-latency-bound loop where fast-forwarding pays the most (the
+/// engine idles for the full access latency between events).
+fn dram_roundtrips() -> Outcome {
+    let mut dram = DramModel::new(DramConfig::default());
+    for slot in 0..64u64 {
+        dram.memory_mut().write_u64(slot * 8, slot * 31 + 7);
+    }
+    let mut now = Cycle(0);
+    let mut checksum = 0u64;
+    for i in 0..1_000u64 {
+        dram.try_request(now, MemReq::read(i, (i % 64) * 8, 8))
+            .expect("dram queue empty between round-trips");
+        loop {
+            dram.tick(now);
+            if let Some(r) = dram.take_response(now) {
+                let v = u64::from_le_bytes(r.data[..8].try_into().expect("8 bytes"));
+                checksum = checksum.wrapping_mul(31).wrapping_add(v);
+                break;
+            }
+            now = xcache_sim::fast_forward(now, dram.next_event(now));
+        }
+        now = now.next();
+    }
+    (now.raw(), checksum)
+}
+
+fn main() {
+    let out_path = std::env::args()
+        .nth(1)
+        .unwrap_or_else(|| "BENCH_baseline.json".into());
+
+    let widx_q19 = widx_workload(QueryClass::Q19, 40, 7);
+    let widx_geom = widx_geometry(40);
+    // Fig 7's worst case: 95% of the index off-chip, so nearly every probe
+    // waits out a DRAM access.
+    let offchip = {
+        let w = widx_workload(QueryClass::Q22, 40, 7);
+        let resident = (w.index.len() as u64 * 5 / 100).max(16);
+        let sets = 128usize;
+        let g = XCacheConfig {
+            sets,
+            ways: (resident as usize / sets).max(1),
+            data_sectors: 128,
+            ..XCacheConfig::widx()
+        };
+        (w, g)
+    };
+    let spgemm_w = spgemm::SpgemmWorkload::paper_like(spgemm::Algorithm::Gustavson, 40, 7);
+    let spgemm_g = xcache_bench::spgemm_geometry(40);
+    let gp_w = graphpulse::GraphPulseWorkload {
+        graph: xcache_workloads::Graph::from_adjacency(xcache_workloads::CsrMatrix::generate(
+            256,
+            256,
+            1024,
+            xcache_workloads::SparsePattern::RMat,
+            5,
+        )),
+        iterations: 2,
+    };
+    let gp_g = xcache_bench::graphpulse_geometry(256);
+
+    let report = |r: xcache_dsa::RunReport| (r.cycles, r.checksum);
+    let measurements = [
+        measure("dram_read_roundtrip_x1000", &dram_roundtrips),
+        measure("widx_q19_xcache", &|| {
+            report(widx::run_xcache(&widx_q19, Some(widx_geom.clone())))
+        }),
+        measure("widx_q22_offchip95_xcache", &|| {
+            report(widx::run_xcache(&offchip.0, Some(offchip.1.clone())))
+        }),
+        measure("spgemm_gustavson_xcache", &|| {
+            report(spgemm::run_xcache(&spgemm_w, Some(spgemm_g.clone())))
+        }),
+        measure("graphpulse_xcache", &|| {
+            report(graphpulse::run_xcache(&gp_w, Some(gp_g.clone())))
+        }),
+    ];
+
+    let mut body = String::from("[\n");
+    for (i, m) in measurements.iter().enumerate() {
+        body.push_str(&format!(
+            "  {{\"name\":\"{}\",\"sim_cycles\":{},\"wall_ms_skip\":{:.3},\"wall_ms_no_skip\":{:.3},\"speedup\":{:.2},\"cycles_per_sec_skip\":{}}}{}\n",
+            m.name,
+            m.sim_cycles,
+            m.wall_ms_skip,
+            m.wall_ms_no_skip,
+            m.speedup(),
+            m.cycles_per_sec_skip(),
+            if i + 1 < measurements.len() { "," } else { "" }
+        ));
+    }
+    body.push(']');
+    // Same envelope shape as `results/*.json`: meta on its own line so
+    // diffs can drop the machine-dependent fields with `grep -v '^"meta"'`.
+    let out = format!(
+        "{{\n\"meta\": {},\n\"baseline\": {body}\n}}\n",
+        meta_json("bench_baseline")
+    );
+    std::fs::write(&out_path, out).expect("write baseline json");
+    eprintln!("(wrote {out_path})");
+
+    let dram_bound = &measurements[0];
+    assert!(
+        dram_bound.speedup() >= 3.0,
+        "expected >= 3x wall-clock speedup on the DRAM-latency-bound \
+         scenario, measured {:.2}x",
+        dram_bound.speedup()
+    );
+}

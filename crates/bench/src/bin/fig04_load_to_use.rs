@@ -5,8 +5,8 @@
 //! element is cache-resident.
 
 use xcache_bench::{
-    maybe_dump_table_json, render_table, scale, spgemm_geometry, widx_geometry, widx_workload,
-    Runner, Scenario,
+    maybe_dump_table_json, note_sim_cycles, render_table, scale, spgemm_geometry, widx_geometry,
+    widx_workload, Runner, Scenario,
 };
 use xcache_dsa::{spgemm, widx, RunReport};
 use xcache_workloads::QueryClass;
@@ -51,6 +51,7 @@ fn main() {
                 let g = widx_geometry(scale);
                 let x = widx::run_xcache(&w, Some(g.clone()));
                 let a = widx::run_address_cache(&w, Some(g));
+                note_sim_cycles(x.cycles + a.cycles);
                 row(class.name(), &x, &a)
             })
         })
@@ -62,6 +63,7 @@ fn main() {
         let g = spgemm_geometry(scale);
         let x = spgemm::run_xcache(&w, Some(g.clone()));
         let a = spgemm::run_address_cache(&w, Some(g));
+        note_sim_cycles(x.cycles + a.cycles);
         row("Gamma rows", &x, &a)
     }));
     let rows = Runner::from_env().run(cells);

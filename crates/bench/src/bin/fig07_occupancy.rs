@@ -6,7 +6,9 @@
 //! with the off-chip fraction (long-latency transactions pin whole
 //! hardware contexts).
 
-use xcache_bench::{maybe_dump_table_json, render_table, scale, widx_workload, Runner, Scenario};
+use xcache_bench::{
+    maybe_dump_table_json, note_sim_cycles, render_table, scale, widx_workload, Runner, Scenario,
+};
 use xcache_core::{WalkerDiscipline, XCacheConfig};
 use xcache_dsa::widx;
 use xcache_workloads::QueryClass;
@@ -45,6 +47,7 @@ fn main() {
                 };
                 let coro = widx::run_xcache(w, Some(geometry(WalkerDiscipline::Coroutine)));
                 let thread = widx::run_xcache(w, Some(geometry(WalkerDiscipline::BlockingThread)));
+                note_sim_cycles(coro.cycles + thread.cycles);
                 let occ_c = coro.stats.get("xcache.occupancy_reg_byte_cycles");
                 let occ_t = thread.stats.get("xcache.occupancy_reg_byte_cycles");
                 vec![

@@ -26,16 +26,46 @@ pub mod runner;
 pub use runner::{jobs_from_env, merge_snapshots, Runner, Scenario};
 
 use std::fmt::Write as _;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::OnceLock;
+use std::time::Instant;
 
 use xcache_core::XCacheConfig;
 use xcache_dsa::widx::WidxWorkload;
 use xcache_workloads::QueryClass;
+
+static SIM_CYCLES: AtomicU64 = AtomicU64::new(0);
+
+/// The process-wide wall-clock anchor for the meta envelope's `wall_ms`.
+/// First caller wins; `scale()` and `Runner::run` both touch it, so the
+/// clock effectively starts at the top of every harness `main`.
+pub(crate) fn start_instant() -> Instant {
+    static START: OnceLock<Instant> = OnceLock::new();
+    *START.get_or_init(Instant::now)
+}
+
+/// Credits simulated cycles to the process-wide tally that the JSON meta
+/// envelope reports as `sim_cycles` / `sim_cycles_per_sec`. Scenario cells
+/// call this once per finished run.
+pub fn note_sim_cycles(cycles: u64) {
+    let _ = start_instant();
+    SIM_CYCLES.fetch_add(cycles, Ordering::Relaxed);
+}
+
+/// Wall-clock milliseconds since the harness started and the simulated
+/// cycles credited so far — the timing fields of the meta envelope.
+#[must_use]
+pub fn timing_totals() -> (u64, u64) {
+    let wall_ms = start_instant().elapsed().as_millis() as u64;
+    (wall_ms, SIM_CYCLES.load(Ordering::Relaxed))
+}
 
 /// Workload scale divisor. `1` = paper-sized. Default 10.
 ///
 /// Read from `XCACHE_SCALE`; invalid values fall back to the default.
 #[must_use]
 pub fn scale() -> u32 {
+    let _ = start_instant();
     std::env::var("XCACHE_SCALE")
         .ok()
         .and_then(|v| v.parse().ok())
@@ -139,6 +169,13 @@ impl DsaRun {
     pub fn dram_ratio(&self) -> f64 {
         self.addr.dram_accesses() as f64 / self.xcache.dram_accesses().max(1) as f64
     }
+
+    /// Total simulated cycles across the cluster's three runs — what the
+    /// cell credits to the meta envelope via [`note_sim_cycles`].
+    #[must_use]
+    pub fn sim_cycles(&self) -> u64 {
+        self.xcache.cycles + self.addr.cycles + self.baseline.cycles
+    }
 }
 
 /// The full DSA sweep as a scenario grid: every evaluated DSA in all
@@ -157,13 +194,15 @@ pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
         cells.push(Scenario::new(name.clone(), move || {
             let w = widx_workload(class, scale, seed);
             let g = widx_geometry(scale);
-            DsaRun {
+            let run = DsaRun {
                 name,
                 geometry: g.clone(),
                 xcache: widx::run_xcache(&w, Some(g.clone())),
                 addr: widx::run_address_cache(&w, Some(g.clone())),
                 baseline: widx::run_baseline(&w, Some(g)),
-            }
+            };
+            note_sim_cycles(run.sim_cycles());
+            run
         }));
     }
 
@@ -179,13 +218,15 @@ pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
         );
         let mut g = widx_geometry(scale);
         g.exe = XCacheConfig::dasx().exe;
-        DsaRun {
+        let run = DsaRun {
             name: "DASX".into(),
             geometry: g.clone(),
             xcache: dasx::run_xcache(&w, Some(g.clone())),
             addr: dasx::run_address_cache(&w, Some(g.clone())),
             baseline: dasx::run_baseline(&w, Some(g)),
-        }
+        };
+        note_sim_cycles(run.sim_cycles());
+        run
     }));
 
     // GraphPulse: p2p-Gnutella08-shaped graph, PageRank.
@@ -204,7 +245,7 @@ pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
             iterations: 2,
         };
         let g = graphpulse_geometry(n);
-        DsaRun {
+        let run = DsaRun {
             name: "GraphPulse p2p-08".into(),
             geometry: g.clone(),
             xcache: graphpulse::run_xcache(&w, Some(g.clone())),
@@ -212,7 +253,9 @@ pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
             // A single-port hardwired coalescing queue (one event per
             // cycle enters a bin), GraphPulse's dedicated structure.
             baseline: graphpulse::run_baseline(&w, 1),
-        }
+        };
+        note_sim_cycles(run.sim_cycles());
+        run
     }));
 
     // SpArch and Gamma: A x A on a p2p-Gnutella31-shaped matrix.
@@ -223,13 +266,15 @@ pub fn dsa_scenarios(scale: u32, seed: u64) -> Vec<Scenario<'static, DsaRun>> {
         cells.push(Scenario::new(format!("{} p2p-31", alg.name()), move || {
             let w = spgemm::SpgemmWorkload::paper_like(alg, scale, seed);
             let g = spgemm_geometry(scale);
-            DsaRun {
+            let run = DsaRun {
                 name: format!("{} p2p-31", alg.name()),
                 geometry: g.clone(),
                 xcache: spgemm::run_xcache(&w, Some(g.clone())),
                 addr: spgemm::run_address_cache(&w, Some(g.clone())),
                 baseline: spgemm::run_baseline(&w, Some(g)),
-            }
+            };
+            note_sim_cycles(run.sim_cycles());
+            run
         }));
     }
 
@@ -314,10 +359,20 @@ pub fn git_sha() -> String {
 }
 
 /// Run metadata recorded in every JSON dump: enough to reproduce the run
-/// (scale divisor, job count, commit) and to identify the format.
-fn meta_json(name: &str) -> String {
+/// (scale divisor, job count, commit) and to identify the format, plus the
+/// timing fields (`wall_ms`, `sim_cycles`, `sim_cycles_per_sec`) that give
+/// every dump a perf trajectory. The timing fields are machine-dependent;
+/// comparisons across runs must ignore the meta line (it sits on its own
+/// line in the envelope precisely so `grep -v '^"meta"'` drops it).
+#[must_use]
+pub fn meta_json(name: &str) -> String {
+    let (wall_ms, sim_cycles) = timing_totals();
+    let per_sec = sim_cycles
+        .saturating_mul(1000)
+        .checked_div(wall_ms)
+        .unwrap_or(0);
     format!(
-        "{{\"schema\":\"xcache-bench/1\",\"experiment\":\"{}\",\"scale\":{},\"jobs\":{},\"git_sha\":\"{}\"}}",
+        "{{\"schema\":\"xcache-bench/1\",\"experiment\":\"{}\",\"scale\":{},\"jobs\":{},\"git_sha\":\"{}\",\"wall_ms\":{wall_ms},\"sim_cycles\":{sim_cycles},\"sim_cycles_per_sec\":{per_sec}}}",
         json_escape(name),
         scale(),
         jobs_from_env(),
@@ -511,6 +566,9 @@ mod tests {
             "\"scale\"",
             "\"jobs\"",
             "\"git_sha\"",
+            "\"wall_ms\"",
+            "\"sim_cycles\"",
+            "\"sim_cycles_per_sec\"",
         ] {
             assert!(m.contains(key), "missing {key} in {m}");
         }

@@ -102,6 +102,9 @@ impl Runner {
     ///
     /// Propagates a panic from any cell.
     pub fn run<T: Send>(&self, cells: Vec<Scenario<'_, T>>) -> Vec<T> {
+        // Anchor the meta envelope's wall clock no later than the first
+        // grid execution.
+        let _ = crate::start_instant();
         let n = cells.len();
         let verbose = std::env::var("XCACHE_VERBOSE").is_ok();
         let jobs = self.jobs.min(n.max(1));

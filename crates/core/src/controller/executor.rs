@@ -9,7 +9,7 @@ use bytes::Bytes;
 
 use xcache_isa::{Action, ActionCategory, AluOp, Cond, Operand};
 use xcache_mem::{MemReq, MemoryPort};
-use xcache_sim::{Cycle, TraceKind};
+use xcache_sim::{counter, Cycle, TraceKind};
 
 use crate::{splitmix64, MetaAccess, MetaKey};
 
@@ -43,8 +43,12 @@ impl<D: MemoryPort> XCache<D> {
                 continue;
             }
             let action = self.program.routines[lane.routine.0 as usize].actions[lane.pc];
-            self.ctx.stats.incr("xcache.ucode_read");
-            self.ctx.stats.incr(category_counter(action.category()));
+            // Any executed action may change the trigger stage's hazard
+            // state (tags, X-regs, lanes), so a stalled window must be
+            // re-examined next cycle before fast-forwarding resumes.
+            self.launch_stalled = false;
+            self.ctx.stats.incr_id(counter!("xcache.ucode_read"));
+            self.ctx.stats.incr_id(category_counter(action.category()));
             match self.exec_action(now, lane.slot, action) {
                 Outcome::Advance => {
                     lane.pc += 1;
@@ -58,9 +62,9 @@ impl<D: MemoryPort> XCache<D> {
                 }
                 Outcome::Stall => {
                     lane.stall_cycles += 1;
-                    self.ctx.stats.incr("xcache.exec_stall");
+                    self.ctx.stats.incr_id(counter!("xcache.exec_stall"));
                     if lane.stall_cycles > STALL_LIMIT {
-                        self.ctx.stats.incr("xcache.walker_timeout");
+                        self.ctx.stats.incr_id(counter!("xcache.walker_timeout"));
                         self.lanes[lane_idx] = None;
                         self.fault_walker(now, lane.slot);
                     } else {
@@ -69,7 +73,7 @@ impl<D: MemoryPort> XCache<D> {
                 }
                 Outcome::StallHazard => {
                     lane.stall_cycles += 1;
-                    self.ctx.stats.incr("xcache.exec_stall");
+                    self.ctx.stats.incr_id(counter!("xcache.exec_stall"));
                     if lane.stall_cycles > HAZARD_RETRY {
                         self.lanes[lane_idx] = None;
                         self.abort_and_replay(now, lane.slot);
@@ -170,7 +174,7 @@ impl<D: MemoryPort> XCache<D> {
                     done,
                     [digest, 0, 0, 0],
                 ));
-                self.ctx.stats.incr("xcache.hash_issue");
+                self.ctx.stats.incr_id(counter!("xcache.hash_issue"));
                 Outcome::Advance
             }
             Action::DramRead { addr, len } => {
@@ -182,8 +186,8 @@ impl<D: MemoryPort> XCache<D> {
                         self.next_req_id += 1;
                         let gen = self.walkers[slot].as_ref().expect("walker").gen;
                         self.inflight.insert(id, (slot, gen));
-                        self.ctx.stats.incr("xcache.dram_req");
-                        self.ctx.stats.add("xcache.dram_req_bytes", l);
+                        self.ctx.stats.incr_id(counter!("xcache.dram_req"));
+                        self.ctx.stats.add_id(counter!("xcache.dram_req_bytes"), l);
                         self.ctx.trace.emit(
                             now,
                             TraceKind::DramIssue,
@@ -219,8 +223,8 @@ impl<D: MemoryPort> XCache<D> {
                         self.next_req_id += 1;
                         let gen = self.walkers[slot].as_ref().expect("walker").gen;
                         self.inflight.insert(id, (slot, gen));
-                        self.ctx.stats.incr("xcache.dram_req");
-                        self.ctx.stats.add("xcache.dram_req_bytes", l);
+                        self.ctx.stats.incr_id(counter!("xcache.dram_req"));
+                        self.ctx.stats.add_id(counter!("xcache.dram_req_bytes"), l);
                         Outcome::Advance
                     }
                     Err(_) => Outcome::Stall,
@@ -286,7 +290,7 @@ impl<D: MemoryPort> XCache<D> {
                     // and retry (its overflow path). Otherwise a walker
                     // will retire and free a way: stall.
                     None if self.tags.set_unevictable(key) => {
-                        self.ctx.stats.incr("xcache.set_pinned_full");
+                        self.ctx.stats.incr_id(counter!("xcache.set_pinned_full"));
                         self.fault_walker(now, slot);
                         Outcome::FreeLane
                     }
@@ -332,7 +336,7 @@ impl<D: MemoryPort> XCache<D> {
                 let bytes = (n as usize * 8).min(data.len());
                 let sectors = bytes.div_ceil(self.data.words_per_sector() * 8).max(1);
                 let Some(start) = self.data.alloc(sectors, &mut self.ctx.stats) else {
-                    self.ctx.stats.incr("xcache.insertm_skip");
+                    self.ctx.stats.incr_id(counter!("xcache.insertm_skip"));
                     return Outcome::Advance;
                 };
                 let Some((r, evicted)) =
@@ -340,7 +344,7 @@ impl<D: MemoryPort> XCache<D> {
                         .alloc(k, xcache_isa::StateId::DEFAULT, &mut self.ctx.stats)
                 else {
                     self.data.free(start, sectors as u32);
-                    self.ctx.stats.incr("xcache.insertm_skip");
+                    self.ctx.stats.incr_id(counter!("xcache.insertm_skip"));
                     return Outcome::Advance;
                 };
                 if let Some(v) = evicted {
@@ -357,7 +361,7 @@ impl<D: MemoryPort> XCache<D> {
                 // Speculative insert: lowest replacement priority so it
                 // cannot displace proven-hot keys.
                 self.tags.demote(r);
-                self.ctx.stats.incr("xcache.insertm");
+                self.ctx.stats.incr_id(counter!("xcache.insertm"));
                 Outcome::Advance
             }
             Action::UpdateM { start, end } => {
@@ -366,7 +370,7 @@ impl<D: MemoryPort> XCache<D> {
                 let Some(r) = entry else {
                     return self.walker_error(now, slot, "UpdateM without meta entry");
                 };
-                self.ctx.stats.incr("xcache.tag_write");
+                self.ctx.stats.incr_id(counter!("xcache.tag_write"));
                 let entry = self.tags.entry_mut(r);
                 entry.sector_start = s as u32;
                 entry.sector_count = (e.saturating_sub(s) + 1) as u32;
@@ -424,7 +428,9 @@ impl<D: MemoryPort> XCache<D> {
                     match self.evict_one_idle() {
                         true => continue,
                         false => {
-                            self.ctx.stats.incr("xcache.dataram_full_stall");
+                            self.ctx
+                                .stats
+                                .incr_id(counter!("xcache.dataram_full_stall"));
                             return Outcome::StallHazard;
                         }
                     }
@@ -484,12 +490,12 @@ impl<D: MemoryPort> XCache<D> {
     }
 }
 
-fn category_counter(c: ActionCategory) -> &'static str {
+fn category_counter(c: ActionCategory) -> xcache_sim::CounterId {
     match c {
-        ActionCategory::Agen => "xcache.action.agen",
-        ActionCategory::Queue => "xcache.action.queue",
-        ActionCategory::MetaTag => "xcache.action.metatag",
-        ActionCategory::Control => "xcache.action.control",
-        ActionCategory::DataRam => "xcache.action.dataram",
+        ActionCategory::Agen => counter!("xcache.action.agen"),
+        ActionCategory::Queue => counter!("xcache.action.queue"),
+        ActionCategory::MetaTag => counter!("xcache.action.metatag"),
+        ActionCategory::Control => counter!("xcache.action.control"),
+        ActionCategory::DataRam => counter!("xcache.action.dataram"),
     }
 }

@@ -32,7 +32,7 @@ use std::collections::{HashMap, VecDeque};
 
 use xcache_isa::{Action, Operand, RoutineId, WalkerProgram};
 use xcache_mem::MemoryPort;
-use xcache_sim::{Cycle, MsgQueue, SimContext, Stats, TraceBuffer};
+use xcache_sim::{counter, Cycle, MsgQueue, SimContext, Stats, TraceBuffer};
 
 use crate::{
     dataram::DataRam, metatag::MetaTagArray, xreg::XRegPool, MetaAccess, MetaKey, MetaResp,
@@ -153,6 +153,13 @@ pub struct XCache<D> {
     pub(crate) downstream: D,
     /// Ambient services (cycle, stats, trace, seed) shared by all stages.
     pub(crate) ctx: SimContext,
+    /// Cycle of the last `tick`, for fast-forward-aware per-cycle charges
+    /// (static occupancy, launch-stall backfill).
+    pub(crate) last_tick: Option<Cycle>,
+    /// The trigger stage ended the last tick with pending accesses it
+    /// could not serve. While this holds — and nothing else perturbs the
+    /// hazard state — every skipped cycle would have launch-stalled too.
+    pub(crate) launch_stalled: bool,
 }
 
 impl<D: MemoryPort> XCache<D> {
@@ -223,6 +230,8 @@ impl<D: MemoryPort> XCache<D> {
             wake_rr: 0,
             downstream,
             ctx: SimContext::new(0),
+            last_tick: None,
+            launch_stalled: false,
             program,
             cfg,
         })
@@ -282,6 +291,15 @@ impl<D: MemoryPort> XCache<D> {
         (h + m > 0).then(|| h as f64 / (h + m) as f64)
     }
 
+    /// Whether [`try_access`](Self::try_access) would currently be
+    /// accepted (the access queue has room). Polite drivers check this
+    /// before offering work so a refusal is never charged as an
+    /// `xcache.access_stall`.
+    #[must_use]
+    pub fn can_accept(&self) -> bool {
+        !self.access_q.is_full()
+    }
+
     /// Offers a meta access from the datapath.
     ///
     /// # Errors
@@ -291,7 +309,7 @@ impl<D: MemoryPort> XCache<D> {
         match self.access_q.push(now, access) {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.ctx.stats.incr("xcache.access_stall");
+                self.ctx.stats.incr_id(counter!("xcache.access_stall"));
                 Err(e.0)
             }
         }
@@ -317,13 +335,29 @@ impl<D: MemoryPort> XCache<D> {
 
     /// Advances the instance (and its downstream level) one cycle: each
     /// pipeline stage runs once, in dependency order.
+    ///
+    /// Fast-forwarding: `tick` may be called with gaps in `now` (the
+    /// driver jumped over cycles [`next_event`](Self::next_event) proved
+    /// idle). Per-cycle charges are scaled by the elapsed gap so counters
+    /// match a single-stepped run exactly.
     pub fn tick(&mut self, now: Cycle) {
         self.ctx.advance(now);
+        let elapsed = self.last_tick.map_or(1, |t| now.since(t));
+        self.last_tick = Some(now);
         let charge = discipline_stage(self.cfg.discipline).static_occupancy(&self.cfg);
         if charge > 0 {
+            self.ctx.stats.add_id(
+                counter!("xcache.occupancy_reg_byte_cycles"),
+                charge * elapsed,
+            );
+        }
+        if self.launch_stalled && elapsed > 1 {
+            // Every cycle jumped over would have launch-stalled again
+            // (the skip is only legal when nothing could change the
+            // trigger stage's hazard checks).
             self.ctx
                 .stats
-                .add("xcache.occupancy_reg_byte_cycles", charge);
+                .add_id(counter!("xcache.launch_stall"), elapsed - 1);
         }
         self.downstream.tick(now);
         self.drain_resp_spill(now);
@@ -336,6 +370,51 @@ impl<D: MemoryPort> XCache<D> {
         }
         self.execute(now);
     }
+
+    /// Earliest cycle strictly after `now` at which `tick` could do
+    /// observable work (same contract as
+    /// [`Component::next_event`](xcache_sim::Component::next_event);
+    /// queried after `tick(now)`).
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Per-cycle activity that cannot be jumped over: an active lane
+        // executes (and counts) one action every cycle; an undispatched
+        // walker event is examined every cycle; spilled responses retry
+        // every cycle; a trigger window that is not known-stalled may
+        // serve another access next cycle.
+        if self.lanes.iter().flatten().any(|l| !l.waiting)
+            || self.walkers.iter().flatten().any(|w| !w.pending.is_empty())
+            || !self.resp_spill.is_empty()
+            || !self.replay_q.is_empty()
+            || (!self.pending.is_empty() && !self.launch_stalled)
+        {
+            return Some(now.next());
+        }
+        let mut next = Cycle::NEVER;
+        let mut wake = |t: Cycle| next = next.min(t);
+        for &(due, ..) in &self.delayed {
+            wake(due.max(now.next()));
+        }
+        // The access queue only feeds the trigger window while it has
+        // room; a full window drains through events covered above.
+        if self.pending.len() < self.cfg.access_queue_depth {
+            if let Some(ready) = self.access_q.next_ready() {
+                wake(ready.max(now.next()));
+            }
+        }
+        if let Some(ready) = self.resp_q.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        if let Some(t) = self.downstream.next_event(now) {
+            wake(t.max(now.next()));
+        }
+        if next == Cycle::NEVER {
+            // Busy with no schedulable wake-up: single-step so deadlocks
+            // still trip the drivers' cycle guards.
+            return self.busy().then(|| now.next());
+        }
+        Some(next)
+    }
 }
 
 impl<D: MemoryPort> xcache_sim::Component for XCache<D> {
@@ -347,6 +426,9 @@ impl<D: MemoryPort> xcache_sim::Component for XCache<D> {
     }
     fn busy(&self) -> bool {
         XCache::busy(self)
+    }
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        XCache::next_event(self, now)
     }
     fn report(&self, stats: &mut Stats) {
         stats.merge(&self.ctx.stats);

@@ -14,7 +14,7 @@
 //!   coarse granularity").
 
 use xcache_mem::MemoryPort;
-use xcache_sim::{Cycle, TraceKind};
+use xcache_sim::{counter, Cycle, TraceKind};
 
 use crate::config::{WalkerDiscipline, XCacheConfig};
 
@@ -107,7 +107,7 @@ impl<D: MemoryPort> XCache<D> {
         };
         let Some(routine) = self.program.table.lookup(state, event) else {
             // Protocol error: no transition for (state, event).
-            self.ctx.stats.incr("xcache.protocol_error");
+            self.ctx.stats.incr_id(counter!("xcache.protocol_error"));
             self.walkers[slot]
                 .as_mut()
                 .expect("walker")
@@ -127,7 +127,7 @@ impl<D: MemoryPort> XCache<D> {
             waiting: false,
             stall_cycles: 0,
         });
-        self.ctx.stats.incr("xcache.wakeup");
+        self.ctx.stats.incr_id(counter!("xcache.wakeup"));
         self.ctx.trace.emit(
             now,
             TraceKind::Wake,

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use xcache_isa::{EventId, StateId};
 use xcache_mem::MemoryPort;
-use xcache_sim::{Cycle, TraceKind};
+use xcache_sim::{counter, Cycle, TraceKind};
 
 use crate::metatag::EntryRef;
 use crate::{MetaAccess, MetaKey};
@@ -39,7 +39,7 @@ impl<D: MemoryPort> XCache<D> {
             }
             w.fill_data = Some(resp.data.clone());
             w.pending.push_back((EventId::FILL, payload));
-            self.ctx.stats.incr("xcache.fill_resp");
+            self.ctx.stats.incr_id(counter!("xcache.fill_resp"));
             self.ctx.trace.emit(
                 now,
                 TraceKind::DramResp,
@@ -103,11 +103,13 @@ impl<D: MemoryPort> XCache<D> {
             }
         }
         let Some(i) = serve else {
-            if !self.pending.is_empty() {
-                self.ctx.stats.incr("xcache.launch_stall");
+            self.launch_stalled = !self.pending.is_empty();
+            if self.launch_stalled {
+                self.ctx.stats.incr_id(counter!("xcache.launch_stall"));
             }
             return;
         };
+        self.launch_stalled = false;
         let access = self.pending.remove(i).expect("index in window");
         self.serve_access(now, access, wake_budget);
     }
@@ -148,7 +150,7 @@ impl<D: MemoryPort> XCache<D> {
         if let Some(&slot) = self.launching.get(&key) {
             let w = self.walkers[slot].as_mut().expect("launching entry");
             w.waiters.push(access);
-            self.ctx.stats.incr("xcache.waiter");
+            self.ctx.stats.incr_id(counter!("xcache.waiter"));
             return;
         }
         let probe = self.tags.probe(key, &mut self.ctx.stats);
@@ -157,7 +159,7 @@ impl<D: MemoryPort> XCache<D> {
                 if let Some(r) = probe {
                     let e = *self.tags.entry(r);
                     debug_assert!(!e.active, "active entry without launching record");
-                    self.ctx.stats.incr("xcache.hit");
+                    self.ctx.stats.incr_id(counter!("xcache.hit"));
                     let data =
                         self.data
                             .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
@@ -182,7 +184,7 @@ impl<D: MemoryPort> XCache<D> {
                 msg[0] = payload[0];
                 msg[1] = payload[1];
                 if let Some(r) = probe {
-                    self.ctx.stats.incr("xcache.store_hit");
+                    self.ctx.stats.incr_id(counter!("xcache.store_hit"));
                     self.launch(
                         now,
                         access,
@@ -193,14 +195,14 @@ impl<D: MemoryPort> XCache<D> {
                         wake_budget,
                     );
                 } else {
-                    self.ctx.stats.incr("xcache.store_miss");
+                    self.ctx.stats.incr_id(counter!("xcache.store_miss"));
                     self.launch(now, access, false, None, msg, EventId::UPDATE, wake_budget);
                 }
             }
             MetaAccess::Take { id, .. } => {
                 if let Some(r) = probe {
                     let e = self.tags.invalidate(r, &mut self.ctx.stats);
-                    self.ctx.stats.incr("xcache.take_hit");
+                    self.ctx.stats.incr_id(counter!("xcache.take_hit"));
                     let data =
                         self.data
                             .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
@@ -209,7 +211,7 @@ impl<D: MemoryPort> XCache<D> {
                     }
                     self.respond(now, id, key, true, data);
                 } else {
-                    self.ctx.stats.incr("xcache.take_miss");
+                    self.ctx.stats.incr_id(counter!("xcache.take_miss"));
                     self.respond(now, id, key, false, Vec::new());
                 }
             }
@@ -263,9 +265,9 @@ impl<D: MemoryPort> XCache<D> {
         w.pending.push_back((event, msg));
         self.walkers[slot] = Some(w);
         self.launching.insert(access.key(), slot);
-        self.ctx.stats.incr("xcache.walker_launch");
+        self.ctx.stats.incr_id(counter!("xcache.walker_launch"));
         if event == EventId::MISS {
-            self.ctx.stats.incr("xcache.miss");
+            self.ctx.stats.incr_id(counter!("xcache.miss"));
             self.ctx
                 .trace
                 .emit(now, TraceKind::Miss, "xcache", format!("{}", access.key()));

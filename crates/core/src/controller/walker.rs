@@ -12,7 +12,7 @@ use bytes::Bytes;
 
 use xcache_isa::{EventId, StateId};
 use xcache_mem::MemoryPort;
-use xcache_sim::{Cycle, TraceKind};
+use xcache_sim::{counter, Cycle, TraceKind};
 
 use crate::metatag::EntryRef;
 use crate::{MetaAccess, MetaKey, MetaResp};
@@ -82,7 +82,7 @@ impl<D: MemoryPort> XCache<D> {
         let extra = sectors - 1;
         // FIFO order: once anything spilled, later responses follow it.
         if !self.resp_spill.is_empty() || self.resp_q.is_full() {
-            self.ctx.stats.incr("xcache.resp_spill");
+            self.ctx.stats.incr_id(counter!("xcache.resp_spill"));
             self.resp_spill.push_back((extra, resp));
             return;
         }
@@ -113,7 +113,7 @@ impl<D: MemoryPort> XCache<D> {
         }
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
-        self.ctx.stats.incr("xcache.walker_retire");
+        self.ctx.stats.incr_id(counter!("xcache.walker_retire"));
         self.ctx
             .stats
             .sample("xcache.walk_latency", now.since(w.launched_at));
@@ -128,6 +128,9 @@ impl<D: MemoryPort> XCache<D> {
         let Some(mut w) = self.walkers[slot].take() else {
             return;
         };
+        // Frees X-regs/lanes/tag claims: a stalled trigger window may now
+        // make progress, so it must be re-examined before fast-forwarding.
+        self.launch_stalled = false;
         self.launching.remove(&w.key);
         if let Some(r) = w.entry {
             if w.owns_entry {
@@ -155,7 +158,7 @@ impl<D: MemoryPort> XCache<D> {
         }
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
-        self.ctx.stats.incr("xcache.walker_fault");
+        self.ctx.stats.incr_id(counter!("xcache.walker_fault"));
     }
 
     /// Aborts a walker that lost an allocation race and replays its access
@@ -187,12 +190,12 @@ impl<D: MemoryPort> XCache<D> {
         }
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
-        self.ctx.stats.incr("xcache.walker_replay");
+        self.ctx.stats.incr_id(counter!("xcache.walker_replay"));
     }
 
     /// Records a protocol violation and faults the walker.
     pub(super) fn walker_error(&mut self, now: Cycle, slot: usize, what: &str) -> Outcome {
-        self.ctx.stats.incr("xcache.walker_error");
+        self.ctx.stats.incr_id(counter!("xcache.walker_error"));
         self.ctx.trace.emit(
             now,
             TraceKind::Other,
@@ -218,7 +221,7 @@ impl<D: MemoryPort> XCache<D> {
         let r = self.tags.peek(key).expect("victim present");
         let e = self.tags.invalidate(r, &mut self.ctx.stats);
         self.data.free(e.sector_start, e.sector_count);
-        self.ctx.stats.incr("xcache.capacity_evict");
+        self.ctx.stats.incr_id(counter!("xcache.capacity_evict"));
         true
     }
 }

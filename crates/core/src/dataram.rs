@@ -6,7 +6,7 @@
 //! meta-tag entries store start/end pointers, like decoupled sector
 //! caches — allocated first-fit from a bitmap.
 
-use xcache_sim::Stats;
+use xcache_sim::{counter, Stats};
 
 /// The banked, sectored data store.
 #[derive(Debug)]
@@ -72,7 +72,7 @@ impl DataRam {
                         *s = true;
                     }
                     self.free_sectors -= count;
-                    stats.add("xcache.data_alloc_sectors", count as u64);
+                    stats.add_id(counter!("xcache.data_alloc_sectors"), count as u64);
                     return Some(start as u32);
                 }
             }
@@ -103,7 +103,7 @@ impl DataRam {
     /// Panics if the location is out of range.
     #[must_use]
     pub fn read_word(&self, sector: u32, word: u32, stats: &mut Stats) -> u64 {
-        stats.incr("xcache.data_read_word");
+        stats.incr_id(counter!("xcache.data_read_word"));
         self.words[self.widx(sector, word)]
     }
 
@@ -113,7 +113,7 @@ impl DataRam {
     ///
     /// Panics if the location is out of range.
     pub fn write_word(&mut self, sector: u32, word: u32, value: u64, stats: &mut Stats) {
-        stats.incr("xcache.data_write_word");
+        stats.incr_id(counter!("xcache.data_write_word"));
         let i = self.widx(sector, word);
         self.words[i] = value;
     }
@@ -143,7 +143,10 @@ impl DataRam {
             );
             self.words[i] = u64::from_le_bytes(b);
         }
-        stats.add("xcache.data_write_sector", u64::from(sectors_touched));
+        stats.add_id(
+            counter!("xcache.data_write_sector"),
+            u64::from(sectors_touched),
+        );
         sectors_touched
     }
 
@@ -151,7 +154,7 @@ impl DataRam {
     /// respond path). Counts one sector read per sector.
     #[must_use]
     pub fn gather(&self, start: u32, count: u32, stats: &mut Stats) -> Vec<u64> {
-        stats.add("xcache.data_read_sector", u64::from(count));
+        stats.add_id(counter!("xcache.data_read_sector"), u64::from(count));
         let a = start as usize * self.words_per_sector;
         let b = (start + count) as usize * self.words_per_sector;
         self.words[a..b].to_vec()

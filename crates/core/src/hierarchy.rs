@@ -21,7 +21,7 @@
 use std::collections::HashMap;
 
 use xcache_mem::MemoryPort;
-use xcache_sim::{Cycle, MsgQueue, Stats};
+use xcache_sim::{counter, Cycle, MsgQueue, Stats};
 
 use crate::{
     dataram::DataRam, metatag::MetaTagArray, MetaAccess, MetaKey, MetaResp, XCache, XCacheConfig,
@@ -38,6 +38,11 @@ pub trait MetaPort {
     /// Returns `Err(access)` when the input queue is full this cycle.
     fn try_access(&mut self, now: Cycle, access: MetaAccess) -> Result<(), MetaAccess>;
 
+    /// Whether [`try_access`](Self::try_access) would currently be
+    /// accepted. Polite drivers check before offering so refusals are
+    /// never charged as stalls.
+    fn can_accept(&self) -> bool;
+
     /// Removes one ready response, if any.
     fn take_response(&mut self, now: Cycle) -> Option<MetaResp>;
 
@@ -46,11 +51,21 @@ pub trait MetaPort {
 
     /// Whether work is outstanding.
     fn busy(&self) -> bool;
+
+    /// Earliest cycle strictly after `now` at which `tick` could do
+    /// observable work, or `None` when idle with nothing scheduled. Same
+    /// contract as [`Component::next_event`](xcache_sim::Component::next_event).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
 }
 
 impl<D: MemoryPort> MetaPort for XCache<D> {
     fn try_access(&mut self, now: Cycle, access: MetaAccess) -> Result<(), MetaAccess> {
         XCache::try_access(self, now, access)
+    }
+    fn can_accept(&self) -> bool {
+        XCache::can_accept(self)
     }
     fn take_response(&mut self, now: Cycle) -> Option<MetaResp> {
         XCache::take_response(self, now)
@@ -60,6 +75,9 @@ impl<D: MemoryPort> MetaPort for XCache<D> {
     }
     fn busy(&self) -> bool {
         XCache::busy(self)
+    }
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        XCache::next_event(self, now)
     }
 }
 
@@ -207,7 +225,7 @@ impl<L: MetaPort> MetaL1<L> {
                     let r = self.tags.peek(vk).expect("victim present");
                     let e = self.tags.invalidate(r, &mut self.stats);
                     self.data.free(e.sector_start, e.sector_count);
-                    self.stats.incr("metal1.capacity_evict");
+                    self.stats.incr_id(counter!("metal1.capacity_evict"));
                 }
                 None => break None,
             }
@@ -245,6 +263,10 @@ impl<L: MetaPort> MetaL1<L> {
 impl<L: MetaPort> MetaPort for MetaL1<L> {
     fn try_access(&mut self, now: Cycle, access: MetaAccess) -> Result<(), MetaAccess> {
         self.access_q.push(now, access).map_err(|e| e.0)
+    }
+
+    fn can_accept(&self) -> bool {
+        !self.access_q.is_full()
     }
 
     fn take_response(&mut self, now: Cycle) -> Option<MetaResp> {
@@ -289,13 +311,13 @@ impl<L: MetaPort> MetaPort for MetaL1<L> {
                 if let Some(waiters) = self.outstanding.get_mut(&key) {
                     waiters.push(access);
                     self.access_q.pop(now);
-                    self.stats.incr("metal1.coalesced");
+                    self.stats.incr_id(counter!("metal1.coalesced"));
                     return;
                 }
                 if let Some(r) = self.tags.probe(key, &mut self.stats) {
                     let e = *self.tags.entry(r);
                     self.access_q.pop(now);
-                    self.stats.incr("metal1.hit");
+                    self.stats.incr_id(counter!("metal1.hit"));
                     let data = self
                         .data
                         .gather(e.sector_start, e.sector_count, &mut self.stats);
@@ -319,11 +341,11 @@ impl<L: MetaPort> MetaPort for MetaL1<L> {
                     Ok(()) => {
                         self.access_q.pop(now);
                         self.next_fill_id += 1;
-                        self.stats.incr("metal1.miss");
+                        self.stats.incr_id(counter!("metal1.miss"));
                         self.outstanding.insert(key, vec![access]);
                     }
                     Err(_) => {
-                        self.stats.incr("metal1.downstream_stall");
+                        self.stats.incr_id(counter!("metal1.downstream_stall"));
                     }
                 }
             }
@@ -338,13 +360,13 @@ impl<L: MetaPort> MetaPort for MetaL1<L> {
                             if e.sector_count > 0 {
                                 self.data.free(e.sector_start, e.sector_count);
                             }
-                            self.stats.incr("metal1.inval");
+                            self.stats.incr_id(counter!("metal1.inval"));
                         }
                         self.passthrough.insert(id, ());
-                        self.stats.incr("metal1.forward");
+                        self.stats.incr_id(counter!("metal1.forward"));
                     }
                     Err(_) => {
-                        self.stats.incr("metal1.downstream_stall");
+                        self.stats.incr_id(counter!("metal1.downstream_stall"));
                     }
                 }
             }
@@ -357,6 +379,27 @@ impl<L: MetaPort> MetaPort for MetaL1<L> {
             || !self.outstanding.is_empty()
             || !self.passthrough.is_empty()
             || self.downstream.busy()
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::NEVER;
+        let mut wake = |t: Cycle| next = next.min(t);
+        // A visible head access is processed (or counted as a
+        // downstream stall) every cycle; an in-flight head wakes us when
+        // it becomes visible.
+        if let Some(ready) = self.access_q.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        if let Some(ready) = self.resp_q.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        if let Some(t) = self.downstream.next_event(now) {
+            wake(t.max(now.next()));
+        }
+        if next == Cycle::NEVER {
+            return self.busy().then(|| now.next());
+        }
+        Some(next)
     }
 }
 

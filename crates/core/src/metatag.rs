@@ -8,7 +8,7 @@
 //! and a *pinned* bit for entries whose data exists only on-chip.
 
 use xcache_isa::StateId;
-use xcache_sim::Stats;
+use xcache_sim::{counter, Stats};
 
 use crate::MetaKey;
 
@@ -119,7 +119,7 @@ impl MetaTagArray {
 
     /// Looks up `key`, updating recency and the probe counter.
     pub fn probe(&mut self, key: MetaKey, stats: &mut Stats) -> Option<EntryRef> {
-        stats.incr("xcache.tag_read");
+        stats.incr_id(counter!("xcache.tag_read"));
         let set = self.set_of(key);
         for way in 0..self.ways {
             let idx = set * self.ways + way;
@@ -184,7 +184,7 @@ impl MetaTagArray {
         state: StateId,
         stats: &mut Stats,
     ) -> Option<(EntryRef, Option<MetaEntry>)> {
-        stats.incr("xcache.tag_write");
+        stats.incr_id(counter!("xcache.tag_write"));
         let set = self.set_of(key);
         let mut victim: Option<(usize, u64)> = None;
         for way in 0..self.ways {
@@ -205,7 +205,7 @@ impl MetaTagArray {
         let (way, _) = victim?;
         let idx = set * self.ways + way;
         let evicted = self.slots[idx].valid.then(|| {
-            stats.incr("xcache.meta_evict");
+            stats.incr_id(counter!("xcache.meta_evict"));
             self.slots[idx].entry
         });
         self.use_counter += 1;
@@ -221,7 +221,7 @@ impl MetaTagArray {
             valid: true,
             last_used: self.use_counter,
         };
-        stats.incr("xcache.meta_alloc");
+        stats.incr_id(counter!("xcache.meta_alloc"));
         Some((
             EntryRef {
                 set: set as u32,
@@ -276,7 +276,7 @@ impl MetaTagArray {
     pub fn invalidate(&mut self, r: EntryRef, stats: &mut Stats) -> MetaEntry {
         let idx = self.slot_idx(r);
         assert!(self.slots[idx].valid, "invalidate({r:?}) on invalid slot");
-        stats.incr("xcache.tag_write");
+        stats.incr_id(counter!("xcache.tag_write"));
         self.slots[idx].valid = false;
         self.slots[idx].entry
     }

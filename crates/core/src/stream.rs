@@ -13,7 +13,7 @@ use std::collections::BTreeMap;
 use bytes::Bytes;
 
 use xcache_mem::{MemReq, MemoryPort};
-use xcache_sim::{Cycle, Stats};
+use xcache_sim::{counter, Cycle, Stats};
 
 /// Configuration of a [`StreamReader`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -125,11 +125,11 @@ impl<P: MemoryPort> StreamReader<P> {
                 Ok(()) => {
                     self.inflight += 1;
                     self.next_issue_chunk += 1;
-                    self.stats.incr("stream.fetch");
-                    self.stats.add("stream.bytes", u64::from(len));
+                    self.stats.incr_id(counter!("stream.fetch"));
+                    self.stats.add_id(counter!("stream.bytes"), u64::from(len));
                 }
                 Err(_) => {
-                    self.stats.incr("stream.port_stall");
+                    self.stats.incr_id(counter!("stream.port_stall"));
                     break;
                 }
             }
@@ -161,6 +161,20 @@ impl<P: MemoryPort> StreamReader<P> {
         }
     }
 
+    /// Whether [`pop_word`](Self::pop_word) would currently return a word.
+    /// This is the datapath-readiness signal drivers fold into their
+    /// fast-forward wake-up (see [`next_event`](Self::next_event)).
+    #[must_use]
+    pub fn word_ready(&self) -> bool {
+        match &self.current {
+            Some((chunk, off)) if *off < chunk.len() => true,
+            // Current chunk exhausted (or absent): the next in-order chunk
+            // must already have arrived.
+            Some(_) => self.arrived.contains_key(&(self.next_deliver_chunk + 1)),
+            None => self.arrived.contains_key(&self.next_deliver_chunk),
+        }
+    }
+
     /// Whether every word of the stream has been delivered.
     #[must_use]
     pub fn exhausted(&self) -> bool {
@@ -172,6 +186,21 @@ impl<P: MemoryPort> StreamReader<P> {
     #[must_use]
     pub fn busy(&self) -> bool {
         self.inflight > 0 || !self.arrived.is_empty() || self.port.busy()
+    }
+
+    /// Earliest cycle strictly after `now` at which `tick` could do
+    /// observable work (same contract as
+    /// [`Component::next_event`](xcache_sim::Component::next_event)).
+    /// Arrived-but-unconsumed words do not count: consuming them is the
+    /// datapath's move, so the *driver* must fold its own readiness in.
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // More chunks to issue with lookahead room: `tick` issues (or
+        // counts a port stall) every cycle.
+        if self.next_issue_chunk < self.total_chunks && self.inflight < self.cfg.lookahead {
+            return Some(now.next());
+        }
+        self.port.next_event(now)
     }
 }
 

@@ -10,7 +10,7 @@
 //! at release time. Coroutine walkers charge only their declared register
 //! count; blocking-thread walkers charge a full hardware context.
 
-use xcache_sim::{Cycle, Stats};
+use xcache_sim::{counter, Cycle, Stats};
 
 /// Handle to an allocated X-register file.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -95,7 +95,7 @@ impl XRegPool {
         let lifetime = now.since(f.allocated_at).max(1);
         let occ = (self.charged_regs as u64) * 8 * lifetime;
         self.occupancy += occ;
-        stats.add("xcache.occupancy_reg_byte_cycles", occ);
+        stats.add_id(counter!("xcache.occupancy_reg_byte_cycles"), occ);
         stats.sample("xcache.walker_lifetime", lifetime);
         self.free.push(file.0);
     }
@@ -109,7 +109,7 @@ impl XRegPool {
     pub fn read(&self, file: XRegFile, reg: u8, stats: &mut Stats) -> u64 {
         let f = &self.files[file.0 as usize];
         assert!(f.in_use, "read from unallocated {file:?}");
-        stats.incr("xcache.xreg_read");
+        stats.incr_id(counter!("xcache.xreg_read"));
         f.regs[reg as usize]
     }
 
@@ -121,7 +121,7 @@ impl XRegPool {
     pub fn write(&mut self, file: XRegFile, reg: u8, value: u64, stats: &mut Stats) {
         let f = &mut self.files[file.0 as usize];
         assert!(f.in_use, "write to unallocated {file:?}");
-        stats.incr("xcache.xreg_write");
+        stats.incr_id(counter!("xcache.xreg_write"));
         f.regs[reg as usize] = value;
     }
 

@@ -8,7 +8,7 @@
 //! ("ideal walker", §8) orchestration decisions.
 
 use xcache_mem::{MainMemory, MemReq, MemoryPort};
-use xcache_sim::{Cycle, Stats, StatsSnapshot};
+use xcache_sim::{counter, Cycle, Stats, StatsSnapshot};
 
 /// Copies layout segments into a simulated memory image.
 pub fn apply_image(mem: &mut MainMemory, segments: &[(u64, Vec<u8>)]) {
@@ -131,6 +131,10 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
 
     /// Runs to completion, returning `(cycles, checksum)`.
     ///
+    /// Idle stretches (every unit dormant on DRAM) are fast-forwarded to
+    /// the next scheduled event; the cycle count and statistics are
+    /// identical to single-stepping (set `XCACHE_NO_SKIP=1` to force it).
+    ///
     /// # Panics
     ///
     /// Panics if the run exceeds `max_cycles` (deadlock guard).
@@ -138,7 +142,11 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
         let mut now = Cycle(0);
         while !self.done() {
             self.tick(now);
-            now = now.next();
+            now = if self.done() {
+                now.next() // same end-cycle as the single-stepped loop
+            } else {
+                xcache_sim::fast_forward(now, self.next_event(now))
+            };
             assert!(
                 now.raw() < max_cycles,
                 "probe engine exceeded {max_cycles} cycles ({} done)",
@@ -146,6 +154,37 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
             );
         }
         (now.raw(), self.checksum)
+    }
+
+    /// Earliest cycle strictly after `now` at which `tick` could do
+    /// observable work (same contract as
+    /// [`Component::next_event`](xcache_sim::Component::next_event);
+    /// queried after `tick(now)`).
+    #[must_use]
+    pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        // Undelivered arrivals and refillable idle units act every cycle.
+        if !self.arrivals.is_empty()
+            || (!self.queue.is_empty() && self.active.iter().any(Option::is_none))
+        {
+            return Some(now.next());
+        }
+        let mut next = Cycle::NEVER;
+        for slot in self.active.iter().flatten() {
+            match slot {
+                Slot::Ready(..) => return Some(now.next()),
+                Slot::Delayed(_, until, _) => next = next.min((*until).max(now.next())),
+                Slot::Waiting(..) => {}
+            }
+        }
+        if let Some(t) = self.port.next_event(now) {
+            next = next.min(t.max(now.next()));
+        }
+        if next == Cycle::NEVER {
+            // Not done but nothing schedulable: single-step so the run
+            // guard still catches deadlocks.
+            return (!self.done()).then(|| now.next());
+        }
+        Some(next)
     }
 
     /// Advances one cycle.
@@ -186,7 +225,7 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
     ) -> Option<Slot<T>> {
         match task.advance(data) {
             TaskStep::Delay(d) => {
-                self.stats.add("engine.delay_cycles", d);
+                self.stats.add_id(counter!("engine.delay_cycles"), d);
                 Some(Slot::Delayed(task, now + d, started))
             }
             TaskStep::Read { addr, len } => {
@@ -194,7 +233,7 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
                 match self.port.try_request(now, MemReq::read(id, addr, len)) {
                     Ok(()) => {
                         self.next_id += 1;
-                        self.stats.incr("engine.reads");
+                        self.stats.incr_id(counter!("engine.reads"));
                         Some(Slot::Waiting(task, id, started))
                     }
                     Err(_) => {
@@ -202,7 +241,7 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
                         // Tasks are written peek-then-commit (state only
                         // changes when data arrives), so re-entry with the
                         // same inputs is safe.
-                        self.stats.incr("engine.port_stall");
+                        self.stats.incr_id(counter!("engine.port_stall"));
                         Some(Slot::Delayed(task, now.next(), started))
                     }
                 }
@@ -210,7 +249,7 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
             TaskStep::Done(v) => {
                 self.checksum = self.checksum.wrapping_add(v);
                 self.completed += 1;
-                self.stats.incr("engine.done");
+                self.stats.incr_id(counter!("engine.done"));
                 // Per-task latency: the addr-cache analogue of the
                 // controller's load-to-use histogram (Figure 4).
                 self.stats

@@ -287,19 +287,16 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
     while done < total {
         stream.tick(now);
         bypass_port.tick(now);
-        // Retry bypass row_ptr reads refused by the port.
-        let r = 0;
-        while r < bypass_retry.len() {
-            let (i, a, k) = bypass_retry[r];
+        // Retry bypass row_ptr reads the port had no room for.
+        while !bypass_retry.is_empty() && bypass_port.can_accept() {
+            let (i, a, k) = bypass_retry[0];
             let req = xcache_mem::MemReq::read(next_bypass_id, layout.row_ptr_base + k * 8, 16);
-            if bypass_port.try_request(now, req).is_ok() {
-                bypass.insert(next_bypass_id, Bypass::Ptr { i, a, k });
-                next_bypass_id += 1;
-                bypass_retry.swap_remove(r);
-            } else {
-                break;
-            }
-            let _ = r;
+            bypass_port
+                .try_request(now, req)
+                .expect("can_accept checked");
+            bypass.insert(next_bypass_id, Bypass::Ptr { i, a, k });
+            next_bypass_id += 1;
+            bypass_retry.swap_remove(0);
         }
         while let Some(resp) = bypass_port.take_response(now) {
             match bypass.remove(&resp.id.0) {
@@ -311,21 +308,21 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
                         let _ = k;
                         continue;
                     }
-                    let req = xcache_mem::MemReq::read(
-                        next_bypass_id,
-                        layout.pairs_base + s * 16,
-                        ((e - s) * 16) as u32,
-                    );
-                    match bypass_port.try_request(now, req) {
-                        Ok(()) => {
-                            bypass.insert(next_bypass_id, Bypass::Row { i, a, k });
-                            next_bypass_id += 1;
-                        }
-                        Err(_) => {
-                            // Re-read the pointer next cycle (simpler than
-                            // holding partial state; rare path).
-                            bypass_retry.push((i, a, k));
-                        }
+                    if bypass_port.can_accept() {
+                        let req = xcache_mem::MemReq::read(
+                            next_bypass_id,
+                            layout.pairs_base + s * 16,
+                            ((e - s) * 16) as u32,
+                        );
+                        bypass_port
+                            .try_request(now, req)
+                            .expect("can_accept checked");
+                        bypass.insert(next_bypass_id, Bypass::Row { i, a, k });
+                        next_bypass_id += 1;
+                    } else {
+                        // Re-read the pointer later (simpler than holding
+                        // partial state; rare path).
+                        bypass_retry.push((i, a, k));
                     }
                 }
                 Some(Bypass::Row { i, a, k }) => {
@@ -361,11 +358,12 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
             }
         }
         if let Some((i, k, a)) = pending_elem {
-            let access = MetaAccess::Load {
-                id: next_id,
-                key: MetaKey::new(k),
-            };
-            if xc.try_access(now, access).is_ok() {
+            if xc.can_accept() {
+                let access = MetaAccess::Load {
+                    id: next_id,
+                    key: MetaKey::new(k),
+                };
+                xc.try_access(now, access).expect("can_accept checked");
                 inflight.insert(next_id, (i as u32, f64::from_bits(a)));
                 next_id += 1;
                 pending_elem = None;
@@ -413,7 +411,19 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
             }
             done += 1;
         }
-        now = now.next();
+        now = if done >= total {
+            now.next() // same end-cycle as the single-stepped loop
+        } else {
+            let mut wake = xc.next_event(now);
+            wake = xcache_sim::earliest(wake, stream.next_event(now));
+            wake = xcache_sim::earliest(wake, bypass_port.next_event(now));
+            let issuable = (pending_elem.is_some() || stream.word_ready()) && xc.can_accept();
+            let retryable = !bypass_retry.is_empty() && bypass_port.can_accept();
+            if issuable || retryable {
+                wake = Some(now.next());
+            }
+            xcache_sim::fast_forward(now, wake)
+        };
         if now.raw() >= max_cycles {
             eprintln!(
                 "DEADLOCK: done={done}/{total} pending_elem={} inflight={} bypass={} retry={}",
@@ -587,7 +597,15 @@ pub fn run_address_cache(workload: &SpgemmWorkload, geometry: Option<XCacheConfi
             });
         }
         engine.tick(now);
-        now = now.next();
+        now = if engine.completed() >= total {
+            now.next() // same end-cycle as the single-stepped loop
+        } else {
+            let mut wake = xcache_sim::earliest(engine.next_event(now), stream.next_event(now));
+            if stream.word_ready() {
+                wake = Some(now.next()); // next element gates a task next cycle
+            }
+            xcache_sim::fast_forward(now, wake)
+        };
         assert!(now.raw() < max_cycles, "spgemm addr-cache run deadlocked");
     }
     let mut stats = Stats::new();

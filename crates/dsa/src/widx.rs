@@ -219,15 +219,13 @@ pub fn run_xcache_with_walker(
     let max_cycles = 2_000 * total as u64 + 1_000_000;
     while done < total {
         // Issue as many probes as the access queue accepts this cycle.
-        while next < total {
+        while next < total && xc.can_accept() {
             let access = MetaAccess::Load {
                 id: next as u64,
                 key: MetaKey::new(workload.probes[next]),
             };
-            match xc.try_access(now, access) {
-                Ok(()) => next += 1,
-                Err(_) => break,
-            }
+            xc.try_access(now, access).expect("can_accept checked");
+            next += 1;
         }
         xc.tick(now);
         while let Some(resp) = xc.take_response(now) {
@@ -237,7 +235,15 @@ pub fn run_xcache_with_walker(
             }
             done += 1;
         }
-        now = now.next();
+        now = if done >= total {
+            now.next() // same end-cycle as the single-stepped loop
+        } else {
+            let mut wake = xc.next_event(now);
+            if next < total && xc.can_accept() {
+                wake = Some(now.next()); // more probes to issue next cycle
+            }
+            xcache_sim::fast_forward(now, wake)
+        };
         assert!(now.raw() < max_cycles, "widx x-cache run deadlocked");
     }
     assert_eq!(

@@ -16,7 +16,7 @@ use std::collections::HashMap;
 
 use bytes::Bytes;
 
-use xcache_sim::{Cycle, MsgQueue, Stats};
+use xcache_sim::{counter, Cycle, MsgQueue, Stats};
 
 use crate::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
 
@@ -270,11 +270,11 @@ impl<D: MemoryPort> AddressCache<D> {
         debug_assert!(off as u64 + u64::from(req.len) <= block_bytes);
         let data = match req.kind {
             MemReqKind::Read => {
-                self.stats.incr("cache.data_reads");
+                self.stats.incr_id(counter!("cache.data_reads"));
                 Bytes::copy_from_slice(&line.data[off..off + req.len as usize])
             }
             MemReqKind::Write => {
-                self.stats.incr("cache.data_writes");
+                self.stats.incr_id(counter!("cache.data_writes"));
                 line.data[off..off + req.len as usize].copy_from_slice(&req.data);
                 line.dirty = true;
                 Bytes::new()
@@ -299,7 +299,7 @@ impl<D: MemoryPort> AddressCache<D> {
         // Write back a dirty victim.
         let victim = &self.lines[base + way];
         if victim.valid && victim.dirty {
-            self.stats.incr("cache.writebacks");
+            self.stats.incr_id(counter!("cache.writebacks"));
             let wb = MemReq::write(
                 self.next_internal_id,
                 victim.tag,
@@ -309,7 +309,7 @@ impl<D: MemoryPort> AddressCache<D> {
             self.pending_down.push(wb);
         }
         if self.lines[base + way].valid {
-            self.stats.incr("cache.evictions");
+            self.stats.incr_id(counter!("cache.evictions"));
         }
         self.use_counter += 1;
         let counter = self.use_counter;
@@ -320,7 +320,7 @@ impl<D: MemoryPort> AddressCache<D> {
         line.last_used = counter;
         line.filled_at = counter;
         line.data[..data.len()].copy_from_slice(data);
-        self.stats.incr("cache.fills");
+        self.stats.incr_id(counter!("cache.fills"));
 
         if let Some(mshr) = self.mshrs.remove(&block) {
             for req in mshr.waiters {
@@ -351,7 +351,7 @@ impl<D: MemoryPort> AddressCache<D> {
                     waiters: Vec::new(),
                 },
             );
-            self.stats.incr("cache.prefetches");
+            self.stats.incr_id(counter!("cache.prefetches"));
         }
     }
 
@@ -378,9 +378,13 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             req
         );
         self.input.push(now, req).map_err(|e| {
-            self.stats.incr("cache.input_stall");
+            self.stats.incr_id(counter!("cache.input_stall"));
             e.0
         })
+    }
+
+    fn can_accept(&self) -> bool {
+        !self.input.is_full()
     }
 
     fn take_response(&mut self, now: Cycle) -> Option<MemResp> {
@@ -407,10 +411,10 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             };
             let block = self.cfg.block_of(req.addr);
             let set = self.cfg.set_of(block);
-            self.stats.incr("cache.tag_reads");
+            self.stats.incr_id(counter!("cache.tag_reads"));
             if let Some(way) = self.find_way(set, block) {
                 let req = self.input.pop(now).expect("peeked");
-                self.stats.incr("cache.hits");
+                self.stats.incr_id(counter!("cache.hits"));
                 self.serve_hit(now, set, way, &req);
                 continue;
             }
@@ -418,13 +422,13 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             if let Some(mshr) = self.mshrs.get_mut(&block) {
                 // Secondary miss: coalesce.
                 let req = self.input.pop(now).expect("peeked");
-                self.stats.incr("cache.misses");
-                self.stats.incr("cache.mshr_coalesced");
+                self.stats.incr_id(counter!("cache.misses"));
+                self.stats.incr_id(counter!("cache.mshr_coalesced"));
                 mshr.waiters.push(req);
                 continue;
             }
             if self.mshrs.len() >= self.cfg.mshrs {
-                self.stats.incr("cache.mshr_stall");
+                self.stats.incr_id(counter!("cache.mshr_stall"));
                 break; // structural hazard: stall the input queue
             }
             let fill_id = self.next_internal_id;
@@ -432,7 +436,7 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             match self.downstream.try_request(now, fill) {
                 Ok(()) => {
                     let req = self.input.pop(now).expect("peeked");
-                    self.stats.incr("cache.misses");
+                    self.stats.incr_id(counter!("cache.misses"));
                     self.next_internal_id += 1;
                     self.inflight_fills.insert(ReqId(fill_id), block);
                     self.mshrs.insert(block, Mshr { waiters: vec![req] });
@@ -441,7 +445,7 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
                     }
                 }
                 Err(_) => {
-                    self.stats.incr("cache.downstream_stall");
+                    self.stats.incr_id(counter!("cache.downstream_stall"));
                     break;
                 }
             }
@@ -457,6 +461,35 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             || !self.mshrs.is_empty()
             || !self.pending_down.is_empty()
             || self.downstream.busy()
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::NEVER;
+        let mut wake = |t: Cycle| next = next.min(t);
+
+        // A visible input head is re-examined every tick (MSHR or
+        // downstream stalls are counted per tick), so it pins the wake-up
+        // to the next cycle; an in-flight head wakes us when it arrives.
+        if let Some(ready) = self.input.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        // Refused downstream transactions are retried every tick (and each
+        // refusal counts a stall in the downstream's registry).
+        if !self.pending_down.is_empty() {
+            wake(now.next());
+        }
+        if let Some(ready) = self.resp.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        if let Some(t) = self.downstream.next_event(now) {
+            wake(t.max(now.next()));
+        }
+        if next == Cycle::NEVER {
+            // Outstanding work with no scheduled wake-up (e.g. an MSHR whose
+            // downstream model gave no report): fall back to single-stepping.
+            return self.busy().then(|| now.next());
+        }
+        Some(next)
     }
 }
 

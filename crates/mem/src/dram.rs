@@ -19,7 +19,7 @@ use std::collections::VecDeque;
 
 use bytes::Bytes;
 
-use xcache_sim::{Cycle, MsgQueue, Stats};
+use xcache_sim::{counter, Cycle, MsgQueue, Stats};
 
 use crate::{MainMemory, MemReq, MemReqKind, MemResp, MemoryPort};
 
@@ -256,15 +256,15 @@ impl DramModel {
         let bank = &mut self.banks[bank_idx];
         let row_latency = match bank.open_row {
             Some(open) if open == row => {
-                self.stats.incr("dram.row_hit");
+                self.stats.incr_id(counter!("dram.row_hit"));
                 self.cfg.t_cas
             }
             Some(_) => {
-                self.stats.incr("dram.row_conflict");
+                self.stats.incr_id(counter!("dram.row_conflict"));
                 self.cfg.t_rp + self.cfg.t_rcd + self.cfg.t_cas
             }
             None => {
-                self.stats.incr("dram.row_miss");
+                self.stats.incr_id(counter!("dram.row_miss"));
                 self.cfg.t_rcd + self.cfg.t_cas
             }
         };
@@ -280,8 +280,9 @@ impl DramModel {
         let bus_start = data_ready.max(self.bus_free_at[channel]);
         let done = bus_start + transfer;
         self.bus_free_at[channel] = done;
-        self.stats.add("dram.bytes", bytes);
-        self.stats.add("dram.bus_busy_cycles", transfer);
+        self.stats.add_id(counter!("dram.bytes"), bytes);
+        self.stats
+            .add_id(counter!("dram.bus_busy_cycles"), transfer);
         done
     }
 }
@@ -291,10 +292,14 @@ impl MemoryPort for DramModel {
         match self.input.push(now, req) {
             Ok(()) => Ok(()),
             Err(e) => {
-                self.stats.incr("dram.input_stall");
+                self.stats.incr_id(counter!("dram.input_stall"));
                 Err(e.0)
             }
         }
+    }
+
+    fn can_accept(&self) -> bool {
+        !self.input.is_full()
     }
 
     fn take_response(&mut self, now: Cycle) -> Option<MemResp> {
@@ -305,7 +310,7 @@ impl MemoryPort for DramModel {
         // 0. Refresh: periodically block every bank for tRFC and close
         //    the row buffers (in-flight transfers complete normally).
         if now >= self.next_refresh {
-            self.stats.incr("dram.refresh");
+            self.stats.incr_id(counter!("dram.refresh"));
             for b in &mut self.banks {
                 b.busy_until = b.busy_until.max(now + self.cfg.t_rfc);
                 b.open_row = None;
@@ -321,17 +326,17 @@ impl MemoryPort for DramModel {
                 continue;
             }
             if self.resp.is_full() {
-                self.stats.incr("dram.resp_stall");
+                self.stats.incr_id(counter!("dram.resp_stall"));
                 continue; // hold in service until the response queue drains
             }
             let (req, done) = self.banks[b].in_service.take().expect("checked above");
             let data = match req.kind {
                 MemReqKind::Read => {
-                    self.stats.incr("dram.reads");
+                    self.stats.incr_id(counter!("dram.reads"));
                     Bytes::from(self.memory.read_vec(req.addr, req.len as usize))
                 }
                 MemReqKind::Write => {
-                    self.stats.incr("dram.writes");
+                    self.stats.incr_id(counter!("dram.writes"));
                     self.memory.write(req.addr, &req.data);
                     Bytes::new()
                 }
@@ -362,11 +367,11 @@ impl MemoryPort for DramModel {
         while let Some(req) = self.input.peek(now) {
             let bank = self.cfg.bank_of(req.addr);
             if self.banks[bank].queue.len() >= self.cfg.bank_queue_depth {
-                self.stats.incr("dram.bank_queue_stall");
+                self.stats.incr_id(counter!("dram.bank_queue_stall"));
                 break; // preserve FIFO order from the input queue
             }
             let req = self.input.pop(now).expect("peeked");
-            self.stats.incr("dram.requests");
+            self.stats.incr_id(counter!("dram.requests"));
             self.banks[bank].queue.push_back(req);
         }
     }
@@ -378,6 +383,40 @@ impl MemoryPort for DramModel {
                 .banks
                 .iter()
                 .any(|b| b.in_service.is_some() || !b.queue.is_empty())
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let mut next = Cycle::NEVER;
+        let mut wake = |t: Cycle| next = next.min(t);
+
+        // Refresh is a hard event even when idle: it must fire at exactly
+        // `next_refresh` because bank blocking is computed as
+        // `max(busy_until, now + tRFC)` — firing late would diverge.
+        if self.next_refresh != Cycle::NEVER {
+            wake(self.next_refresh.max(now.next()));
+        }
+        // Input head moves into a bank queue when it becomes visible; a
+        // visible head blocked on a full bank queue counts a stall every
+        // tick, so it pins the wake-up to the very next cycle.
+        if let Some(ready) = self.input.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        for b in &self.banks {
+            match &b.in_service {
+                // Retires at `done`; `done <= now` means the retire was
+                // held back by a full response queue this tick (counted
+                // per tick), so re-evaluate next cycle.
+                Some((_, done)) => wake((*done).max(now.next())),
+                // A queued request starts service once the bank frees up.
+                None if !b.queue.is_empty() => wake(b.busy_until.max(now.next())),
+                None => {}
+            }
+        }
+        // The head response becoming poppable is the consumer's wake-up.
+        if let Some(ready) = self.resp.next_ready() {
+            wake(ready.max(now.next()));
+        }
+        (next != Cycle::NEVER).then_some(next)
     }
 }
 

@@ -111,6 +111,11 @@ pub trait MemoryPort {
     /// Returns `Err(req)` when the input queue is full this cycle.
     fn try_request(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq>;
 
+    /// Whether [`try_request`](Self::try_request) would currently be
+    /// accepted. Polite drivers check before offering so refusals are
+    /// never charged as input stalls.
+    fn can_accept(&self) -> bool;
+
     /// Removes one response that is ready at `now`, if any.
     fn take_response(&mut self, now: Cycle) -> Option<MemResp>;
 
@@ -119,6 +124,15 @@ pub trait MemoryPort {
 
     /// Whether requests are in flight (used for drain loops).
     fn busy(&self) -> bool;
+
+    /// Earliest cycle strictly after `now` at which this port could do
+    /// observable work (retire a transaction, deliver a response, count a
+    /// stall), or `None` when idle with nothing scheduled. Queried after
+    /// `tick(now)`; same strict no-op contract as
+    /// [`Component::next_event`](xcache_sim::Component::next_event).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
 }
 
 #[cfg(test)]

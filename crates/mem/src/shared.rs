@@ -133,6 +133,10 @@ impl<P: MemoryPort> MemoryPort for PortHandle<P> {
         })
     }
 
+    fn can_accept(&self) -> bool {
+        self.inner.borrow().port.can_accept()
+    }
+
     fn take_response(&mut self, now: Cycle) -> Option<MemResp> {
         let mut inner = self.inner.borrow_mut();
         inner.route_responses(now);
@@ -152,6 +156,15 @@ impl<P: MemoryPort> MemoryPort for PortHandle<P> {
     fn busy(&self) -> bool {
         let inner = self.inner.borrow();
         inner.port.busy() || inner.buffers.iter().any(|b| !b.is_empty())
+    }
+
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        let inner = self.inner.borrow();
+        // A buffered response can be taken by its consumer on any cycle.
+        if inner.buffers.iter().any(|b| !b.is_empty()) {
+            return Some(now.next());
+        }
+        inner.port.next_event(now)
     }
 }
 

@@ -9,7 +9,7 @@ use xcache_mem::{
     AddressCache, CacheConfig, DramConfig, DramModel, MainMemory, MemReq, MemoryPort,
     ReplacementPolicy,
 };
-use xcache_sim::Cycle;
+use xcache_sim::{with_skip, Cycle};
 
 fn tiny_cache(policy: ReplacementPolicy) -> AddressCache<DramModel> {
     let cfg = CacheConfig {
@@ -46,8 +46,96 @@ fn run_req(cache: &mut AddressCache<DramModel>, now: &mut Cycle, req: MemReq) ->
     }
 }
 
+/// One observable of a DRAM run: `(completion cycle, request id, data)`.
+type Observed = (u64, u64, u64);
+
+/// Drives a random request schedule through a fresh `DramModel` and
+/// records every observable: each response's arrival cycle, id, and
+/// payload, the final cycle, and the full counter snapshot. The same
+/// driver serves both executions — `with_skip` decides whether the wake
+/// computation fast-forwards or degenerates to single-stepping.
+fn run_dram_trace(
+    ops: &[(u64, u64, bool)], // (issue gap, slot, is_write)
+    skip: bool,
+) -> (u64, Vec<Observed>, xcache_sim::StatsSnapshot) {
+    with_skip(skip, || {
+        let mut dram = DramModel::new(DramConfig::test_tiny());
+        for (i, &(_, slot, _)) in ops.iter().enumerate() {
+            dram.memory_mut().write_u64(slot * 8, i as u64 * 31 + 7);
+        }
+        let mut due = Vec::with_capacity(ops.len());
+        let mut t = 0u64;
+        for &(gap, ..) in ops {
+            t += gap;
+            due.push(Cycle(t));
+        }
+        let total = ops.len();
+        let mut next_i = 0usize;
+        let mut responses: Vec<Observed> = Vec::new();
+        let mut now = Cycle(0);
+        while responses.len() < total {
+            while next_i < total && due[next_i] <= now && dram.can_accept() {
+                let (_, slot, is_write) = ops[next_i];
+                let req = if is_write {
+                    let payload = (next_i as u64).wrapping_mul(0x9e37).to_le_bytes();
+                    MemReq::write(
+                        next_i as u64,
+                        slot * 8,
+                        bytes::Bytes::copy_from_slice(&payload),
+                    )
+                } else {
+                    MemReq::read(next_i as u64, slot * 8, 8)
+                };
+                dram.try_request(now, req).expect("can_accept checked");
+                next_i += 1;
+            }
+            dram.tick(now);
+            while let Some(r) = dram.take_response(now) {
+                let v = r
+                    .data
+                    .get(..8)
+                    .map_or(0, |d| u64::from_le_bytes(d.try_into().expect("8 bytes")));
+                responses.push((now.raw(), r.id.0, v));
+            }
+            now = if responses.len() >= total {
+                now.next() // same end-cycle as the single-stepped loop
+            } else {
+                let mut wake = dram.next_event(now);
+                if next_i < total {
+                    if due[next_i] > now {
+                        wake = xcache_sim::earliest(wake, Some(due[next_i]));
+                    } else if dram.can_accept() {
+                        wake = Some(now.next());
+                    }
+                }
+                xcache_sim::fast_forward(now, wake)
+            };
+            assert!(now.raw() < 1_000_000, "dram trace deadlock");
+        }
+        (now.raw(), responses, dram.stats().snapshot())
+    })
+}
+
 proptest! {
     #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Fast-forwarding to `DramModel::next_event` never skips past a state
+    /// change: for any request schedule, the skipping and single-stepping
+    /// executions agree on every observable — response order, arrival
+    /// cycles, payloads, end cycle, and all counters.
+    #[test]
+    fn dram_next_event_skip_agrees_with_single_step(
+        ops in prop::collection::vec(
+            (0u64..200, 0u64..512, any::<bool>()), // (issue gap, slot, is_write)
+            1..40
+        )
+    ) {
+        let (fast_end, fast_obs, fast_stats) = run_dram_trace(&ops, true);
+        let (slow_end, slow_obs, slow_stats) = run_dram_trace(&ops, false);
+        prop_assert_eq!(fast_end, slow_end, "end cycle diverged");
+        prop_assert_eq!(fast_obs, slow_obs, "response stream diverged");
+        prop_assert_eq!(fast_stats, slow_stats, "counters diverged");
+    }
 
     /// Under any serial mix of block-aligned reads and writes, the cache
     /// returns exactly what a flat shadow memory would.

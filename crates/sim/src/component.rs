@@ -25,6 +25,20 @@ pub trait Component {
         false
     }
 
+    /// Earliest cycle strictly after `now` at which the next `tick` could
+    /// do observable work, or `None` when the component is idle and has no
+    /// scheduled wake-up. Queried *after* `tick(now)` has run.
+    ///
+    /// The contract is strict: the driver may jump simulated time straight
+    /// to the minimum reported wake-up, so every skipped tick must be a
+    /// complete no-op — no state change, no counter increment. A component
+    /// that counts per-cycle stalls or charges per-cycle occupancy must
+    /// report `now + 1` while such a charge is pending. The default,
+    /// `Some(now + 1)`, is always safe (it reproduces single-stepping).
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        Some(now.next())
+    }
+
     /// Contributes this component's counters into a shared registry.
     ///
     /// The default contributes nothing.

@@ -92,13 +92,21 @@ impl Engine {
         self.components.is_empty()
     }
 
-    /// Advances every component by one cycle.
+    /// Advances every component by one cycle, then fast-forwards `now` to
+    /// the earliest wake-up any component reports (see
+    /// [`Component::next_event`]). With skipping disabled, or when any
+    /// component reports `now + 1`, this is exactly the old single step.
     pub fn step(&mut self) {
         let now = self.now;
         for c in &mut self.components {
             c.tick(now);
         }
-        self.now = self.now.next();
+        let next = self
+            .components
+            .iter()
+            .filter_map(|c| c.next_event(now))
+            .min();
+        self.now = crate::fast_forward(now, next);
     }
 
     /// Runs until no component is [`busy`](Component::busy), or until
@@ -123,6 +131,12 @@ impl Engine {
                 break RunOutcome::CycleLimit;
             }
             self.step();
+            // A fast-forward may overshoot the deadline; clamp so the end
+            // cycle matches single-stepped execution. Re-ticking from the
+            // clamped time is safe: the skipped range was reported event-free.
+            if self.now > deadline {
+                self.now = deadline;
+            }
         };
         let mut stats = Stats::new();
         for c in &self.components {
@@ -231,6 +245,58 @@ mod tests {
         assert_eq!(r.cycles(), 3);
         assert!(!e.is_empty());
         assert_eq!(e.len(), 2);
+    }
+
+    struct Alarm {
+        fires_at: Cycle,
+        armed: bool,
+    }
+
+    impl Component for Alarm {
+        fn name(&self) -> &str {
+            "alarm"
+        }
+        fn tick(&mut self, now: Cycle) {
+            if now >= self.fires_at {
+                self.armed = false;
+            }
+        }
+        fn busy(&self) -> bool {
+            self.armed
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            self.armed.then(|| self.fires_at.max(now.next()))
+        }
+    }
+
+    #[test]
+    fn fast_forward_skips_idle_cycles_with_identical_end() {
+        let run = |skip: bool| {
+            crate::with_skip(skip, || {
+                let mut e = Engine::new();
+                e.add(Alarm {
+                    fires_at: Cycle(100),
+                    armed: true,
+                });
+                let r = e.run_until_quiescent(10_000);
+                (r.outcome, r.end)
+            })
+        };
+        assert_eq!(run(true), run(false));
+    }
+
+    #[test]
+    fn fast_forward_clamps_to_cycle_limit() {
+        let r = crate::with_skip(true, || {
+            let mut e = Engine::new();
+            e.add(Alarm {
+                fires_at: Cycle(5_000),
+                armed: true,
+            });
+            e.run_until_quiescent(10)
+        });
+        assert_eq!(r.outcome, RunOutcome::CycleLimit);
+        assert_eq!(r.cycles(), 10);
     }
 
     #[test]

@@ -29,6 +29,7 @@ mod component;
 mod context;
 mod engine;
 mod queue;
+mod skip;
 mod stats;
 mod trace;
 
@@ -37,5 +38,6 @@ pub use component::Component;
 pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
 pub use queue::{MsgQueue, PushError};
-pub use stats::{Histogram, Stats, StatsSnapshot};
+pub use skip::{earliest, fast_forward, skip_enabled, with_skip};
+pub use stats::{CounterId, Histogram, Stats, StatsSnapshot};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};

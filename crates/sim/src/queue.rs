@@ -180,6 +180,15 @@ impl<T> MsgQueue<T> {
         self.peek(now).is_some()
     }
 
+    /// The cycle at which the head message becomes poppable, or `None` when
+    /// the queue is empty. Because delivery is FIFO, this is the earliest
+    /// cycle at which a consumer could observe anything new — the queue's
+    /// contribution to a component's `next_event`.
+    #[must_use]
+    pub fn next_ready(&self) -> Option<Cycle> {
+        self.entries.front().map(|&(ready, _)| ready)
+    }
+
     /// Total messages pushed over the queue's lifetime.
     #[must_use]
     pub fn total_pushed(&self) -> u64 {
@@ -273,6 +282,17 @@ mod tests {
         assert_eq!(q.pop(Cycle(11)), None);
         assert_eq!(q.pop(Cycle(16)), Some('a'));
         assert_eq!(q.pop(Cycle(16)), Some('b'));
+    }
+
+    #[test]
+    fn next_ready_reports_head_visibility() {
+        let mut q = MsgQueue::new("t", 4, 3);
+        assert_eq!(q.next_ready(), None);
+        q.push(Cycle(10), 1u32).unwrap();
+        q.push(Cycle(12), 2u32).unwrap();
+        assert_eq!(q.next_ready(), Some(Cycle(13)));
+        q.pop(Cycle(13));
+        assert_eq!(q.next_ready(), Some(Cycle(15)));
     }
 
     #[test]

@@ -5,9 +5,15 @@
 //! model (crate `xcache-energy`) converts these event counts into picojoules
 //! using the paper's Table 4 constants, and the figure harnesses read them
 //! to print memory-access and occupancy series.
+//!
+//! Counter names are interned once into a process-global registry; hot call
+//! sites hold a dense [`CounterId`] and update a plain vector slot instead
+//! of paying a `BTreeMap` lookup on every increment. The string-keyed
+//! `incr`/`add`/`get` API remains as a thin wrapper over the same storage.
 
-use std::collections::BTreeMap;
+use std::collections::{BTreeMap, HashMap};
 use std::fmt;
+use std::sync::{OnceLock, RwLock};
 
 /// A fixed-bucket histogram for latency/occupancy distributions.
 ///
@@ -24,6 +30,10 @@ pub struct Histogram {
     max: u64,
 }
 
+/// Number of buckets: `record` maps a `u64` to `63 - leading_zeros`, so the
+/// largest reachable index is 63 (for samples ≥ 2^63, including `u64::MAX`).
+const HIST_BUCKETS: usize = 64;
+
 impl Default for Histogram {
     fn default() -> Self {
         Self::new()
@@ -35,7 +45,7 @@ impl Histogram {
     #[must_use]
     pub fn new() -> Self {
         Histogram {
-            buckets: vec![0; 65],
+            buckets: vec![0; HIST_BUCKETS],
             count: 0,
             sum: 0,
             min: u64::MAX,
@@ -123,6 +133,91 @@ impl Histogram {
     }
 }
 
+struct Registry {
+    by_name: HashMap<&'static str, u32>,
+    names: Vec<&'static str>,
+}
+
+fn registry() -> &'static RwLock<Registry> {
+    static REGISTRY: OnceLock<RwLock<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        RwLock::new(Registry {
+            by_name: HashMap::new(),
+            names: Vec::new(),
+        })
+    })
+}
+
+/// A dense, process-global handle to a counter name.
+///
+/// Interning a name assigns it a small index that every [`Stats`] instance
+/// uses as a direct vector offset, so `incr_id`/`add_id` are a bounds check
+/// and an add — no tree walk, no hashing. Handles are cheap to copy and
+/// stable for the lifetime of the process.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub struct CounterId(u32);
+
+impl CounterId {
+    /// Interns `name`, returning its stable handle (idempotent).
+    ///
+    /// # Panics
+    ///
+    /// Panics if more than `u32::MAX` distinct names are interned.
+    pub fn intern(name: &'static str) -> CounterId {
+        if let Some(&id) = registry().read().expect("stats registry").by_name.get(name) {
+            return CounterId(id);
+        }
+        let mut reg = registry().write().expect("stats registry");
+        if let Some(&id) = reg.by_name.get(name) {
+            return CounterId(id);
+        }
+        let id = u32::try_from(reg.names.len()).expect("counter registry overflow");
+        reg.names.push(name);
+        reg.by_name.insert(name, id);
+        CounterId(id)
+    }
+
+    /// The interned name.
+    #[must_use]
+    pub fn name(self) -> &'static str {
+        registry().read().expect("stats registry").names[self.0 as usize]
+    }
+
+    /// The handle for `name` if it was ever interned (by any thread).
+    #[must_use]
+    pub fn lookup(name: &str) -> Option<CounterId> {
+        registry()
+            .read()
+            .expect("stats registry")
+            .by_name
+            .get(name)
+            .copied()
+            .map(CounterId)
+    }
+
+    fn index(self) -> usize {
+        self.0 as usize
+    }
+}
+
+/// Interns a counter name once and caches the [`CounterId`] in a hidden
+/// static, so a hot call site pays one atomic load instead of a registry
+/// lookup:
+///
+/// ```
+/// use xcache_sim::{counter, Stats};
+/// let mut s = Stats::new();
+/// s.incr_id(counter!("metatag.hit"));
+/// assert_eq!(s.get("metatag.hit"), 1);
+/// ```
+#[macro_export]
+macro_rules! counter {
+    ($name:expr) => {{
+        static ID: ::std::sync::OnceLock<$crate::CounterId> = ::std::sync::OnceLock::new();
+        *ID.get_or_init(|| $crate::CounterId::intern($name))
+    }};
+}
+
 /// An immutable snapshot of a [`Stats`] registry, suitable for diffing and
 /// serialisation in experiment outputs.
 #[derive(Debug, Clone, Default, PartialEq)]
@@ -161,7 +256,10 @@ impl StatsSnapshot {
 ///
 /// Names are free-form; by convention they are dot-separated paths such as
 /// `"metatag.hit"` or `"dram.row_miss"`, which lets consumers aggregate by
-/// prefix.
+/// prefix. Counter storage is a dense vector indexed by [`CounterId`]; a
+/// `None` slot means the counter was never touched by this instance, which
+/// keeps snapshots identical to the old map-based representation (touched
+/// zero-valued counters still appear).
 ///
 /// ```
 /// use xcache_sim::Stats;
@@ -173,7 +271,7 @@ impl StatsSnapshot {
 /// ```
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
-    counters: BTreeMap<&'static str, u64>,
+    counters: Vec<Option<u64>>,
     histograms: BTreeMap<&'static str, Histogram>,
 }
 
@@ -186,18 +284,45 @@ impl Stats {
 
     /// Adds one to counter `name`.
     pub fn incr(&mut self, name: &'static str) {
-        self.add(name, 1);
+        self.add_id(CounterId::intern(name), 1);
     }
 
     /// Adds `delta` to counter `name`, creating it at zero if new.
     pub fn add(&mut self, name: &'static str, delta: u64) {
-        *self.counters.entry(name).or_insert(0) += delta;
+        self.add_id(CounterId::intern(name), delta);
+    }
+
+    /// Adds one to the counter behind `id` — the hot-path equivalent of
+    /// [`incr`](Stats::incr).
+    pub fn incr_id(&mut self, id: CounterId) {
+        self.add_id(id, 1);
+    }
+
+    /// Adds `delta` to the counter behind `id` — the hot-path equivalent of
+    /// [`add`](Stats::add).
+    pub fn add_id(&mut self, id: CounterId, delta: u64) {
+        let idx = id.index();
+        if idx >= self.counters.len() {
+            self.counters.resize(idx + 1, None);
+        }
+        let slot = &mut self.counters[idx];
+        *slot = Some(slot.unwrap_or(0) + delta);
     }
 
     /// Current value of counter `name` (zero if never touched).
     #[must_use]
     pub fn get(&self, name: &str) -> u64 {
-        self.counters.get(name).copied().unwrap_or(0)
+        CounterId::lookup(name).map_or(0, |id| self.get_id(id))
+    }
+
+    /// Current value of the counter behind `id` (zero if never touched).
+    #[must_use]
+    pub fn get_id(&self, id: CounterId) -> u64 {
+        self.counters
+            .get(id.index())
+            .copied()
+            .flatten()
+            .unwrap_or(0)
     }
 
     /// Records a histogram sample under `name`.
@@ -211,9 +336,17 @@ impl Stats {
         self.histograms.get(name)
     }
 
-    /// Iterates over `(name, value)` for all counters in name order.
+    /// Iterates over `(name, value)` for all touched counters in name order.
     pub fn counters(&self) -> impl Iterator<Item = (&'static str, u64)> + '_ {
-        self.counters.iter().map(|(k, v)| (*k, *v))
+        let reg = registry().read().expect("stats registry");
+        let mut named: Vec<(&'static str, u64)> = self
+            .counters
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.map(|v| (reg.names[i], v)))
+            .collect();
+        named.sort_unstable_by_key(|&(name, _)| name);
+        named.into_iter()
     }
 
     /// Takes an owned snapshot of the counters. Histograms are summarised
@@ -223,9 +356,8 @@ impl Stats {
     #[must_use]
     pub fn snapshot(&self) -> StatsSnapshot {
         let mut counters: BTreeMap<String, u64> = self
-            .counters
-            .iter()
-            .map(|(k, v)| ((*k).to_owned(), *v))
+            .counters()
+            .map(|(name, v)| (name.to_owned(), v))
             .collect();
         for (name, h) in &self.histograms {
             counters.insert(format!("{name}.count"), h.count());
@@ -247,8 +379,13 @@ impl Stats {
     /// Merges another registry into this one (counters add, histograms are
     /// merged sample-count-wise via bucket addition).
     pub fn merge(&mut self, other: &Stats) {
-        for (k, v) in &other.counters {
-            *self.counters.entry(k).or_insert(0) += v;
+        if other.counters.len() > self.counters.len() {
+            self.counters.resize(other.counters.len(), None);
+        }
+        for (slot, theirs) in self.counters.iter_mut().zip(&other.counters) {
+            if let Some(v) = theirs {
+                *slot = Some(slot.unwrap_or(0) + v);
+            }
         }
         for (k, h) in &other.histograms {
             let mine = self.histograms.entry(k).or_default();
@@ -273,7 +410,7 @@ impl Stats {
 
 impl fmt::Display for Stats {
     fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        for (k, v) in &self.counters {
+        for (k, v) in self.counters() {
             writeln!(f, "{k} = {v}")?;
         }
         Ok(())
@@ -293,6 +430,39 @@ mod tests {
         assert_eq!(s.get("a"), 2);
         assert_eq!(s.get("b"), 10);
         assert_eq!(s.get("missing"), 0);
+    }
+
+    #[test]
+    fn interned_ids_alias_string_api() {
+        let mut s = Stats::new();
+        let id = CounterId::intern("interned.hits");
+        s.incr_id(id);
+        s.add_id(id, 4);
+        s.incr("interned.hits");
+        assert_eq!(s.get("interned.hits"), 6);
+        assert_eq!(s.get_id(id), 6);
+        assert_eq!(id.name(), "interned.hits");
+        assert_eq!(CounterId::intern("interned.hits"), id);
+        assert_eq!(CounterId::lookup("interned.hits"), Some(id));
+    }
+
+    #[test]
+    fn counter_macro_caches_handle() {
+        let mut s = Stats::new();
+        for _ in 0..3 {
+            s.incr_id(counter!("macro.hits"));
+        }
+        assert_eq!(s.get("macro.hits"), 3);
+        assert_eq!(counter!("macro.hits"), CounterId::intern("macro.hits"));
+    }
+
+    #[test]
+    fn touched_zero_counter_appears_in_snapshot() {
+        let mut s = Stats::new();
+        s.add("touched.zero", 0);
+        let snap = s.snapshot();
+        assert!(snap.counters.contains_key("touched.zero"));
+        assert!(!snap.counters.contains_key("never.touched"));
     }
 
     #[test]
@@ -329,6 +499,21 @@ mod tests {
         let p99 = h.percentile(0.99).unwrap();
         assert!(p50 <= p99);
         assert!(p99 >= 512);
+    }
+
+    #[test]
+    fn histogram_max_value_sample() {
+        // The top bucket (index 63) must absorb the largest representable
+        // samples without indexing past the end of the bucket array.
+        let mut h = Histogram::new();
+        h.record(u64::MAX);
+        h.record(1u64 << 63);
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.max(), Some(u64::MAX));
+        assert_eq!(h.min(), Some(1u64 << 63));
+        assert_eq!(h.nonempty_buckets().collect::<Vec<_>>().len(), 1);
+        assert_eq!(h.nonempty_buckets().next(), Some((1u64 << 63, 2)));
+        assert!(h.percentile(1.0).is_some());
     }
 
     #[test]
