@@ -4,6 +4,11 @@
 //! Actions evaluate operands against the walker's X-register file and the
 //! shared structural state (meta-tag array, data RAM, downstream port);
 //! their [`Outcome`] advances, redirects, stalls, or ends the routine.
+//!
+//! Action execution is fallible: walker-context accesses go through the
+//! checked [`walker`](XCache::walker)/[`walker_mut`](XCache::walker_mut)
+//! accessors, and any [`SimError`] faults the offending walker (counted in
+//! `xcache.walker_error`) instead of panicking the simulation.
 
 use bytes::Bytes;
 
@@ -14,7 +19,7 @@ use xcache_sim::{counter, Cycle, TraceKind};
 use crate::{splitmix64, MetaAccess, MetaKey};
 
 use super::sched::{discipline_stage, YieldPolicy};
-use super::{XCache, HAZARD_RETRY, MSG_WORDS, STALL_LIMIT};
+use super::{SimError, XCache, HAZARD_RETRY, MSG_WORDS, STALL_LIMIT};
 
 /// How one executed action leaves its lane.
 pub(super) enum Outcome {
@@ -49,7 +54,14 @@ impl<D: MemoryPort> XCache<D> {
             self.launch_stalled = false;
             self.ctx.stats.incr_id(counter!("xcache.ucode_read"));
             self.ctx.stats.incr_id(category_counter(action.category()));
-            match self.exec_action(now, lane.slot, action) {
+            let outcome = match self.exec_action(now, lane.slot, action) {
+                Ok(o) => o,
+                Err(mut e) => {
+                    e.routine = Some(self.program.routines[lane.routine.0 as usize].name.clone());
+                    self.runtime_error(now, &e)
+                }
+            };
+            match outcome {
                 Outcome::Advance => {
                     lane.pc += 1;
                     lane.stall_cycles = 0;
@@ -109,24 +121,24 @@ impl<D: MemoryPort> XCache<D> {
     }
 
     /// Evaluates an operand for the walker in `slot`.
-    fn eval(&mut self, slot: usize, op: Operand) -> u64 {
-        match op {
+    fn eval(&mut self, now: Cycle, slot: usize, op: Operand) -> Result<u64, SimError> {
+        Ok(match op {
             Operand::Reg(r) => {
                 self.xregs
                     .read(crate::xreg::XRegFile(slot as u16), r.0, &mut self.ctx.stats)
             }
             Operand::Imm(v) => v,
-            Operand::Key => self.walkers[slot].as_ref().expect("walker").key.0,
-            Operand::MsgWord(i) => {
-                self.walkers[slot].as_ref().expect("walker").msg[usize::from(i) % MSG_WORDS]
-            }
+            Operand::Key => self.walker(slot, now)?.key.0,
+            Operand::MsgWord(i) => self.walker(slot, now)?.msg[usize::from(i) % MSG_WORDS],
             Operand::Param(i) => self.cfg.params[usize::from(i)],
             Operand::MetaSector => {
-                let w = self.walkers[slot].as_ref().expect("walker");
-                let r = w.entry.expect("MetaSector without meta entry");
+                let w = self.walker(slot, now)?;
+                let r = w
+                    .entry
+                    .ok_or_else(|| SimError::new(slot, now, "MetaSector without meta entry"))?;
                 u64::from(self.tags.entry(r).sector_start)
             }
-        }
+        })
     }
 
     fn write_reg(&mut self, slot: usize, reg: u8, value: u64) {
@@ -139,10 +151,15 @@ impl<D: MemoryPort> XCache<D> {
     }
 
     #[allow(clippy::too_many_lines)]
-    fn exec_action(&mut self, now: Cycle, slot: usize, action: Action) -> Outcome {
-        match action {
+    fn exec_action(
+        &mut self,
+        now: Cycle,
+        slot: usize,
+        action: Action,
+    ) -> Result<Outcome, SimError> {
+        Ok(match action {
             Action::Alu { op, dst, a, b } => {
-                let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                let (x, y) = (self.eval(now, slot, a)?, self.eval(now, slot, b)?);
                 let v = match op {
                     AluOp::Add => x.wrapping_add(y),
                     AluOp::Sub => x.wrapping_sub(y),
@@ -158,15 +175,15 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::Advance
             }
             Action::Mov { dst, a } => {
-                let v = self.eval(slot, a);
+                let v = self.eval(now, slot, a)?;
                 self.write_reg(slot, dst.0, v);
                 Outcome::Advance
             }
             Action::AllocR => Outcome::Advance, // file claimed at launch
             Action::Hash { done, a } => {
-                let v = self.eval(slot, a);
+                let v = self.eval(now, slot, a)?;
                 let digest = splitmix64(v);
-                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                let gen = self.walker(slot, now)?.gen;
                 self.delayed.push((
                     now + self.cfg.hash_latency,
                     slot,
@@ -178,13 +195,13 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::Advance
             }
             Action::DramRead { addr, len } => {
-                let (a, l) = (self.eval(slot, addr), self.eval(slot, len));
+                let (a, l) = (self.eval(now, slot, addr)?, self.eval(now, slot, len)?);
                 let id = self.next_req_id;
                 let req = MemReq::read(id, a, l as u32);
                 match self.downstream.try_request(now, req) {
                     Ok(()) => {
                         self.next_req_id += 1;
-                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        let gen = self.walker(slot, now)?.gen;
                         self.inflight.insert(id, (slot, gen));
                         self.ctx.stats.incr_id(counter!("xcache.dram_req"));
                         self.ctx.stats.add_id(counter!("xcache.dram_req_bytes"), l);
@@ -201,9 +218,9 @@ impl<D: MemoryPort> XCache<D> {
             }
             Action::DramWrite { addr, sector, len } => {
                 let (a, s, l) = (
-                    self.eval(slot, addr),
-                    self.eval(slot, sector),
-                    self.eval(slot, len),
+                    self.eval(now, slot, addr)?,
+                    self.eval(now, slot, sector)?,
+                    self.eval(now, slot, len)?,
                 );
                 let sectors = (l as usize).div_ceil(self.data.words_per_sector() * 8);
                 let words = self
@@ -221,7 +238,7 @@ impl<D: MemoryPort> XCache<D> {
                 {
                     Ok(()) => {
                         self.next_req_id += 1;
-                        let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                        let gen = self.walker(slot, now)?.gen;
                         self.inflight.insert(id, (slot, gen));
                         self.ctx.stats.incr_id(counter!("xcache.dram_req"));
                         self.ctx.stats.add_id(counter!("xcache.dram_req_bytes"), l);
@@ -235,42 +252,40 @@ impl<D: MemoryPort> XCache<D> {
                 delay,
                 payload,
             } => {
-                let v = self.eval(slot, payload);
-                let gen = self.walkers[slot].as_ref().expect("walker").gen;
+                let v = self.eval(now, slot, payload)?;
+                let gen = self.walker(slot, now)?.gen;
                 self.delayed
                     .push((now + u64::from(delay), slot, gen, event, [v, 0, 0, 0]));
                 Outcome::Advance
             }
             Action::Peek { dst, word } => {
-                let v =
-                    self.walkers[slot].as_ref().expect("walker").msg[usize::from(word) % MSG_WORDS];
+                let v = self.walker(slot, now)?.msg[usize::from(word) % MSG_WORDS];
                 self.write_reg(slot, dst.0, v);
                 Outcome::Advance
             }
             Action::Respond => {
                 let (key, origin_id, entry) = {
-                    let w = self.walkers[slot].as_ref().expect("walker");
+                    let w = self.walker(slot, now)?;
                     (w.key, w.origin.id(), w.entry)
                 };
-                let Some(r) = entry else {
-                    return self.walker_error(now, slot, "Respond without meta entry");
-                };
+                let r =
+                    entry.ok_or_else(|| SimError::new(slot, now, "Respond without meta entry"))?;
                 let e = *self.tags.entry(r);
                 let data = self
                     .data
                     .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
                 self.respond(now, origin_id, key, true, data.clone());
                 let waiters: Vec<MetaAccess> =
-                    std::mem::take(&mut self.walkers[slot].as_mut().expect("walker").waiters);
+                    std::mem::take(&mut self.walker_mut(slot, now)?.waiters);
                 for wa in waiters {
                     self.respond(now, wa.id(), key, true, data.clone());
                 }
-                self.walkers[slot].as_mut().expect("walker").responded = true;
+                self.walker_mut(slot, now)?.responded = true;
                 Outcome::Advance
             }
             Action::AllocM => {
                 let (key, state) = {
-                    let w = self.walkers[slot].as_ref().expect("walker");
+                    let w = self.walker(slot, now)?;
                     (w.key, w.state)
                 };
                 match self.tags.alloc(key, state, &mut self.ctx.stats) {
@@ -280,7 +295,7 @@ impl<D: MemoryPort> XCache<D> {
                                 self.data.free(v.sector_start, v.sector_count);
                             }
                         }
-                        let w = self.walkers[slot].as_mut().expect("walker");
+                        let w = self.walker_mut(slot, now)?;
                         w.entry = Some(r);
                         w.owns_entry = true;
                         Outcome::Advance
@@ -298,10 +313,11 @@ impl<D: MemoryPort> XCache<D> {
                 }
             }
             Action::DeallocM => {
-                let taken = self.walkers[slot].as_mut().expect("walker").entry.take();
-                let Some(r) = taken else {
-                    return self.walker_error(now, slot, "DeallocM without meta entry");
-                };
+                let r = self
+                    .walker_mut(slot, now)?
+                    .entry
+                    .take()
+                    .ok_or_else(|| SimError::new(slot, now, "DeallocM without meta entry"))?;
                 let e = self.tags.invalidate(r, &mut self.ctx.stats);
                 if e.sector_count > 0 {
                     self.data.free(e.sector_start, e.sector_count);
@@ -309,35 +325,31 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::Advance
             }
             Action::PinM => {
-                let entry = self.walkers[slot].as_ref().expect("walker").entry;
-                let Some(r) = entry else {
-                    return self.walker_error(now, slot, "PinM without meta entry");
-                };
+                let r = self
+                    .walker(slot, now)?
+                    .entry
+                    .ok_or_else(|| SimError::new(slot, now, "PinM without meta entry"))?;
                 self.tags.entry_mut(r).pinned = true;
                 Outcome::Advance
             }
             Action::InsertM { key, words } => {
-                let (k, n) = (self.eval(slot, key), self.eval(slot, words));
+                let (k, n) = (self.eval(now, slot, key)?, self.eval(now, slot, words)?);
                 let k = MetaKey(k);
                 // Best-effort: skip when already cached, being walked by
                 // another walker (it will install its own entry), or when
                 // there is no idle capacity.
                 if self.tags.peek(k).is_some() || self.launching.contains_key(&k) {
-                    return Outcome::Advance;
+                    return Ok(Outcome::Advance);
                 }
-                let Some(data) = self.walkers[slot]
-                    .as_ref()
-                    .expect("walker")
-                    .fill_data
-                    .clone()
-                else {
-                    return self.walker_error(now, slot, "InsertM without a DRAM response");
-                };
+                let data =
+                    self.walker(slot, now)?.fill_data.clone().ok_or_else(|| {
+                        SimError::new(slot, now, "InsertM without a DRAM response")
+                    })?;
                 let bytes = (n as usize * 8).min(data.len());
                 let sectors = bytes.div_ceil(self.data.words_per_sector() * 8).max(1);
                 let Some(start) = self.data.alloc(sectors, &mut self.ctx.stats) else {
                     self.ctx.stats.incr_id(counter!("xcache.insertm_skip"));
-                    return Outcome::Advance;
+                    return Ok(Outcome::Advance);
                 };
                 let Some((r, evicted)) =
                     self.tags
@@ -345,7 +357,7 @@ impl<D: MemoryPort> XCache<D> {
                 else {
                     self.data.free(start, sectors as u32);
                     self.ctx.stats.incr_id(counter!("xcache.insertm_skip"));
-                    return Outcome::Advance;
+                    return Ok(Outcome::Advance);
                 };
                 if let Some(v) = evicted {
                     if v.sector_count > 0 {
@@ -365,11 +377,11 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::Advance
             }
             Action::UpdateM { start, end } => {
-                let (s, e) = (self.eval(slot, start), self.eval(slot, end));
-                let entry = self.walkers[slot].as_ref().expect("walker").entry;
-                let Some(r) = entry else {
-                    return self.walker_error(now, slot, "UpdateM without meta entry");
-                };
+                let (s, e) = (self.eval(now, slot, start)?, self.eval(now, slot, end)?);
+                let r = self
+                    .walker(slot, now)?
+                    .entry
+                    .ok_or_else(|| SimError::new(slot, now, "UpdateM without meta entry"))?;
                 self.ctx.stats.incr_id(counter!("xcache.tag_write"));
                 let entry = self.tags.entry_mut(r);
                 entry.sector_start = s as u32;
@@ -378,10 +390,10 @@ impl<D: MemoryPort> XCache<D> {
             }
             Action::Branch { cond, a, b, target } => {
                 let taken = match cond {
-                    Cond::Miss => !self.walkers[slot].as_ref().expect("walker").probe_hit,
-                    Cond::Hit => self.walkers[slot].as_ref().expect("walker").probe_hit,
+                    Cond::Miss => !self.walker(slot, now)?.probe_hit,
+                    Cond::Hit => self.walker(slot, now)?.probe_hit,
                     _ => {
-                        let (x, y) = (self.eval(slot, a), self.eval(slot, b));
+                        let (x, y) = (self.eval(now, slot, a)?, self.eval(now, slot, b)?);
                         match cond {
                             Cond::Eq => x == y,
                             Cond::Ne => x != y,
@@ -399,7 +411,7 @@ impl<D: MemoryPort> XCache<D> {
                 }
             }
             Action::Yield { state } => {
-                let w = self.walkers[slot].as_mut().expect("walker");
+                let w = self.walker_mut(slot, now)?;
                 w.state = state;
                 if let Some(r) = w.entry {
                     self.tags.entry_mut(r).state = state;
@@ -415,14 +427,14 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::FreeLane
             }
             Action::AllocD { dst, count } => {
-                let n = self.eval(slot, count) as usize;
+                let n = self.eval(now, slot, count)? as usize;
                 if n == 0 {
-                    return self.walker_error(now, slot, "AllocD of zero sectors");
+                    return Err(SimError::new(slot, now, "AllocD of zero sectors"));
                 }
                 loop {
                     if let Some(start) = self.data.alloc(n, &mut self.ctx.stats) {
                         self.write_reg(slot, dst.0, u64::from(start));
-                        return Outcome::Advance;
+                        return Ok(Outcome::Advance);
                     }
                     // Capacity pressure: evict an idle entry and retry.
                     match self.evict_one_idle() {
@@ -431,16 +443,16 @@ impl<D: MemoryPort> XCache<D> {
                             self.ctx
                                 .stats
                                 .incr_id(counter!("xcache.dataram_full_stall"));
-                            return Outcome::StallHazard;
+                            return Ok(Outcome::StallHazard);
                         }
                     }
                 }
             }
             Action::DeallocD => {
-                let entry = self.walkers[slot].as_ref().expect("walker").entry;
-                let Some(r) = entry else {
-                    return self.walker_error(now, slot, "DeallocD without meta entry");
-                };
+                let r = self
+                    .walker(slot, now)?
+                    .entry
+                    .ok_or_else(|| SimError::new(slot, now, "DeallocD without meta entry"))?;
                 let entry = self.tags.entry_mut(r);
                 let (s, c) = (entry.sector_start, entry.sector_count);
                 entry.sector_count = 0;
@@ -450,7 +462,7 @@ impl<D: MemoryPort> XCache<D> {
                 Outcome::Advance
             }
             Action::ReadD { dst, sector, word } => {
-                let (s, wd) = (self.eval(slot, sector), self.eval(slot, word));
+                let (s, wd) = (self.eval(now, slot, sector)?, self.eval(now, slot, word)?);
                 let v = self
                     .data
                     .read_word(s as u32, wd as u32, &mut self.ctx.stats);
@@ -463,30 +475,27 @@ impl<D: MemoryPort> XCache<D> {
                 value,
             } => {
                 let (s, wd, v) = (
-                    self.eval(slot, sector),
-                    self.eval(slot, word),
-                    self.eval(slot, value),
+                    self.eval(now, slot, sector)?,
+                    self.eval(now, slot, word)?,
+                    self.eval(now, slot, value)?,
                 );
                 self.data
                     .write_word(s as u32, wd as u32, v, &mut self.ctx.stats);
                 Outcome::Advance
             }
             Action::FillD { sector, words } => {
-                let (s, n) = (self.eval(slot, sector), self.eval(slot, words));
-                let Some(data) = self.walkers[slot]
-                    .as_ref()
-                    .expect("walker")
+                let (s, n) = (self.eval(now, slot, sector)?, self.eval(now, slot, words)?);
+                let data = self
+                    .walker(slot, now)?
                     .fill_data
                     .clone()
-                else {
-                    return self.walker_error(now, slot, "FillD without a DRAM response");
-                };
+                    .ok_or_else(|| SimError::new(slot, now, "FillD without a DRAM response"))?;
                 let bytes = (n as usize * 8).min(data.len());
                 self.data
                     .fill_bytes(s as u32, &data[..bytes], &mut self.ctx.stats);
                 Outcome::Advance
             }
-        }
+        })
     }
 }
 

@@ -30,6 +30,7 @@ mod walker;
 
 use std::collections::{HashMap, VecDeque};
 
+use xcache_isa::verify::{verify_with, VerifyError, VerifyLimits};
 use xcache_isa::{Action, Operand, RoutineId, WalkerProgram};
 use xcache_mem::MemoryPort;
 use xcache_sim::{counter, Cycle, MsgQueue, SimContext, Stats, TraceBuffer};
@@ -63,6 +64,10 @@ pub enum BuildError {
         /// Number of parameters configured.
         provided: usize,
     },
+    /// The static verifier rejected the program (§4.2 discipline): the
+    /// defects it found would otherwise surface as runtime faults or
+    /// deadlocks mid-simulation.
+    Verify(VerifyError),
 }
 
 impl std::fmt::Display for BuildError {
@@ -78,11 +83,54 @@ impl std::fmt::Display for BuildError {
                 f,
                 "program references param p{idx} but only {provided} parameter(s) configured"
             ),
+            BuildError::Verify(e) => write!(f, "program rejected by the verifier: {e}"),
         }
     }
 }
 
 impl std::error::Error for BuildError {}
+
+/// A runtime protocol violation caught by the executor.
+///
+/// The static verifier rejects most defective programs at load time; the
+/// few violations only observable dynamically (e.g. a `respond` with no
+/// meta entry on this particular walk) surface as a `SimError` with full
+/// context — slot, cycle, routine — instead of a panic. The offending
+/// walker faults and the simulation continues.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct SimError {
+    /// Walker slot the violation occurred in.
+    pub slot: usize,
+    /// Simulated cycle of the violation.
+    pub cycle: Cycle,
+    /// Name of the routine that was executing, when known.
+    pub routine: Option<String>,
+    /// What went wrong.
+    pub context: String,
+}
+
+impl SimError {
+    pub(crate) fn new(slot: usize, cycle: Cycle, context: impl Into<String>) -> Self {
+        SimError {
+            slot,
+            cycle,
+            routine: None,
+            context: context.into(),
+        }
+    }
+}
+
+impl std::fmt::Display for SimError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "walker slot {} @ cycle {}", self.slot, self.cycle.raw())?;
+        if let Some(r) = &self.routine {
+            write!(f, " in routine `{r}`")?;
+        }
+        write!(f, ": {}", self.context)
+    }
+}
+
+impl std::error::Error for SimError {}
 
 /// Number of payload words carried with an event.
 pub(crate) const MSG_WORDS: usize = 4;
@@ -206,6 +254,17 @@ impl<D: MemoryPort> XCache<D> {
                 }
             }
         }
+        // Static verification against this instance's geometry: programs
+        // whose defects would otherwise fault or deadlock mid-simulation
+        // are rejected here with located diagnostics (warnings pass — the
+        // error classes alone prove runtime safety).
+        let limits = VerifyLimits {
+            data_sectors: u32::try_from(cfg.data_sectors).unwrap_or(u32::MAX),
+            ..VerifyLimits::default()
+        };
+        verify_with(&program, &limits)
+            .check(false)
+            .map_err(BuildError::Verify)?;
         // Coroutines charge only the walker's declared X-registers for its
         // lifetime; blocking threads additionally pay for their statically
         // allocated hardware contexts every cycle (see `tick`).

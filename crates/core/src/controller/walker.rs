@@ -18,7 +18,7 @@ use crate::metatag::EntryRef;
 use crate::{MetaAccess, MetaKey, MetaResp};
 
 use super::executor::Outcome;
-use super::{XCache, MSG_WORDS};
+use super::{SimError, XCache, MSG_WORDS};
 
 /// One in-flight structure walk.
 #[derive(Debug)]
@@ -193,16 +193,31 @@ impl<D: MemoryPort> XCache<D> {
         self.ctx.stats.incr_id(counter!("xcache.walker_replay"));
     }
 
-    /// Records a protocol violation and faults the walker.
-    pub(super) fn walker_error(&mut self, now: Cycle, slot: usize, what: &str) -> Outcome {
+    /// The walker in `slot`, or a [`SimError`] when the slot is vacant
+    /// (e.g. the walker faulted earlier this cycle).
+    pub(super) fn walker(&self, slot: usize, now: Cycle) -> Result<&Walker, SimError> {
+        self.walkers
+            .get(slot)
+            .and_then(Option::as_ref)
+            .ok_or_else(|| SimError::new(slot, now, "no walker in slot"))
+    }
+
+    /// Mutable variant of [`walker`](Self::walker).
+    pub(super) fn walker_mut(&mut self, slot: usize, now: Cycle) -> Result<&mut Walker, SimError> {
+        self.walkers
+            .get_mut(slot)
+            .and_then(Option::as_mut)
+            .ok_or_else(|| SimError::new(slot, now, "no walker in slot"))
+    }
+
+    /// Records a runtime protocol violation and faults the walker: the
+    /// structured replacement for the executor's old panic paths.
+    pub(super) fn runtime_error(&mut self, now: Cycle, err: &SimError) -> Outcome {
         self.ctx.stats.incr_id(counter!("xcache.walker_error"));
-        self.ctx.trace.emit(
-            now,
-            TraceKind::Other,
-            "xcache",
-            format!("slot {slot}: {what}"),
-        );
-        self.fault_walker(now, slot);
+        self.ctx
+            .trace
+            .emit(now, TraceKind::Other, "xcache", err.to_string());
+        self.fault_walker(now, err.slot);
         Outcome::FreeLane
     }
 

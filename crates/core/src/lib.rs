@@ -101,7 +101,7 @@ mod xreg;
 pub mod hierarchy;
 
 pub use config::{WalkerDiscipline, XCacheConfig};
-pub use controller::{splitmix64, BuildError, XCache};
+pub use controller::{splitmix64, BuildError, SimError, XCache};
 pub use dataram::DataRam;
 pub use metatag::{EntryRef, MetaEntry, MetaTagArray};
 pub use msg::{MetaAccess, MetaKey, MetaResp};

@@ -1,0 +1,121 @@
+//! The controller's load-time verifier gate and the executor's structured
+//! runtime-error path.
+
+use xcache_core::{BuildError, MetaAccess, MetaKey, SimError, XCache, XCacheConfig};
+use xcache_isa::asm::assemble;
+use xcache_mem::{DramConfig, DramModel};
+use xcache_sim::Cycle;
+
+fn build(src: &str) -> Result<XCache<DramModel>, BuildError> {
+    XCache::new(
+        XCacheConfig::test_tiny(),
+        assemble(src).expect("assembles"),
+        DramModel::new(DramConfig::test_tiny()),
+    )
+}
+
+#[test]
+fn verifier_error_rejects_program_at_load_time() {
+    // Issues a DRAM read, then retires without ever yielding: the fill can
+    // never be consumed and an AGEN action follows the issue. Structurally
+    // valid — only the verifier rejects it.
+    let err = build(
+        r"
+        walker bad
+        states Default
+        regs 1
+        routine start {
+            allocR
+            mov r0, key
+            dram_read r0, 8
+            add r0, r0, 1
+            retire
+        }
+        on Default, Miss -> start
+        ",
+    )
+    .expect_err("the verifier must reject this");
+    let BuildError::Verify(v) = &err else {
+        panic!("expected BuildError::Verify, got {err:?}");
+    };
+    assert!(!v.diagnostics.is_empty());
+    let rendered = err.to_string();
+    assert!(rendered.contains("missed-yield"), "{rendered}");
+    assert!(rendered.contains("routine `start`"), "{rendered}");
+}
+
+#[test]
+fn verifier_warnings_do_not_block_loading() {
+    // An unreachable routine is only a warning; the instance still builds.
+    build(
+        r"
+        walker warned
+        states Default
+        regs 1
+        routine start {
+            allocR
+            fault
+        }
+        routine orphan {
+            retire
+        }
+        on Default, Miss -> start
+        ",
+    )
+    .expect("warnings must not reject the program");
+}
+
+#[test]
+fn runtime_violation_faults_with_sim_error_not_panic() {
+    // `respond` with no meta entry is only observable dynamically (the
+    // verifier has no static meta-entry tracking): the walker must fault
+    // through the SimError path and answer not-found, not panic.
+    let mut xc = build(
+        r"
+        walker resp
+        states Default
+        regs 1
+        routine start {
+            allocR
+            respond
+            retire
+        }
+        on Default, Miss -> start
+        ",
+    )
+    .expect("verifier-clean");
+    xc.try_access(
+        Cycle(0),
+        MetaAccess::Load {
+            id: 1,
+            key: MetaKey::new(9),
+        },
+    )
+    .expect("queue empty");
+    let mut now = Cycle(0);
+    let resp = loop {
+        xc.tick(now);
+        if let Some(r) = xc.take_response(now) {
+            break r;
+        }
+        now = now.next();
+        assert!(now.raw() < 10_000, "runtime-error path deadlocked");
+    };
+    assert!(!resp.found, "violating walk must answer not-found");
+    assert_eq!(xc.stats().get("xcache.walker_error"), 1);
+    assert_eq!(xc.stats().get("xcache.walker_fault"), 1);
+}
+
+#[test]
+fn sim_error_renders_slot_cycle_and_routine() {
+    let e = SimError {
+        slot: 3,
+        cycle: Cycle(120),
+        routine: Some("check".into()),
+        context: "Respond without meta entry".into(),
+    };
+    assert_eq!(
+        e.to_string(),
+        "walker slot 3 @ cycle 120 in routine `check`: Respond without meta entry"
+    );
+}

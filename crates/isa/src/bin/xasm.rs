@@ -10,14 +10,49 @@
 //! xasm dump   walker.xw           # routine table + microcode listing
 //! xasm disasm walker.xw           # canonical round-trip source
 //! ```
+//!
+//! `check` and `build` additionally accept `--verify` (run the static
+//! verifier; its diagnostics go to stderr and a failure exits with code 2)
+//! and `--deny-warnings` (with `--verify`, warnings also fail).
 
 use std::process::ExitCode;
 
 use xcache_isa::asm::{assemble, disassemble};
+use xcache_isa::verify::verify;
 use xcache_isa::{encode, EventId, StateId, WalkerProgram};
 
+/// Exit code for load/parse/IO failures.
+const EXIT_LOAD: u8 = 1;
+/// Exit code for static-verifier rejections.
+const EXIT_VERIFY: u8 = 2;
+
+#[derive(Default, Clone, Copy)]
+struct Flags {
+    verify: bool,
+    deny_warnings: bool,
+}
+
+enum CmdError {
+    Load(String),
+    Verify(String),
+}
+
 fn main() -> ExitCode {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let mut flags = Flags::default();
+    let args: Vec<String> = std::env::args()
+        .skip(1)
+        .filter(|a| match a.as_str() {
+            "--verify" => {
+                flags.verify = true;
+                false
+            }
+            "--deny-warnings" => {
+                flags.deny_warnings = true;
+                false
+            }
+            _ => true,
+        })
+        .collect();
     let (cmd, rest) = match args.split_first() {
         Some((c, r)) => (c.as_str(), r),
         None => {
@@ -26,8 +61,8 @@ fn main() -> ExitCode {
         }
     };
     let result = match (cmd, rest) {
-        ("check", [src]) => cmd_check(src),
-        ("build", [src, out]) => cmd_build(src, out),
+        ("check", [src]) => cmd_check(src, flags),
+        ("build", [src, out]) => cmd_build(src, out, flags),
         ("dump", [src]) => cmd_dump(src),
         ("disasm", [src]) => cmd_disasm(src),
         _ => {
@@ -37,26 +72,61 @@ fn main() -> ExitCode {
     };
     match result {
         Ok(()) => ExitCode::SUCCESS,
-        Err(e) => {
+        Err(CmdError::Load(e)) => {
             eprintln!("xasm: {e}");
-            ExitCode::FAILURE
+            ExitCode::from(EXIT_LOAD)
+        }
+        Err(CmdError::Verify(e)) => {
+            eprintln!("xasm: {e}");
+            ExitCode::from(EXIT_VERIFY)
         }
     }
 }
 
 const USAGE: &str = "usage:
-  xasm check  <walker.xw>            validate a walker program
-  xasm build  <walker.xw> <out.bin>  assemble to binary microcode
+  xasm check  [--verify] [--deny-warnings] <walker.xw>
+                                     validate a walker program
+  xasm build  [--verify] [--deny-warnings] <walker.xw> <out.bin>
+                                     assemble to binary microcode
   xasm dump   <walker.xw>            print routine table + microcode
-  xasm disasm <walker.xw>            print canonical source";
+  xasm disasm <walker.xw>            print canonical source
 
-fn load(path: &str) -> Result<WalkerProgram, String> {
-    let src = std::fs::read_to_string(path).map_err(|e| format!("{path}: {e}"))?;
-    assemble(&src).map_err(|e| format!("{path}: {e}"))
+  --verify         run the static verifier (exit code 2 on findings)
+  --deny-warnings  treat verifier warnings as errors";
+
+fn load(path: &str) -> Result<WalkerProgram, CmdError> {
+    let src = std::fs::read_to_string(path).map_err(|e| CmdError::Load(format!("{path}: {e}")))?;
+    assemble(&src).map_err(|e| CmdError::Load(format!("{path}: {e}")))
 }
 
-fn cmd_check(src: &str) -> Result<(), String> {
+/// Runs the verifier when requested; prints every diagnostic to stderr and
+/// converts failing reports into the exit-code-2 error.
+fn run_verifier(path: &str, p: &WalkerProgram, flags: Flags) -> Result<(), CmdError> {
+    if !flags.verify {
+        return Ok(());
+    }
+    let report = verify(p);
+    for d in &report.diagnostics {
+        eprintln!("{path}: {d}");
+    }
+    report.check(flags.deny_warnings).map_err(|e| {
+        CmdError::Verify(format!(
+            "{path}: verification failed with {} finding(s)",
+            e.diagnostics.len()
+        ))
+    })?;
+    if !report.diagnostics.is_empty() {
+        eprintln!(
+            "{path}: verified with {} warning(s)",
+            report.diagnostics.len()
+        );
+    }
+    Ok(())
+}
+
+fn cmd_check(src: &str, flags: Flags) -> Result<(), CmdError> {
     let p = load(src)?;
+    run_verifier(src, &p, flags)?;
     println!(
         "ok: walker `{}` — {} states, {} events, {} routines, {} microcode words, {} X-regs",
         p.name,
@@ -69,15 +139,16 @@ fn cmd_check(src: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_build(src: &str, out: &str) -> Result<(), String> {
+fn cmd_build(src: &str, out: &str, flags: Flags) -> Result<(), CmdError> {
     let p = load(src)?;
+    run_verifier(src, &p, flags)?;
     let mut image: Vec<u8> = Vec::new();
     // Header: routine count, then per-routine word offsets, then words.
     let mut offsets = Vec::new();
     let mut words: Vec<u64> = Vec::new();
     for r in p.routines() {
         offsets.push(words.len() as u64);
-        words.extend(encode(&r.actions).map_err(|e| e.to_string())?);
+        words.extend(encode(&r.actions).map_err(|e| CmdError::Load(e.to_string()))?);
     }
     image.extend_from_slice(&(p.routines().len() as u64).to_le_bytes());
     for o in &offsets {
@@ -86,7 +157,7 @@ fn cmd_build(src: &str, out: &str) -> Result<(), String> {
     for w in &words {
         image.extend_from_slice(&w.to_le_bytes());
     }
-    std::fs::write(out, &image).map_err(|e| format!("{out}: {e}"))?;
+    std::fs::write(out, &image).map_err(|e| CmdError::Load(format!("{out}: {e}")))?;
     println!(
         "wrote {out}: {} bytes ({} routines, {} microinstructions)",
         image.len(),
@@ -96,7 +167,7 @@ fn cmd_build(src: &str, out: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_dump(src: &str) -> Result<(), String> {
+fn cmd_dump(src: &str) -> Result<(), CmdError> {
     let p = load(src)?;
     println!("walker {}", p.name);
     println!(
@@ -129,7 +200,7 @@ fn cmd_dump(src: &str) -> Result<(), String> {
     Ok(())
 }
 
-fn cmd_disasm(src: &str) -> Result<(), String> {
+fn cmd_disasm(src: &str) -> Result<(), CmdError> {
     let p = load(src)?;
     print!("{}", disassemble(&p));
     Ok(())

@@ -56,6 +56,8 @@
 //! ```
 
 pub mod asm;
+pub mod gen;
+pub mod verify;
 
 mod action;
 mod encode;

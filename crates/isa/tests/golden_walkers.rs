@@ -1,0 +1,156 @@
+//! Golden-snapshot tests of the binary encoding.
+//!
+//! Each shipped walker assembles to a microcode image that must stay
+//! byte-identical to the committed fixture — any encoding drift (field
+//! widths, opcode numbering, image layout) fails here before it can
+//! silently invalidate the energy/area model's RAM sizing. Regenerate the
+//! fixtures after an *intentional* format change with:
+//!
+//! ```sh
+//! XCACHE_BLESS=1 cargo test -p xcache-isa --test golden_walkers
+//! ```
+//!
+//! The roundtrip property closes the other direction: whatever the
+//! generator can emit, `decode(encode(x)) == x`.
+
+use std::path::{Path, PathBuf};
+
+use proptest::prelude::*;
+
+use xcache_isa::asm::assemble;
+use xcache_isa::{decode, encode, gen, WalkerProgram};
+
+fn walkers_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("../../walkers")
+}
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+/// The same image layout `xasm build` writes: routine count, per-routine
+/// word offsets, then the encoded words, all little-endian u64.
+fn image(p: &WalkerProgram) -> Vec<u8> {
+    let mut offsets = Vec::new();
+    let mut words: Vec<u64> = Vec::new();
+    for r in p.routines() {
+        offsets.push(words.len() as u64);
+        words.extend(encode(&r.actions).expect("encodes"));
+    }
+    let mut image = Vec::new();
+    image.extend_from_slice(&(p.routines().len() as u64).to_le_bytes());
+    for o in &offsets {
+        image.extend_from_slice(&o.to_le_bytes());
+    }
+    for w in &words {
+        image.extend_from_slice(&w.to_le_bytes());
+    }
+    image
+}
+
+/// Hex with 32 bytes per line — fixture diffs localize to the routine
+/// that changed instead of rewriting one giant line.
+fn to_hex(bytes: &[u8]) -> String {
+    let mut s = String::new();
+    for chunk in bytes.chunks(32) {
+        for b in chunk {
+            s.push_str(&format!("{b:02x}"));
+        }
+        s.push('\n');
+    }
+    s
+}
+
+fn bless_mode() -> bool {
+    std::env::var("XCACHE_BLESS").is_ok_and(|v| !v.is_empty() && v != "0")
+}
+
+#[test]
+fn shipped_walker_images_match_fixtures() {
+    let mut sources: Vec<_> = std::fs::read_dir(walkers_dir())
+        .expect("walkers/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xw"))
+        .collect();
+    sources.sort();
+    assert_eq!(sources.len(), 6, "expected the six shipped walkers");
+    for src_path in sources {
+        let stem = src_path
+            .file_stem()
+            .expect("has stem")
+            .to_str()
+            .expect("utf8")
+            .to_string();
+        let src = std::fs::read_to_string(&src_path).expect("readable");
+        let program = assemble(&src).unwrap_or_else(|e| panic!("{stem}: {e}"));
+        let hex = to_hex(&image(&program));
+        let fixture = fixtures_dir().join(format!("{stem}.hex"));
+        if bless_mode() {
+            std::fs::create_dir_all(fixtures_dir()).expect("fixtures dir");
+            std::fs::write(&fixture, &hex).expect("bless fixture");
+            continue;
+        }
+        let want = std::fs::read_to_string(&fixture).unwrap_or_else(|e| {
+            panic!(
+                "{}: {e}\nfixture missing — run with XCACHE_BLESS=1 to create it",
+                fixture.display()
+            )
+        });
+        assert_eq!(
+            hex, want,
+            "`{stem}` encodes differently than its committed fixture; if the \
+             encoding change is intentional, re-bless with XCACHE_BLESS=1"
+        );
+    }
+}
+
+#[test]
+fn fixture_set_has_no_strays() {
+    if bless_mode() {
+        return;
+    }
+    let mut fixtures: Vec<String> = std::fs::read_dir(fixtures_dir())
+        .expect("fixtures dir committed")
+        .map(|e| {
+            e.expect("dir entry")
+                .file_name()
+                .to_str()
+                .expect("utf8")
+                .to_string()
+        })
+        .filter(|n| n.ends_with(".hex"))
+        .collect();
+    fixtures.sort();
+    let mut walkers: Vec<String> = std::fs::read_dir(walkers_dir())
+        .expect("walkers/ exists")
+        .map(|e| e.expect("dir entry").path())
+        .filter(|p| p.extension().is_some_and(|x| x == "xw"))
+        .map(|p| {
+            format!(
+                "{}.hex",
+                p.file_stem().expect("stem").to_str().expect("utf8")
+            )
+        })
+        .collect();
+    walkers.sort();
+    assert_eq!(
+        fixtures, walkers,
+        "fixtures and shipped walkers must correspond one-to-one"
+    );
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Every program the fuzz generator can emit survives an
+    /// encode→decode roundtrip action-for-action.
+    #[test]
+    fn generated_programs_roundtrip_through_encoding(seed in any::<u64>()) {
+        let program = gen::generate(seed);
+        for r in program.routines() {
+            let words = encode(&r.actions).expect("encodes");
+            let back = decode(&words).expect("decodes");
+            prop_assert_eq!(&back, &r.actions);
+        }
+    }
+}

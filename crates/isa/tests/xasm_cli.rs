@@ -122,3 +122,157 @@ fn usage_on_bad_invocation() {
     assert!(!out.status.success());
     assert!(String::from_utf8_lossy(&out.stderr).contains("usage"));
 }
+
+// ---- error-path exit codes: 1 = load/parse, 2 = verify ------------------
+
+#[test]
+fn missing_file_exits_one() {
+    let out = Command::new(XASM)
+        .args(["check", "/nonexistent/nope.xw"])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("nope.xw"), "stderr: {stderr}");
+}
+
+#[test]
+fn parse_error_exits_one() {
+    let src = write_tmp("garbage.xw", "walker t\nroutine { this is not xasm\n");
+    let out = Command::new(XASM)
+        .args(["check", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(1));
+}
+
+/// Assembles (validate passes) but trips the verifier: the launch entry
+/// issues a DRAM read and then retires, never consuming the fill, and an
+/// AGEN action follows the issue without a yield.
+const VERIFY_BAD: &str = r"
+walker t
+states Default
+regs 1
+routine r {
+    allocR
+    mov r0, key
+    dram_read r0, 8
+    add r0, r0, 1
+    fault
+}
+on Default, Miss -> r
+";
+
+#[test]
+fn verify_failure_exits_two_with_located_diagnostics() {
+    let src = write_tmp("vbad.xw", VERIFY_BAD);
+    let out = Command::new(XASM)
+        .args(["check", "--verify", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("error[missed-yield]"), "stderr: {stderr}");
+    assert!(stderr.contains("routine `r` @3"), "stderr: {stderr}");
+    assert!(stderr.contains("verification failed"), "stderr: {stderr}");
+}
+
+#[test]
+fn without_verify_flag_the_same_program_passes() {
+    let src = write_tmp("vbad2.xw", VERIFY_BAD);
+    let out = Command::new(XASM)
+        .args(["check", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(out.status.success());
+}
+
+/// Clean except for an unreachable routine — a warning, so `--verify`
+/// passes and `--verify --deny-warnings` exits 2.
+const VERIFY_WARN: &str = r"
+walker t
+states Default
+regs 1
+routine r {
+    allocR
+    fault
+}
+routine orphan {
+    retire
+}
+on Default, Miss -> r
+";
+
+#[test]
+fn deny_warnings_escalates_warnings_to_exit_two() {
+    let src = write_tmp("vwarn.xw", VERIFY_WARN);
+    let ok = Command::new(XASM)
+        .args(["check", "--verify", src.to_str().expect("utf8")])
+        .output()
+        .expect("runs");
+    assert!(
+        ok.status.success(),
+        "{}",
+        String::from_utf8_lossy(&ok.stderr)
+    );
+    let stderr = String::from_utf8_lossy(&ok.stderr);
+    assert!(stderr.contains("warning[unreachable]"), "stderr: {stderr}");
+
+    let deny = Command::new(XASM)
+        .args([
+            "check",
+            "--verify",
+            "--deny-warnings",
+            src.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(deny.status.code(), Some(2));
+}
+
+#[test]
+fn build_respects_verify_and_writes_nothing_on_failure() {
+    let src = write_tmp("vbuild.xw", VERIFY_BAD);
+    let out_path = std::env::temp_dir().join("xasm-tests/vbuild-should-not-exist.bin");
+    let _ = std::fs::remove_file(&out_path);
+    let out = Command::new(XASM)
+        .args([
+            "build",
+            "--verify",
+            src.to_str().expect("utf8"),
+            out_path.to_str().expect("utf8"),
+        ])
+        .output()
+        .expect("runs");
+    assert_eq!(out.status.code(), Some(2));
+    assert!(!out_path.exists(), "no image may be written on failure");
+}
+
+#[test]
+fn shipped_walkers_pass_verify_deny_warnings() {
+    let dir = std::path::Path::new(env!("CARGO_MANIFEST_DIR")).join("../../walkers");
+    let mut checked = 0usize;
+    for entry in std::fs::read_dir(&dir).expect("walkers/ exists") {
+        let path = entry.expect("dir entry").path();
+        if path.extension().is_none_or(|x| x != "xw") {
+            continue;
+        }
+        let out = Command::new(XASM)
+            .args([
+                "check",
+                "--verify",
+                "--deny-warnings",
+                path.to_str().expect("utf8"),
+            ])
+            .output()
+            .expect("runs");
+        assert!(
+            out.status.success(),
+            "{}: {}",
+            path.display(),
+            String::from_utf8_lossy(&out.stderr)
+        );
+        checked += 1;
+    }
+    assert_eq!(checked, 6);
+}
