@@ -1,0 +1,138 @@
+//! CI chaos smoke: seeded fault injection, watchdog recovery, and the
+//! determinism contract under faults.
+//!
+//! For `XCACHE_CHAOS_SEEDS` generated walker programs (default 25), runs
+//! each under its derived fault plan with the chaos watchdog budget and
+//! checks the liveness/conservation invariants, then replays each seed
+//! skip-vs-step and the whole batch at 1-vs-2 runner jobs demanding
+//! byte-identical reports. The DSA chaos cells (Widx fig04 in both
+//! disciplines, GraphPulse) run the same two differentials; the Widx
+//! cells additionally enforce the functional oracle under timing-only
+//! faults.
+//!
+//! On failure, violating runs — including every harvested `StallReport`
+//! — are written under `results/chaos/` for artifact upload.
+//!
+//! Environment:
+//!
+//! * `XCACHE_CHAOS_SEEDS` — number of program seeds (default 25).
+//! * `XCACHE_CHAOS_BASE_SEED` — first seed (default 0).
+//! * `XCACHE_FAULT_SEED` — chaos seed the per-run plans derive from
+//!   (default `0xFA01`).
+//! * `XCACHE_SCALE` — DSA cell scale divisor (as for the figure bins).
+
+use std::fmt::Write as _;
+use std::fs;
+use std::process::ExitCode;
+
+use xcache_bench::chaos::{
+    cell_has_violation, chaos_jobs_differential, chaos_skip_differential,
+    dsa_chaos_jobs_differential, dsa_chaos_skip_differential, ChaosCell,
+};
+use xcache_bench::fuzz::DEFAULT_ACCESSES;
+
+fn env_u64(name: &str, default: u64) -> u64 {
+    std::env::var(name)
+        .ok()
+        .and_then(|v| v.parse().ok())
+        .unwrap_or(default)
+}
+
+fn main() -> ExitCode {
+    let count = env_u64("XCACHE_CHAOS_SEEDS", 25);
+    let base = env_u64("XCACHE_CHAOS_BASE_SEED", 0);
+    let fault_seed = env_u64("XCACHE_FAULT_SEED", 0xFA01);
+    let scale = xcache_bench::scale();
+    let seeds: Vec<u64> = (base..base + count).collect();
+    println!(
+        "chaos smoke: {count} seeded walker programs (seeds {base}..{}), fault seed \
+         {fault_seed:#x}, {DEFAULT_ACCESSES} accesses each",
+        base + count
+    );
+
+    let mut failures = 0usize;
+    let mut artifact = String::new();
+
+    // Per-seed invariants + skip differential (the skip run's report
+    // carries the invariant verdict and the harvested stall reports).
+    let mut stalls = 0usize;
+    let mut clean = 0usize;
+    for &seed in &seeds {
+        match chaos_skip_differential(seed, fault_seed, DEFAULT_ACCESSES) {
+            Ok(report) => {
+                stalls += report.stall_reports.len();
+                if report.ok() {
+                    clean += 1;
+                } else {
+                    failures += 1;
+                    for v in &report.violations {
+                        eprintln!("FAIL seed {seed}: {v}");
+                    }
+                    let _ = writeln!(artifact, "seed {seed}: {}", report.stats_json());
+                    for s in &report.stall_reports {
+                        let _ = writeln!(artifact, "  stall: {s}");
+                    }
+                }
+            }
+            Err(e) => {
+                failures += 1;
+                eprintln!("FAIL {e}");
+                let _ = writeln!(artifact, "{e}");
+            }
+        }
+    }
+    println!(
+        "chaos invariants: {clean}/{count} seeds clean, skip-vs-step byte-identical, \
+         {stalls} stall report(s) recovered by the watchdog"
+    );
+
+    match chaos_jobs_differential(&seeds, fault_seed, DEFAULT_ACCESSES) {
+        Ok(_) => println!("chaos jobs=1 vs jobs=2 differential: {count}/{count} seeds agree"),
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL {e}");
+            let _ = writeln!(artifact, "{e}");
+        }
+    }
+
+    // DSA cells: skip differential (inline) + jobs differential.
+    match dsa_chaos_skip_differential(scale, 42, fault_seed) {
+        Ok(cells) => {
+            for (rendered, cell) in cells.iter().zip(ChaosCell::ALL) {
+                if cell_has_violation(rendered) {
+                    failures += 1;
+                    eprintln!("FAIL dsa cell {}: {rendered}", cell.name());
+                    let _ = writeln!(artifact, "dsa cell {}: {rendered}", cell.name());
+                } else {
+                    println!("dsa chaos cell {}: clean, skip-vs-step agree", cell.name());
+                }
+            }
+        }
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL {e}");
+            let _ = writeln!(artifact, "{e}");
+        }
+    }
+    match dsa_chaos_jobs_differential(scale, 42, fault_seed) {
+        Ok(_) => println!("dsa chaos cells: jobs=1 vs jobs=2 agree"),
+        Err(e) => {
+            failures += 1;
+            eprintln!("FAIL {e}");
+            let _ = writeln!(artifact, "{e}");
+        }
+    }
+
+    if failures > 0 {
+        if fs::create_dir_all("results/chaos").is_ok() {
+            let path = "results/chaos/violations.txt";
+            if fs::write(path, &artifact).is_ok() {
+                eprintln!("chaos smoke: wrote failing runs to {path}");
+            }
+        }
+        eprintln!("chaos smoke: {failures} failure(s)");
+        return ExitCode::FAILURE;
+    }
+    println!("chaos smoke: all invariants and differentials hold under injected faults");
+    ExitCode::SUCCESS
+}

@@ -38,8 +38,8 @@ use crate::runner::{Runner, Scenario};
 /// Base of the 64 KiB window bound to the generated program's `base`
 /// parameter — every address a generated program can compute lands in
 /// `[FUZZ_BASE, FUZZ_BASE + WINDOW_BYTES)`.
-const FUZZ_BASE: u64 = 0x10_0000;
-const WINDOW_BYTES: u64 = 64 * 1024;
+pub(crate) const FUZZ_BASE: u64 = 0x10_0000;
+pub(crate) const WINDOW_BYTES: u64 = 64 * 1024;
 
 /// Accesses per seed — enough to mix hits, misses, and (when the program
 /// has an `Update` handler) stores, while keeping a 200-seed CI run fast.
@@ -83,7 +83,7 @@ impl FuzzReport {
 /// universe (so meta-tag hits occur) with stores mixed in when the
 /// program declares an `Update` handler. Derived from `seed` through an
 /// independent RNG stream so workload draws can't perturb program shape.
-fn access_stream(seed: u64, accesses: usize, has_store: bool) -> Vec<MetaAccess> {
+pub(crate) fn access_stream(seed: u64, accesses: usize, has_store: bool) -> Vec<MetaAccess> {
     let mut rng = StdRng::seed_from_u64(seed ^ 0xACCE_55ED);
     let universe = (accesses as u64 / 3).max(8);
     (0..accesses as u64)

@@ -21,6 +21,7 @@
 //! each simulation deterministic and the output order fixed — the printed
 //! tables and JSON dumps are byte-identical at any job count.
 
+pub mod chaos;
 pub mod fuzz;
 pub mod runner;
 

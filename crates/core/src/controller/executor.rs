@@ -66,11 +66,13 @@ impl<D: MemoryPort> XCache<D> {
                     lane.pc += 1;
                     lane.stall_cycles = 0;
                     self.lanes[lane_idx] = Some(lane);
+                    self.note_progress(now, lane.slot);
                 }
                 Outcome::Jump(pc) => {
                     lane.pc = pc;
                     lane.stall_cycles = 0;
                     self.lanes[lane_idx] = Some(lane);
+                    self.note_progress(now, lane.slot);
                 }
                 Outcome::Stall => {
                     lane.stall_cycles += 1;
@@ -112,11 +114,23 @@ impl<D: MemoryPort> XCache<D> {
                         "xcache",
                         format!("slot {}", lane.slot),
                     );
+                    self.note_progress(now, lane.slot);
                 }
                 Outcome::FreeLane => {
                     self.lanes[lane_idx] = None;
                 }
             }
+        }
+    }
+
+    /// Records forward progress for the watchdog: the walker in `slot`
+    /// advanced this cycle. Stalled outcomes deliberately do *not* count —
+    /// a lane spinning on a hazard is exactly what the watchdog exists
+    /// to interrupt.
+    fn note_progress(&mut self, now: Cycle, slot: usize) {
+        self.global_progress = now;
+        if let Some(w) = self.walkers[slot].as_mut() {
+            w.last_progress = now;
         }
     }
 

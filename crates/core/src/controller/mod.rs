@@ -24,16 +24,21 @@
 //! seed) plus the shared structural state on [`XCache`] itself.
 
 mod executor;
+mod liveness;
 mod sched;
 mod trigger;
 mod walker;
 
 use std::collections::{HashMap, VecDeque};
+use std::sync::Arc;
 
 use xcache_isa::verify::{verify_with, VerifyError, VerifyLimits};
 use xcache_isa::{Action, Operand, RoutineId, WalkerProgram};
 use xcache_mem::MemoryPort;
-use xcache_sim::{counter, Cycle, MsgQueue, SimContext, Stats, TraceBuffer};
+use xcache_sim::{
+    counter, watchdog_budget, Cycle, FaultPlan, MsgQueue, SimContext, StallReport, Stats,
+    TraceBuffer,
+};
 
 use crate::{
     dataram::DataRam, metatag::MetaTagArray, xreg::XRegPool, MetaAccess, MetaKey, MetaResp,
@@ -150,6 +155,30 @@ pub(crate) const SCHED_WINDOW: usize = 8;
 /// replay, unlike queue-full stalls which always drain.
 pub(crate) const HAZARD_RETRY: u32 = 64;
 
+/// Watchdog recovery ladder: a stuck walker is retried (abort + delayed
+/// replay) this many times before it is killed and its slot contained.
+pub(crate) const WALKER_RETRY_MAX: u32 = 3;
+
+/// Base delay before a watchdog-aborted walk replays; doubles per retry
+/// (exponential backoff rides out transient downstream faults).
+pub(crate) const RETRY_BACKOFF_BASE: u64 = 64;
+
+/// Meta-path health strikes within [`HEALTH_WINDOW`] cycles that trip
+/// degraded mode.
+pub(crate) const DEGRADE_STRIKES: u32 = 8;
+
+/// Width of the sliding health window, in cycles.
+pub(crate) const HEALTH_WINDOW: u64 = 4096;
+
+/// How long degraded mode lasts once entered: loads/stores bypass the
+/// meta-tag path (answered "not found" so the datapath walks the
+/// structure directly) until the window expires.
+pub(crate) const DEGRADE_PENALTY: u64 = 2048;
+
+/// Retained [`StallReport`]s per instance (older reports still count in
+/// `xcache.watchdog.*`, only the structured records are capped).
+pub(crate) const STALL_REPORT_CAP: usize = 256;
+
 /// One executor lane: a routine in flight for the walker in `slot`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Lane {
@@ -208,6 +237,28 @@ pub struct XCache<D> {
     /// could not serve. While this holds — and nothing else perturbs the
     /// hazard state — every skipped cycle would have launch-stalled too.
     pub(crate) launch_stalled: bool,
+    /// Fault-injection plan captured at construction; `None` (the default)
+    /// keeps every fault hook a single branch.
+    pub(crate) fault: Option<Arc<FaultPlan>>,
+    /// Per-walker liveness budget in cycles, captured at construction.
+    pub(crate) wd_budget: u64,
+    /// Cycle of the last globally observable forward progress (response,
+    /// launch, retire, fill, dispatch, …).
+    pub(crate) global_progress: Cycle,
+    /// Structured liveness violations, newest last (see
+    /// [`STALL_REPORT_CAP`]).
+    pub(crate) stall_reports: Vec<StallReport>,
+    /// Watchdog retries already spent per key (cleared on retire).
+    pub(crate) retry_counts: HashMap<MetaKey, u32>,
+    /// Accesses aborted by the watchdog, replaying at `due` (exponential
+    /// backoff): (due, access).
+    pub(crate) delayed_replay: Vec<(Cycle, MetaAccess)>,
+    /// Meta-tag path degraded (bypassed) until this cycle.
+    pub(crate) degraded_until: Cycle,
+    /// Health strikes accumulated in the current window.
+    pub(crate) health_strikes: u32,
+    /// Start of the current health window.
+    pub(crate) health_window_start: Cycle,
 }
 
 impl<D: MemoryPort> XCache<D> {
@@ -223,6 +274,34 @@ impl<D: MemoryPort> XCache<D> {
         cfg: XCacheConfig,
         program: WalkerProgram,
         downstream: D,
+    ) -> Result<Self, BuildError> {
+        Self::build(cfg, program, downstream, true)
+    }
+
+    /// Like [`new`](Self::new), but skips the static verifier (basic
+    /// program validation and resource checks still run).
+    ///
+    /// For harnesses that need an intentionally defective program — e.g.
+    /// a walker that parks forever to exercise the liveness watchdog —
+    /// which the verifier would rightly reject.
+    ///
+    /// # Errors
+    ///
+    /// Returns a [`BuildError`] for the same non-verifier reasons as
+    /// [`new`](Self::new).
+    pub fn new_unchecked(
+        cfg: XCacheConfig,
+        program: WalkerProgram,
+        downstream: D,
+    ) -> Result<Self, BuildError> {
+        Self::build(cfg, program, downstream, false)
+    }
+
+    fn build(
+        cfg: XCacheConfig,
+        program: WalkerProgram,
+        downstream: D,
+        verify: bool,
     ) -> Result<Self, BuildError> {
         cfg.validate().map_err(BuildError::BadConfig)?;
         program.validate().map_err(|errs| {
@@ -258,13 +337,15 @@ impl<D: MemoryPort> XCache<D> {
         // whose defects would otherwise fault or deadlock mid-simulation
         // are rejected here with located diagnostics (warnings pass — the
         // error classes alone prove runtime safety).
-        let limits = VerifyLimits {
-            data_sectors: u32::try_from(cfg.data_sectors).unwrap_or(u32::MAX),
-            ..VerifyLimits::default()
-        };
-        verify_with(&program, &limits)
-            .check(false)
-            .map_err(BuildError::Verify)?;
+        if verify {
+            let limits = VerifyLimits {
+                data_sectors: u32::try_from(cfg.data_sectors).unwrap_or(u32::MAX),
+                ..VerifyLimits::default()
+            };
+            verify_with(&program, &limits)
+                .check(false)
+                .map_err(BuildError::Verify)?;
+        }
         // Coroutines charge only the walker's declared X-registers for its
         // lifetime; blocking threads additionally pay for their statically
         // allocated hardware contexts every cycle (see `tick`).
@@ -291,6 +372,15 @@ impl<D: MemoryPort> XCache<D> {
             ctx: SimContext::new(0),
             last_tick: None,
             launch_stalled: false,
+            fault: FaultPlan::current(),
+            wd_budget: watchdog_budget(),
+            global_progress: Cycle::ZERO,
+            stall_reports: Vec::new(),
+            retry_counts: HashMap::new(),
+            delayed_replay: Vec::new(),
+            degraded_until: Cycle::ZERO,
+            health_strikes: 0,
+            health_window_start: Cycle::ZERO,
             program,
             cfg,
         })
@@ -379,6 +469,13 @@ impl<D: MemoryPort> XCache<D> {
         self.resp_q.pop(now)
     }
 
+    /// Structured liveness violations observed so far (oldest first,
+    /// capped at [`STALL_REPORT_CAP`]).
+    #[must_use]
+    pub fn stall_reports(&self) -> &[StallReport] {
+        &self.stall_reports
+    }
+
     /// Whether any work is outstanding anywhere in the instance.
     #[must_use]
     pub fn busy(&self) -> bool {
@@ -388,6 +485,7 @@ impl<D: MemoryPort> XCache<D> {
             || !self.resp_q.is_empty()
             || !self.resp_spill.is_empty()
             || !self.delayed.is_empty()
+            || !self.delayed_replay.is_empty()
             || self.walkers.iter().any(Option::is_some)
             || self.downstream.busy()
     }
@@ -422,6 +520,7 @@ impl<D: MemoryPort> XCache<D> {
         self.drain_resp_spill(now);
         self.collect_fills(now);
         self.deliver_delayed(now);
+        self.check_liveness(now);
         let mut wake_budget = 1usize;
         self.process_access(now, &mut wake_budget);
         if wake_budget > 0 {
@@ -453,6 +552,20 @@ impl<D: MemoryPort> XCache<D> {
         let mut wake = |t: Cycle| next = next.min(t);
         for &(due, ..) in &self.delayed {
             wake(due.max(now.next()));
+        }
+        for &(due, _) in &self.delayed_replay {
+            wake(due.max(now.next()));
+        }
+        // Watchdog deadlines are observable work (a stall report plus the
+        // recovery ladder), so a fast-forwarded run must land on exactly
+        // the cycle a single-stepped run would fire on. Landing there in
+        // a healthy run is a no-op tick: all per-cycle charges are linear
+        // in elapsed cycles, so the split leaves counters byte-identical.
+        for w in self.walkers.iter().flatten() {
+            wake((w.last_progress + self.wd_budget).max(now.next()));
+        }
+        if self.has_local_work() {
+            wake((self.global_progress + self.wd_budget.saturating_mul(2)).max(now.next()));
         }
         // The access queue only feeds the trigger window while it has
         // room; a full window drains through events covered above.

@@ -120,6 +120,9 @@ impl<D: MemoryPort> XCache<D> {
         w.pending.pop_front();
         w.msg = payload;
         w.in_lane = true;
+        w.last_progress = now;
+        w.last_routine = Some(routine);
+        self.global_progress = now;
         self.lanes[lane_idx] = Some(Lane {
             slot,
             routine,

@@ -10,7 +10,7 @@ use std::collections::VecDeque;
 
 use xcache_isa::{EventId, StateId};
 use xcache_mem::MemoryPort;
-use xcache_sim::{counter, Cycle, TraceKind};
+use xcache_sim::{counter, Cycle, FaultKind, TraceKind};
 
 use crate::metatag::EntryRef;
 use crate::{MetaAccess, MetaKey};
@@ -39,6 +39,8 @@ impl<D: MemoryPort> XCache<D> {
             }
             w.fill_data = Some(resp.data.clone());
             w.pending.push_back((EventId::FILL, payload));
+            w.last_progress = now;
+            self.global_progress = now;
             self.ctx.stats.incr_id(counter!("xcache.fill_resp"));
             self.ctx.trace.emit(
                 now,
@@ -58,6 +60,8 @@ impl<D: MemoryPort> XCache<D> {
                 if let Some(w) = self.walkers[slot].as_mut() {
                     if w.gen == gen {
                         w.pending.push_back((ev, payload));
+                        w.last_progress = now;
+                        self.global_progress = now;
                     }
                 }
             } else {
@@ -75,6 +79,21 @@ impl<D: MemoryPort> XCache<D> {
     /// the first one that can make progress, never reordering two accesses
     /// to the same key.
     pub(super) fn process_access(&mut self, now: Cycle, wake_budget: &mut usize) {
+        // Watchdog-aborted accesses whose backoff has elapsed re-enter
+        // the replay queue first (their dues are folded into
+        // `next_event`, so skip and step runs drain them on the same
+        // cycles, in the same order).
+        if !self.delayed_replay.is_empty() {
+            let mut i = 0;
+            while i < self.delayed_replay.len() {
+                if self.delayed_replay[i].0 <= now {
+                    let (_, a) = self.delayed_replay.swap_remove(i);
+                    self.replay_q.push_back(a);
+                } else {
+                    i += 1;
+                }
+            }
+        }
         // Refill the trigger-stage window from the replay queue (waiters
         // released by a retiring walker) then the datapath queue.
         while self.pending.len() < self.cfg.access_queue_depth {
@@ -97,7 +116,7 @@ impl<D: MemoryPort> XCache<D> {
                 continue; // per-key order preserved
             }
             seen_keys.push(key);
-            if self.can_serve(&access, wake_budget) {
+            if self.can_serve(now, &access, wake_budget) {
                 serve = Some(i);
                 break;
             }
@@ -117,14 +136,22 @@ impl<D: MemoryPort> XCache<D> {
     /// Whether `access` can make progress this cycle (trigger-stage hazard
     /// check — "routines are not triggered until all the hazard conditions
     /// are eliminated", §4.1 ③).
-    fn can_serve(&mut self, access: &MetaAccess, wake_budget: &usize) -> bool {
+    fn can_serve(&mut self, now: Cycle, access: &MetaAccess, wake_budget: &usize) -> bool {
         let key = access.key();
         if let Some(_slot) = self.launching.get(&key) {
             // Loads attach as waiters (always possible); stores/takes must
             // wait for the walker to finish.
             return matches!(access, MetaAccess::Load { .. });
         }
-        let hit = self.tags.peek(key).is_some();
+        // Degraded meta path: loads and stores are answered immediately
+        // through the bypass (no walker, no tag dependence).
+        if self.degraded(now) && !matches!(access, MetaAccess::Take { .. }) {
+            return true;
+        }
+        let hit = match self.tags.peek(key) {
+            Some(r) => !self.misfires(access, self.tags.entry(r).pinned),
+            None => false,
+        };
         match access {
             MetaAccess::Load { .. } if hit => true,
             MetaAccess::Take { .. } => true, // hit or definitive not-found
@@ -141,6 +168,21 @@ impl<D: MemoryPort> XCache<D> {
         }
     }
 
+    /// Whether the fault plan fires a meta-tag lookup misfire for this
+    /// access: the probe result is suppressed, so a resident key walks
+    /// again. Restricted to loads on unpinned entries — misfiring a take
+    /// (or a pinned entry, whose data exists only on-chip) would strand
+    /// state no later access can reach. Pure in the access id, so the
+    /// hazard check and the serve see the same decision.
+    fn misfires(&self, access: &MetaAccess, pinned: bool) -> bool {
+        let Some(plan) = &self.fault else {
+            return false;
+        };
+        !pinned
+            && matches!(access, MetaAccess::Load { .. })
+            && plan.decide(FaultKind::MetaMisfire, access.id()).is_some()
+    }
+
     fn serve_access(&mut self, now: Cycle, access: MetaAccess, wake_budget: &mut usize) {
         let key = access.key();
         // Load-to-use is measured from dispatch (the trigger stage picked
@@ -153,7 +195,33 @@ impl<D: MemoryPort> XCache<D> {
             self.ctx.stats.incr_id(counter!("xcache.waiter"));
             return;
         }
-        let probe = self.tags.probe(key, &mut self.ctx.stats);
+        // Degraded meta path (can_serve agreed): answer "not found" so
+        // the datapath walks the structure directly — correct, just
+        // uncached — instead of relying on an unhealthy tag pipeline.
+        if self.degraded(now) && !matches!(access, MetaAccess::Take { .. }) {
+            match access {
+                MetaAccess::Load { id, .. } => {
+                    self.ctx.stats.incr_id(counter!("xcache.degraded_load"));
+                    self.respond(now, id, key, false, Vec::new());
+                }
+                MetaAccess::Store { id, .. } => {
+                    self.ctx.stats.incr_id(counter!("xcache.degraded_store"));
+                    self.respond(now, id, key, false, Vec::new());
+                }
+                MetaAccess::Take { .. } => unreachable!("takes are not bypassed"),
+            }
+            return;
+        }
+        let probe = match self.tags.probe(key, &mut self.ctx.stats) {
+            Some(r) if self.misfires(&access, self.tags.entry(r).pinned) => {
+                self.ctx
+                    .stats
+                    .incr_id(counter!("xcache.fault.meta_misfire"));
+                self.note_meta_strike(now);
+                None
+            }
+            p => p,
+        };
         match access {
             MetaAccess::Load { id, .. } => {
                 if let Some(r) = probe {
@@ -261,10 +329,13 @@ impl<D: MemoryPort> XCache<D> {
             launched_at: now,
             gen,
             in_lane: false,
+            last_progress: now,
+            last_routine: None,
         };
         w.pending.push_back((event, msg));
         self.walkers[slot] = Some(w);
         self.launching.insert(access.key(), slot);
+        self.global_progress = now;
         self.ctx.stats.incr_id(counter!("xcache.walker_launch"));
         if event == EventId::MISS {
             self.ctx.stats.incr_id(counter!("xcache.miss"));

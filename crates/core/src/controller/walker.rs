@@ -39,6 +39,11 @@ pub(crate) struct Walker {
     pub(crate) launched_at: Cycle,
     pub(crate) gen: u32,
     pub(crate) in_lane: bool,
+    /// Last cycle this walker observably advanced (dispatch, executed
+    /// action, fill arrival, delayed event) — the watchdog's clock.
+    pub(crate) last_progress: Cycle,
+    /// Routine most recently dispatched into a lane, for stall reports.
+    pub(crate) last_routine: Option<xcache_isa::RoutineId>,
 }
 
 impl<D: MemoryPort> XCache<D> {
@@ -64,6 +69,7 @@ impl<D: MemoryPort> XCache<D> {
         found: bool,
         data: Vec<u64>,
     ) {
+        self.global_progress = now;
         let sectors = data.len().div_ceil(self.data.words_per_sector()).max(1) as u64;
         let resp = MetaResp {
             id,
@@ -94,6 +100,9 @@ impl<D: MemoryPort> XCache<D> {
     /// Successful completion: entry rests, waiters replay, resources free.
     pub(super) fn retire_walker(&mut self, now: Cycle, slot: usize) {
         let mut w = self.walkers[slot].take().expect("retire on empty slot");
+        self.global_progress = now;
+        // A completed walk clears its watchdog retry history.
+        self.retry_counts.remove(&w.key);
         self.launching.remove(&w.key);
         if let Some(r) = w.entry {
             let e = self.tags.entry_mut(r);
@@ -128,6 +137,7 @@ impl<D: MemoryPort> XCache<D> {
         let Some(mut w) = self.walkers[slot].take() else {
             return;
         };
+        self.global_progress = now;
         // Frees X-regs/lanes/tag claims: a stalled trigger window may now
         // make progress, so it must be re-examined before fast-forwarding.
         self.launch_stalled = false;
@@ -168,6 +178,7 @@ impl<D: MemoryPort> XCache<D> {
         let Some(mut w) = self.walkers[slot].take() else {
             return;
         };
+        self.global_progress = now;
         self.launching.remove(&w.key);
         if let Some(r) = w.entry {
             if w.owns_entry {

@@ -186,20 +186,34 @@ impl MetaTagArray {
     ) -> Option<(EntryRef, Option<MetaEntry>)> {
         stats.incr_id(counter!("xcache.tag_write"));
         let set = self.set_of(key);
+        // An idle, unpinned way already holding `key` is always the victim:
+        // re-allocating over it keeps the key unique in its set. Reachable
+        // only when a lookup was suppressed before the alloc (injected
+        // meta-tag misfire) — a fault-free run probes first and never
+        // allocates over a resident key.
         let mut victim: Option<(usize, u64)> = None;
         for way in 0..self.ways {
-            let idx = set * self.ways + way;
-            let s = &self.slots[idx];
-            if !s.valid {
-                victim = Some((way, 0));
+            let s = &self.slots[set * self.ways + way];
+            if s.valid && s.entry.key == key && !s.entry.active && !s.entry.pinned {
+                victim = Some((way, s.last_used));
                 break;
             }
-            if s.entry.active || s.entry.pinned {
-                continue;
-            }
-            match victim {
-                Some((_, lu)) if lu <= s.last_used => {}
-                _ => victim = Some((way, s.last_used)),
+        }
+        if victim.is_none() {
+            for way in 0..self.ways {
+                let idx = set * self.ways + way;
+                let s = &self.slots[idx];
+                if !s.valid {
+                    victim = Some((way, 0));
+                    break;
+                }
+                if s.entry.active || s.entry.pinned {
+                    continue;
+                }
+                match victim {
+                    Some((_, lu)) if lu <= s.last_used => {}
+                    _ => victim = Some((way, s.last_used)),
+                }
             }
         }
         let (way, _) = victim?;
@@ -388,5 +402,21 @@ mod tests {
     fn entry_on_invalid_slot_panics() {
         let a = MetaTagArray::new(1, 1);
         let _ = a.entry(EntryRef { set: 0, way: 0 });
+    }
+
+    #[test]
+    fn realloc_same_key_reuses_the_resident_way() {
+        let mut a = MetaTagArray::new(1, 2);
+        let mut s = stats();
+        let (r1, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
+        a.entry_mut(r1).active = false;
+        // A suppressed lookup (meta-tag misfire) re-allocates key 1 while
+        // it is still resident: the resident way must be the victim, so
+        // the set never holds two entries with the same key.
+        let (r2, evicted) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
+        assert_eq!(r2, r1);
+        assert_eq!(evicted.unwrap().key, MetaKey(1));
+        let copies = a.iter().filter(|e| e.key == MetaKey(1)).count();
+        assert_eq!(copies, 1);
     }
 }

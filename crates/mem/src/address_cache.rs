@@ -12,13 +12,13 @@
 //! touches and replay them through this cache, charging no cycles for the
 //! decision logic itself — all measured differences come from address tags.
 
-use std::collections::HashMap;
+use std::collections::{HashMap, VecDeque};
 
 use bytes::Bytes;
 
 use xcache_sim::{counter, Cycle, MsgQueue, Stats};
 
-use crate::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
+use crate::{ConfigError, MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
 
 /// Victim selection policy.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
@@ -137,6 +137,9 @@ pub struct AddressCache<D> {
     resp: MsgQueue<MemResp>,
     mshrs: HashMap<u64, Mshr>, // keyed by block address
     pending_down: Vec<MemReq>, // requests refused downstream, to retry
+    /// Responses refused by a full response queue, re-offered (in order,
+    /// ahead of fresh responses) every tick — backpressure, not a crash.
+    resp_spill: VecDeque<MemResp>,
     downstream: D,
     use_counter: u64,
     rng_state: u64,
@@ -151,12 +154,24 @@ impl<D: MemoryPort> AddressCache<D> {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`CacheConfig::validate`].
+    /// Panics if `cfg` fails [`CacheConfig::validate`]. Fallible callers
+    /// should prefer [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(cfg: CacheConfig, downstream: D) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid CacheConfig: {e}");
-        }
+        Self::try_new(cfg, downstream).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a cache over `downstream`, reporting an invalid
+    /// configuration as a structured [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`CacheConfig::validate`] failure.
+    pub fn try_new(cfg: CacheConfig, downstream: D) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(|reason| ConfigError {
+            component: "CacheConfig",
+            reason,
+        })?;
         let lines = (0..cfg.sets * cfg.ways)
             .map(|_| Line {
                 tag: 0,
@@ -171,12 +186,13 @@ impl<D: MemoryPort> AddressCache<D> {
             ReplacementPolicy::Random(s) => s | 1,
             _ => 1,
         };
-        AddressCache {
+        Ok(AddressCache {
             input: MsgQueue::new("cache.in", 16, 1),
             resp: MsgQueue::new("cache.resp", 64, cfg.hit_latency.max(1)),
             lines,
             mshrs: HashMap::new(),
             pending_down: Vec::new(),
+            resp_spill: VecDeque::new(),
             downstream,
             use_counter: 0,
             rng_state: rng_seed,
@@ -184,7 +200,7 @@ impl<D: MemoryPort> AddressCache<D> {
             inflight_fills: HashMap::new(),
             stats: Stats::new(),
             cfg,
-        }
+        })
     }
 
     /// The configuration in effect.
@@ -286,9 +302,13 @@ impl<D: MemoryPort> AddressCache<D> {
             data,
             completed_at: now + self.cfg.hit_latency,
         };
-        // The response queue is sized for the MSHR count; a full queue here
-        // would have stalled input processing earlier.
-        self.resp.push(now, resp).expect("resp queue overflow");
+        // The response queue is sized for the MSHR count, so a refusal is
+        // exceptional — but it is backpressure, not a crash: spill the
+        // response and re-offer it (in order) on subsequent ticks.
+        if let Err(e) = self.resp.try_push(now, resp) {
+            self.stats.incr_id(counter!("cache.fault.resp_overflow"));
+            self.resp_spill.push_back(e.0);
+        }
     }
 
     /// Installs `block` data into its set and serves all MSHR waiters.
@@ -392,7 +412,15 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
     }
 
     fn tick(&mut self, now: Cycle) {
-        // 0. Retry refused downstream transactions (writebacks, fills).
+        // 0a. Re-offer spilled responses ahead of fresh ones (FIFO).
+        while let Some(resp) = self.resp_spill.pop_front() {
+            if let Err(e) = self.resp.try_push(now, resp) {
+                self.resp_spill.push_front(e.0);
+                break;
+            }
+        }
+
+        // 0b. Retry refused downstream transactions (writebacks, fills).
         self.drain_pending_down(now);
 
         // 1. Accept downstream responses: fills complete.
@@ -413,18 +441,26 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             let set = self.cfg.set_of(block);
             self.stats.incr_id(counter!("cache.tag_reads"));
             if let Some(way) = self.find_way(set, block) {
-                let req = self.input.pop(now).expect("peeked");
+                let Some(req) = self.input.try_pop(now) else {
+                    self.stats.incr_id(counter!("cache.fault.underflow"));
+                    break;
+                };
                 self.stats.incr_id(counter!("cache.hits"));
                 self.serve_hit(now, set, way, &req);
                 continue;
             }
             // Miss path.
-            if let Some(mshr) = self.mshrs.get_mut(&block) {
+            if self.mshrs.contains_key(&block) {
                 // Secondary miss: coalesce.
-                let req = self.input.pop(now).expect("peeked");
+                let Some(req) = self.input.try_pop(now) else {
+                    self.stats.incr_id(counter!("cache.fault.underflow"));
+                    break;
+                };
                 self.stats.incr_id(counter!("cache.misses"));
                 self.stats.incr_id(counter!("cache.mshr_coalesced"));
-                mshr.waiters.push(req);
+                if let Some(mshr) = self.mshrs.get_mut(&block) {
+                    mshr.waiters.push(req);
+                }
                 continue;
             }
             if self.mshrs.len() >= self.cfg.mshrs {
@@ -435,7 +471,10 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
             let fill = MemReq::read(fill_id, block, self.cfg.block_bytes as u32);
             match self.downstream.try_request(now, fill) {
                 Ok(()) => {
-                    let req = self.input.pop(now).expect("peeked");
+                    let Some(req) = self.input.try_pop(now) else {
+                        self.stats.incr_id(counter!("cache.fault.underflow"));
+                        break;
+                    };
                     self.stats.incr_id(counter!("cache.misses"));
                     self.next_internal_id += 1;
                     self.inflight_fills.insert(ReqId(fill_id), block);
@@ -458,6 +497,7 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
     fn busy(&self) -> bool {
         !self.input.is_empty()
             || !self.resp.is_empty()
+            || !self.resp_spill.is_empty()
             || !self.mshrs.is_empty()
             || !self.pending_down.is_empty()
             || self.downstream.busy()
@@ -472,6 +512,10 @@ impl<D: MemoryPort> MemoryPort for AddressCache<D> {
         // to the next cycle; an in-flight head wakes us when it arrives.
         if let Some(ready) = self.input.next_ready() {
             wake(ready.max(now.next()));
+        }
+        // Spilled responses are re-offered every tick until they land.
+        if !self.resp_spill.is_empty() {
+            wake(now.next());
         }
         // Refused downstream transactions are retried every tick (and each
         // refusal counts a stall in the downstream's registry).

@@ -16,12 +16,13 @@
 //! models SpArch/Gamma row refills fetching whole matrix rows.
 
 use std::collections::VecDeque;
+use std::sync::Arc;
 
 use bytes::Bytes;
 
-use xcache_sim::{counter, Cycle, MsgQueue, Stats};
+use xcache_sim::{counter, Cycle, FaultKind, FaultPlan, MsgQueue, Stats};
 
-use crate::{MainMemory, MemReq, MemReqKind, MemResp, MemoryPort};
+use crate::{ConfigError, MainMemory, MemReq, MemReqKind, MemResp, MemoryPort};
 
 /// DRAM geometry and timing parameters (in controller cycles @ 1 GHz).
 ///
@@ -184,6 +185,8 @@ pub struct DramModel {
     bus_free_at: Vec<Cycle>,
     /// Next scheduled refresh (Cycle::NEVER when disabled).
     next_refresh: Cycle,
+    /// Fault plan captured at construction; `None` = injection off.
+    fault: Option<Arc<FaultPlan>>,
     stats: Stats,
 }
 
@@ -192,12 +195,24 @@ impl DramModel {
     ///
     /// # Panics
     ///
-    /// Panics if `cfg` fails [`DramConfig::validate`].
+    /// Panics if `cfg` fails [`DramConfig::validate`]. Fallible callers
+    /// should prefer [`try_new`](Self::try_new).
     #[must_use]
     pub fn new(cfg: DramConfig) -> Self {
-        if let Err(e) = cfg.validate() {
-            panic!("invalid DramConfig: {e}");
-        }
+        Self::try_new(cfg).unwrap_or_else(|e| panic!("{e}"))
+    }
+
+    /// Builds a model from a configuration, reporting an invalid one as a
+    /// structured [`ConfigError`] instead of panicking.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first [`DramConfig::validate`] failure.
+    pub fn try_new(cfg: DramConfig) -> Result<Self, ConfigError> {
+        cfg.validate().map_err(|reason| ConfigError {
+            component: "DramConfig",
+            reason,
+        })?;
         let banks = (0..cfg.banks)
             .map(|_| Bank::new(cfg.bank_queue_depth))
             .collect();
@@ -206,16 +221,17 @@ impl DramModel {
         } else {
             Cycle::NEVER
         };
-        DramModel {
+        Ok(DramModel {
             input: MsgQueue::new("dram.in", cfg.input_queue_depth, 1),
             resp: MsgQueue::new("dram.resp", cfg.resp_queue_depth, 1),
             banks,
             bus_free_at: vec![Cycle::ZERO; cfg.channels],
             next_refresh,
             memory: MainMemory::new(),
+            fault: FaultPlan::current(),
             stats: Stats::new(),
             cfg,
-        }
+        })
     }
 
     /// Builds a model around an existing memory image.
@@ -224,6 +240,11 @@ impl DramModel {
         let mut m = Self::new(cfg);
         m.memory = memory;
         m
+    }
+
+    /// Pure per-transaction fault decision (see [`FaultPlan::decide`]).
+    fn fault_hit(&self, kind: FaultKind, salt: u64) -> Option<xcache_sim::FaultHit> {
+        self.fault.as_ref().and_then(|p| p.decide(kind, salt))
     }
 
     /// The functional backing store (read-only).
@@ -278,19 +299,47 @@ impl DramModel {
         let transfer = bursts * beats_per_burst;
         let data_ready = now + row_latency;
         let bus_start = data_ready.max(self.bus_free_at[channel]);
-        let done = bus_start + transfer;
+        let mut done = bus_start + transfer;
         self.bus_free_at[channel] = done;
         self.stats.add_id(counter!("dram.bytes"), bytes);
         self.stats
             .add_id(counter!("dram.bus_busy_cycles"), transfer);
+        // Injected fill faults that stretch latency are applied once,
+        // here, where each transaction is serviced exactly once. Both
+        // model a response held back: `dram_delay` inside the device,
+        // `resp_stall` as response-queue backpressure.
+        if req.kind == MemReqKind::Read {
+            if let Some(h) = self.fault_hit(FaultKind::DramDelayFill, req.id.0) {
+                self.stats.incr_id(counter!("dram.fault.delayed_fill"));
+                done += h.magnitude.max(1);
+            }
+            if let Some(h) = self.fault_hit(FaultKind::RespBackpressure, req.id.0) {
+                self.stats.incr_id(counter!("dram.fault.resp_stall"));
+                done += h.magnitude.max(1);
+            }
+        }
         done
     }
 }
 
 impl MemoryPort for DramModel {
     fn try_request(&mut self, now: Cycle, req: MemReq) -> Result<(), MemReq> {
-        match self.input.push(now, req) {
-            Ok(()) => Ok(()),
+        // Injected port stall: the port accepts the transaction but holds
+        // it on the wire `magnitude` extra cycles before it becomes
+        // serviceable (`next_ready` keeps fast-forwarded runs honest).
+        // Refusing the push instead would break the `can_accept` contract
+        // polite drivers rely on. Keyed purely by request id, so the
+        // stall is identical in both skip modes and at any job count.
+        let extra = self
+            .fault_hit(FaultKind::DramPortStall, req.id.0)
+            .map_or(0, |h| h.magnitude.max(1));
+        match self.input.push_after(now, extra, req) {
+            Ok(()) => {
+                if extra > 0 {
+                    self.stats.incr_id(counter!("dram.fault.port_stall"));
+                }
+                Ok(())
+            }
             Err(e) => {
                 self.stats.incr_id(counter!("dram.input_stall"));
                 Err(e.0)
@@ -320,20 +369,48 @@ impl MemoryPort for DramModel {
 
         // 1. Retire finished bank transactions into the response queue.
         for b in 0..self.banks.len() {
+            let Some((req, _)) = &self.banks[b].in_service else {
+                continue;
+            };
             let finished = matches!(&self.banks[b].in_service,
                 Some((_, done)) if *done <= now);
             if !finished {
+                continue;
+            }
+            // Injected fill drop: the transaction completes (bank frees)
+            // but its response is never delivered. Pure per-id decision,
+            // so every retry/replay of the same id agrees.
+            if req.kind == MemReqKind::Read
+                && self.fault_hit(FaultKind::DramDropFill, req.id.0).is_some()
+            {
+                self.banks[b].in_service = None;
+                self.stats.incr_id(counter!("dram.fault.dropped_fill"));
                 continue;
             }
             if self.resp.is_full() {
                 self.stats.incr_id(counter!("dram.resp_stall"));
                 continue; // hold in service until the response queue drains
             }
-            let (req, done) = self.banks[b].in_service.take().expect("checked above");
+            let Some((req, done)) = self.banks[b].in_service.take() else {
+                // Defensive: checked above; route through the fault
+                // counters rather than panicking if it ever regresses.
+                self.stats.incr_id(counter!("dram.fault.underflow"));
+                continue;
+            };
             let data = match req.kind {
                 MemReqKind::Read => {
                     self.stats.incr_id(counter!("dram.reads"));
-                    Bytes::from(self.memory.read_vec(req.addr, req.len as usize))
+                    let mut bytes = self.memory.read_vec(req.addr, req.len as usize);
+                    // Injected ECC flip: one payload bit, chosen by the
+                    // decision's auxiliary hash.
+                    if let Some(h) = self.fault_hit(FaultKind::DramEccFlip, req.id.0) {
+                        if !bytes.is_empty() {
+                            let bit = (h.aux as usize) % (bytes.len() * 8);
+                            bytes[bit / 8] ^= 1u8 << (bit % 8);
+                            self.stats.incr_id(counter!("dram.fault.ecc_flip"));
+                        }
+                    }
+                    Bytes::from(bytes)
                 }
                 MemReqKind::Write => {
                     self.stats.incr_id(counter!("dram.writes"));
@@ -347,8 +424,13 @@ impl MemoryPort for DramModel {
                 data,
                 completed_at: done,
             };
-            // Full-queue case handled above, so this push cannot fail.
-            self.resp.push(now, resp).expect("resp queue has space");
+            // Full-queue case handled above; if the push is ever refused
+            // anyway, hold the transaction in service (backpressure)
+            // instead of crashing.
+            if self.resp.try_push(now, resp).is_err() {
+                self.stats.incr_id(counter!("dram.fault.resp_overflow"));
+                self.banks[b].in_service = Some((req, done));
+            }
         }
 
         // 2. Start servicing the head of each idle bank's queue.
@@ -370,7 +452,11 @@ impl MemoryPort for DramModel {
                 self.stats.incr_id(counter!("dram.bank_queue_stall"));
                 break; // preserve FIFO order from the input queue
             }
-            let req = self.input.pop(now).expect("peeked");
+            let Some(req) = self.input.try_pop(now) else {
+                // Defensive: the head was peekable above; never panic.
+                self.stats.incr_id(counter!("dram.fault.underflow"));
+                break;
+            };
             self.stats.incr_id(counter!("dram.requests"));
             self.banks[bank].queue.push_back(req);
         }
@@ -720,5 +806,188 @@ mod channel_tests {
         cfg.channels = 16;
         cfg.banks = 8;
         assert!(cfg.validate().is_err(), "channels > banks");
+    }
+}
+
+#[cfg(test)]
+mod fault_tests {
+    use std::sync::Arc;
+
+    use xcache_sim::{with_fault_plan, FaultPlan};
+
+    use super::*;
+
+    /// Drives `reqs` reads to completion, returning (model, final cycle).
+    fn drain(mut d: DramModel, reqs: usize) -> (DramModel, u64) {
+        let mut now = Cycle(0);
+        let mut issued = 0usize;
+        let mut done = 0usize;
+        let mut held: Option<MemReq> = None;
+        while done < reqs {
+            while issued < reqs || held.is_some() {
+                let req = held
+                    .take()
+                    .unwrap_or_else(|| MemReq::read(issued as u64 + 1, issued as u64 * 64, 8));
+                match d.try_request(now, req) {
+                    Ok(()) => issued += 1,
+                    Err(r) => {
+                        held = Some(r);
+                        break;
+                    }
+                }
+            }
+            d.tick(now);
+            while d.take_response(now).is_some() {
+                done += 1;
+            }
+            now = now.next();
+            assert!(now.raw() < 200_000, "dram chaos deadlock at {done}/{reqs}");
+        }
+        (d, now.raw())
+    }
+
+    /// Satellite regression: a full response queue is back-pressure — the
+    /// retire is held (counted per tick) and re-offered, never a panic.
+    #[test]
+    fn full_resp_queue_backpressures_instead_of_crashing() {
+        let mut cfg = DramConfig::test_tiny();
+        cfg.resp_queue_depth = 1;
+        cfg.input_queue_depth = 16;
+        cfg.bank_queue_depth = 8;
+        let mut d = DramModel::new(cfg);
+        for i in 0..6u64 {
+            d.try_request(Cycle(0), MemReq::read(i + 1, i * 64, 8))
+                .unwrap();
+        }
+        // Consume only every 8th cycle so retires pile up behind the
+        // single-entry response queue.
+        let mut now = Cycle(0);
+        let mut got = 0usize;
+        while got < 6 {
+            d.tick(now);
+            if now.raw().is_multiple_of(8) {
+                while d.take_response(now).is_some() {
+                    got += 1;
+                }
+            }
+            now = now.next();
+            assert!(now.raw() < 10_000, "backpressure hang");
+        }
+        assert!(
+            d.stats().get("dram.resp_stall") > 0,
+            "expected held retires to be counted"
+        );
+    }
+
+    #[test]
+    fn injected_faults_count_and_never_hang_the_model() {
+        let plan = Arc::new(
+            FaultPlan::parse(
+                "dram_drop=0.2,dram_delay=0.3:40,dram_ecc=0.3,port_stall=0.2:3,resp_stall=0.2:16",
+                7,
+            )
+            .unwrap(),
+        );
+        let dropped = with_fault_plan(Some(plan), || {
+            // Issue 64 reads but only require the non-dropped ones back.
+            let mut cfg = DramConfig::test_tiny();
+            cfg.input_queue_depth = 16;
+            let mut d = DramModel::new(cfg);
+            let mut now = Cycle(0);
+            let mut issued = 0usize;
+            let mut held: Option<MemReq> = None;
+            let mut got = 0usize;
+            while issued < 64 || d.busy() {
+                while issued < 64 || held.is_some() {
+                    let req = held
+                        .take()
+                        .unwrap_or_else(|| MemReq::read(issued as u64 + 1, issued as u64 * 64, 8));
+                    match d.try_request(now, req) {
+                        Ok(()) => issued += 1,
+                        Err(r) => {
+                            held = Some(r);
+                            break;
+                        }
+                    }
+                }
+                d.tick(now);
+                while d.take_response(now).is_some() {
+                    got += 1;
+                }
+                now = now.next();
+                assert!(now.raw() < 500_000, "fault chaos hang at {got}/64");
+            }
+            let injected = d.stats().get("dram.fault.dropped_fill")
+                + d.stats().get("dram.fault.delayed_fill")
+                + d.stats().get("dram.fault.ecc_flip")
+                + d.stats().get("dram.fault.port_stall")
+                + d.stats().get("dram.fault.resp_stall");
+            assert!(injected > 0, "aggressive plan injected nothing");
+            assert_eq!(
+                got as u64 + d.stats().get("dram.fault.dropped_fill"),
+                64,
+                "responses + drops must conserve transactions"
+            );
+            d.stats().get("dram.fault.dropped_fill")
+        });
+        assert!(dropped > 0, "drop=0.2 over 64 reads never fired");
+    }
+
+    /// Dropped fills consume the transaction without a response: the
+    /// upper layer's watchdog is the recovery path, not a DRAM hang.
+    #[test]
+    fn dropped_fill_loses_exactly_the_decided_responses() {
+        let plan = Arc::new(FaultPlan::parse("dram_drop=1.0", 11).unwrap());
+        with_fault_plan(Some(plan), || {
+            let mut d = DramModel::new(DramConfig::test_tiny());
+            d.try_request(Cycle(0), MemReq::read(1, 0, 8)).unwrap();
+            for c in 0..200 {
+                d.tick(Cycle(c));
+                assert!(d.take_response(Cycle(c)).is_none(), "drop=1.0 responded");
+            }
+            assert_eq!(d.stats().get("dram.fault.dropped_fill"), 1);
+            assert!(!d.busy(), "dropped transaction still pending");
+        });
+    }
+
+    /// Same seed, same traffic: identical stats. Different seed: the
+    /// injection pattern moves.
+    #[test]
+    fn fault_injection_is_seed_deterministic() {
+        let run = |seed: u64| {
+            let plan = Arc::new(FaultPlan::parse("dram_delay=0.3:24,dram_ecc=0.2", seed).unwrap());
+            with_fault_plan(Some(plan), || {
+                let (d, end) = drain(DramModel::new(DramConfig::test_tiny()), 48);
+                (format!("{:?}", d.stats().snapshot()), end)
+            })
+        };
+        assert_eq!(run(42), run(42));
+        assert_ne!(run(42), run(43));
+    }
+
+    #[test]
+    fn no_plan_means_no_fault_counters() {
+        let (d, _) = with_fault_plan(None, || drain(DramModel::new(DramConfig::test_tiny()), 32));
+        for key in [
+            "dram.fault.dropped_fill",
+            "dram.fault.delayed_fill",
+            "dram.fault.ecc_flip",
+            "dram.fault.port_stall",
+            "dram.fault.resp_overflow",
+            "dram.fault.underflow",
+        ] {
+            assert_eq!(d.stats().get(key), 0, "{key} fired with no plan");
+        }
+    }
+
+    #[test]
+    fn try_new_reports_config_error_instead_of_panicking() {
+        let cfg = DramConfig {
+            banks: 3,
+            ..DramConfig::default()
+        };
+        let err = DramModel::try_new(cfg).expect_err("must reject");
+        assert_eq!(err.component, "DramConfig");
+        assert!(err.to_string().starts_with("invalid DramConfig:"));
     }
 }

@@ -38,3 +38,24 @@ pub use dram::{DramConfig, DramModel};
 pub use memory::MainMemory;
 pub use port::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
 pub use shared::{PortHandle, SharedPort};
+
+/// A rejected component configuration: which config type failed and why.
+///
+/// Returned by the `try_new` constructors ([`DramModel::try_new`],
+/// [`AddressCache::try_new`]); the panicking `new` constructors remain as
+/// thin wrappers for infallible call sites.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct ConfigError {
+    /// The configuration type that failed validation.
+    pub component: &'static str,
+    /// The first validation failure, as reported by `validate()`.
+    pub reason: String,
+}
+
+impl std::fmt::Display for ConfigError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "invalid {}: {}", self.component, self.reason)
+    }
+}
+
+impl std::error::Error for ConfigError {}

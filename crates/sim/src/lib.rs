@@ -28,16 +28,20 @@ mod clock;
 mod component;
 mod context;
 mod engine;
+mod fault;
 mod queue;
 mod skip;
 mod stats;
 mod trace;
+mod watchdog;
 
 pub use clock::Cycle;
 pub use component::Component;
 pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
+pub use fault::{with_fault_plan, FaultHit, FaultKind, FaultPlan};
 pub use queue::{MsgQueue, PushError};
 pub use skip::{earliest, fast_forward, skip_enabled, with_skip};
 pub use stats::{CounterId, Histogram, Stats, StatsSnapshot};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
+pub use watchdog::{watchdog_budget, with_watchdog_budget, StallReport, DEFAULT_WATCHDOG_CYCLES};
