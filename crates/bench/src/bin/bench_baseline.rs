@@ -8,7 +8,14 @@
 //! and every observable is re-checked to agree between modes, so the file
 //! doubles as one more differential check.
 //!
-//! Usage: `cargo run --release --bin bench_baseline [-- <output path>]`
+//! Usage: `cargo run --release --bin bench_baseline [-- <output path>]
+//!        [-- --check <committed baseline>]`
+//!
+//! With `--check`, the run additionally compares the controller-bound
+//! scenarios' `cycles_per_sec_skip` against the committed baseline file
+//! and exits nonzero on a >10% throughput regression. Absolute rates are
+//! machine-dependent, so the check only guards against regressions, not
+//! missed improvements.
 
 use std::time::Instant;
 
@@ -16,7 +23,7 @@ use xcache_bench::{meta_json, note_sim_cycles, widx_geometry, widx_workload};
 use xcache_core::XCacheConfig;
 use xcache_dsa::{graphpulse, spgemm, widx};
 use xcache_mem::{DramConfig, DramModel, MemReq, MemoryPort};
-use xcache_sim::{with_skip, Cycle};
+use xcache_sim::{prof_reset, prof_snapshot, with_skip, Cycle, ProfEntry};
 use xcache_workloads::QueryClass;
 
 /// Observables of one scenario run, compared across modes.
@@ -27,6 +34,9 @@ struct Measurement {
     sim_cycles: u64,
     wall_ms_skip: f64,
     wall_ms_no_skip: f64,
+    /// Per-stage wall-time attribution over the skip-mode runs; empty
+    /// unless `XCACHE_PROF=1`.
+    prof: Vec<ProfEntry>,
 }
 
 impl Measurement {
@@ -61,7 +71,9 @@ fn time_mode(skip: bool, reps: u32, f: &dyn Fn() -> Outcome) -> (f64, Outcome) {
 }
 
 fn measure(name: &'static str, f: &dyn Fn() -> Outcome) -> Measurement {
+    prof_reset();
     let (wall_ms_skip, fast) = time_mode(true, 3, f);
+    let prof = prof_snapshot();
     let (wall_ms_no_skip, slow) = time_mode(false, 3, f);
     assert_eq!(
         fast, slow,
@@ -73,12 +85,43 @@ fn measure(name: &'static str, f: &dyn Fn() -> Outcome) -> Measurement {
         fast.0,
         wall_ms_no_skip / wall_ms_skip.max(1e-9)
     );
+    if !prof.is_empty() {
+        let total: u64 = prof.iter().map(|e| e.1).sum();
+        for &(stage, ns, calls) in &prof {
+            eprintln!(
+                "    {stage}: {:.1}% ({:.2} ms, {calls} calls)",
+                ns as f64 * 100.0 / total.max(1) as f64,
+                ns as f64 / 1e6
+            );
+        }
+    }
     Measurement {
         name,
         sim_cycles: fast.0,
         wall_ms_skip,
         wall_ms_no_skip,
+        prof,
     }
+}
+
+/// Per-scenario profiling attribution as a JSON fragment, or an empty
+/// string when `XCACHE_PROF` is off (keeps the default output stable).
+fn prof_json(prof: &[ProfEntry]) -> String {
+    if prof.is_empty() {
+        return String::new();
+    }
+    let total: u64 = prof.iter().map(|e| e.1).sum();
+    let stages = prof
+        .iter()
+        .map(|&(stage, ns, calls)| {
+            format!(
+                "{{\"stage\":\"{stage}\",\"share\":{:.4},\"total_ns\":{ns},\"calls\":{calls}}}",
+                ns as f64 / total.max(1) as f64
+            )
+        })
+        .collect::<Vec<_>>()
+        .join(",");
+    format!(",\"prof\":[{stages}]")
 }
 
 /// A chain of dependent DRAM read round-trips: the canonical
@@ -108,10 +151,34 @@ fn dram_roundtrips() -> Outcome {
     (now.raw(), checksum)
 }
 
+/// Scenarios whose wall time is dominated by controller work (trigger
+/// scan, X-Routine dispatch, data RAM) rather than by the DRAM model —
+/// the ones the perf-trajectory check guards.
+const CONTROLLER_BOUND: [&str; 2] = ["widx_q19_xcache", "spgemm_gustavson_xcache"];
+
+/// Extracts `cycles_per_sec_skip` for one scenario from a baseline JSON
+/// file without a JSON dependency: the writer emits one object per line
+/// with fixed key order, so a substring scan is reliable.
+fn scenario_rate(json: &str, name: &str) -> Option<u64> {
+    let tag = format!("\"name\":\"{name}\"");
+    let rest = &json[json.find(&tag)? + tag.len()..];
+    let key = "\"cycles_per_sec_skip\":";
+    let rest = &rest[rest.find(key)? + key.len()..];
+    let digits: String = rest.chars().take_while(char::is_ascii_digit).collect();
+    digits.parse().ok()
+}
+
 fn main() {
-    let out_path = std::env::args()
-        .nth(1)
-        .unwrap_or_else(|| "BENCH_baseline.json".into());
+    let mut out_path = String::from("BENCH_baseline.json");
+    let mut check_against: Option<String> = None;
+    let mut argv = std::env::args().skip(1);
+    while let Some(arg) = argv.next() {
+        if arg == "--check" {
+            check_against = Some(argv.next().unwrap_or_else(|| "BENCH_baseline.json".into()));
+        } else {
+            out_path = arg;
+        }
+    }
 
     let widx_q19 = widx_workload(QueryClass::Q19, 40, 7);
     let widx_geom = widx_geometry(40);
@@ -163,13 +230,14 @@ fn main() {
     let mut body = String::from("[\n");
     for (i, m) in measurements.iter().enumerate() {
         body.push_str(&format!(
-            "  {{\"name\":\"{}\",\"sim_cycles\":{},\"wall_ms_skip\":{:.3},\"wall_ms_no_skip\":{:.3},\"speedup\":{:.2},\"cycles_per_sec_skip\":{}}}{}\n",
+            "  {{\"name\":\"{}\",\"sim_cycles\":{},\"wall_ms_skip\":{:.3},\"wall_ms_no_skip\":{:.3},\"speedup\":{:.2},\"cycles_per_sec_skip\":{}{}}}{}\n",
             m.name,
             m.sim_cycles,
             m.wall_ms_skip,
             m.wall_ms_no_skip,
             m.speedup(),
             m.cycles_per_sec_skip(),
+            prof_json(&m.prof),
             if i + 1 < measurements.len() { "," } else { "" }
         ));
     }
@@ -190,4 +258,29 @@ fn main() {
          scenario, measured {:.2}x",
         dram_bound.speedup()
     );
+
+    if let Some(baseline_path) = check_against {
+        let baseline = std::fs::read_to_string(&baseline_path)
+            .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        let mut failed = false;
+        for name in CONTROLLER_BOUND {
+            let old = scenario_rate(&baseline, name)
+                .unwrap_or_else(|| panic!("{baseline_path} has no cycles_per_sec_skip for {name}"));
+            let new = measurements
+                .iter()
+                .find(|m| m.name == name)
+                .expect("checked scenario is measured")
+                .cycles_per_sec_skip();
+            let ratio = new as f64 / old.max(1) as f64;
+            eprintln!("check {name}: {new} vs baseline {old} c/s ({ratio:.2}x)");
+            if ratio < 0.9 {
+                eprintln!("FAIL: {name} regressed more than 10% vs {baseline_path}");
+                failed = true;
+            }
+        }
+        if failed {
+            std::process::exit(1);
+        }
+        eprintln!("(perf-trajectory check passed vs {baseline_path})");
+    }
 }

@@ -5,7 +5,8 @@
 //! the test thread; the jobs differential goes through the `Runner` at
 //! both worker counts (its cells never touch `with_skip`).
 
-use xcache_bench::fuzz::{jobs_differential, run_seed, skip_differential};
+use proptest::prelude::*;
+use xcache_bench::fuzz::{jobs_differential, run_seed, sched_differential, skip_differential};
 
 /// Seeds per in-tree test run — small enough for a debug build, spread
 /// over a couple of windows so both generator shapes (hashed, store
@@ -16,6 +17,28 @@ const SEEDS: std::ops::Range<u64> = 0..20;
 fn skip_and_step_runs_are_byte_identical() {
     for seed in SEEDS {
         skip_differential(seed, 48).unwrap();
+    }
+}
+
+#[test]
+fn wheel_and_scan_schedulers_are_byte_identical() {
+    for seed in SEEDS {
+        sched_differential(seed, 48).unwrap();
+    }
+}
+
+proptest! {
+    // Each case runs a generated program twice (wheel + scan), so keep the
+    // case count near the deterministic seed window's size; the strategy
+    // still explores seeds far outside `SEEDS` and varies the workload
+    // length enough to shift which cycles the schedulers must agree on.
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn wheel_matches_scan_on_arbitrary_seeds(seed in any::<u64>(), accesses in 8usize..96) {
+        if let Err(e) = sched_differential(seed, accesses) {
+            panic!("{e}");
+        }
     }
 }
 

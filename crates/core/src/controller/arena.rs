@@ -1,0 +1,219 @@
+//! Arena-allocated walker state.
+//!
+//! Earlier revisions boxed each in-flight walk in a `Vec<Option<Walker>>`,
+//! which meant (a) a heap allocation per launch (the pending-event deque,
+//! the waiter list), and (b) every per-tick query — "any walker with a
+//! pending event?", "any live walker at all?" — was a full scan over fat
+//! rows. This arena flattens walker state into structure-of-arrays columns
+//! sized once at construction:
+//!
+//! * **Hot columns** (`in_lane`, `gen`, `last_progress`, `msg`) are plain
+//!   vectors indexed by slot, written directly by the pipeline stages.
+//! * **Cold rows** ([`WalkerCold`]) hold the per-walk context that is only
+//!   touched when the walk advances or ends.
+//! * **Liveness and event queues** are private, maintained through
+//!   [`activate`](WalkerArena::activate)/[`deactivate`](WalkerArena::deactivate)
+//!   and [`push_event`](WalkerArena::push_event)/[`pop_event`](WalkerArena::pop_event)
+//!   so the arena can keep `live_count` and `ready_events` counters exact —
+//!   turning the controller's per-tick scans into O(1) reads.
+//!
+//! Slot buffers (the event deque, the waiter vector) persist across
+//! tenants: launching a walker into a previously used slot performs no
+//! heap allocation in steady state.
+
+use std::collections::VecDeque;
+
+use bytes::Bytes;
+
+use xcache_isa::{EventId, RoutineId, StateId};
+use xcache_sim::Cycle;
+
+use crate::metatag::EntryRef;
+use crate::{MetaAccess, MetaKey};
+
+use super::MSG_WORDS;
+
+/// Per-walk context touched O(1) times per event (launch, dispatch,
+/// completion) rather than per cycle.
+#[derive(Debug)]
+pub(crate) struct WalkerCold {
+    pub(crate) key: MetaKey,
+    pub(crate) entry: Option<EntryRef>,
+    pub(crate) state: StateId,
+    pub(crate) probe_hit: bool,
+    pub(crate) fill_data: Option<Bytes>,
+    pub(crate) origin: MetaAccess,
+    pub(crate) responded: bool,
+    /// The walker allocated its meta entry (vs. attached to an existing
+    /// one on a store hit); faults may only invalidate owned entries.
+    pub(crate) owns_entry: bool,
+    pub(crate) waiters: Vec<MetaAccess>,
+    pub(crate) launched_at: Cycle,
+    /// Routine most recently dispatched into a lane, for stall reports.
+    pub(crate) last_routine: Option<RoutineId>,
+}
+
+impl WalkerCold {
+    fn vacant() -> Self {
+        WalkerCold {
+            key: MetaKey::new(0),
+            entry: None,
+            state: StateId::DEFAULT,
+            probe_hit: false,
+            fill_data: None,
+            origin: MetaAccess::Load {
+                id: 0,
+                key: MetaKey::new(0),
+            },
+            responded: false,
+            owns_entry: false,
+            waiters: Vec::new(),
+            launched_at: Cycle::ZERO,
+            last_routine: None,
+        }
+    }
+}
+
+/// Structure-of-arrays walker storage, one row per `#Active` slot.
+#[derive(Debug)]
+pub(crate) struct WalkerArena {
+    /// Whether the slot's walker currently occupies an executor lane.
+    pub(crate) in_lane: Vec<bool>,
+    /// Per-slot generation counters, persisting across walker reuse so
+    /// that stale DRAM responses never wake the wrong walker.
+    pub(crate) gen: Vec<u32>,
+    /// Last cycle each walker observably advanced — the watchdog's clock.
+    pub(crate) last_progress: Vec<Cycle>,
+    /// Payload of the event currently being executed.
+    pub(crate) msg: Vec<[u64; MSG_WORDS]>,
+    /// Cold per-walk context.
+    pub(crate) cold: Vec<WalkerCold>,
+    live: Vec<bool>,
+    pending: Vec<VecDeque<(EventId, [u64; MSG_WORDS])>>,
+    live_count: usize,
+    /// Number of live slots with at least one undispatched event.
+    ready_events: usize,
+}
+
+impl WalkerArena {
+    pub(crate) fn new(slots: usize) -> Self {
+        WalkerArena {
+            in_lane: vec![false; slots],
+            gen: vec![0; slots],
+            last_progress: vec![Cycle::ZERO; slots],
+            msg: vec![[0; MSG_WORDS]; slots],
+            cold: (0..slots).map(|_| WalkerCold::vacant()).collect(),
+            live: vec![false; slots],
+            pending: (0..slots).map(|_| VecDeque::new()).collect(),
+            live_count: 0,
+            ready_events: 0,
+        }
+    }
+
+    /// Number of slots (the geometry's `#Active`).
+    pub(crate) fn len(&self) -> usize {
+        self.live.len()
+    }
+
+    /// Whether `slot` holds a live walker.
+    pub(crate) fn is_live(&self, slot: usize) -> bool {
+        self.live.get(slot).copied().unwrap_or(false)
+    }
+
+    /// Number of live walkers — O(1), maintained by activate/deactivate.
+    pub(crate) fn live_count(&self) -> usize {
+        self.live_count
+    }
+
+    /// Number of live slots with a pending (undispatched) event — O(1).
+    pub(crate) fn ready_events(&self) -> usize {
+        self.ready_events
+    }
+
+    /// Marks `slot` live. The caller populates the hot columns and the
+    /// cold row; the previous tenant's buffers are reused as-is.
+    pub(crate) fn activate(&mut self, slot: usize) {
+        debug_assert!(!self.live[slot], "activate of a live slot");
+        debug_assert!(self.pending[slot].is_empty(), "stale pending events");
+        self.live[slot] = true;
+        self.live_count += 1;
+    }
+
+    /// Ends the walk in `slot`: clears liveness, drops undelivered events
+    /// and the fill buffer, frees the lane claim. Buffers keep their
+    /// capacity for the slot's next tenant.
+    pub(crate) fn deactivate(&mut self, slot: usize) {
+        debug_assert!(self.live[slot], "deactivate of a vacant slot");
+        self.live[slot] = false;
+        self.live_count -= 1;
+        if !self.pending[slot].is_empty() {
+            self.pending[slot].clear();
+            self.ready_events -= 1;
+        }
+        self.in_lane[slot] = false;
+        self.cold[slot].fill_data = None;
+    }
+
+    /// Queues an event for the live walker in `slot`.
+    pub(crate) fn push_event(&mut self, slot: usize, event: EventId, payload: [u64; MSG_WORDS]) {
+        debug_assert!(self.live[slot], "event for a vacant slot");
+        if self.pending[slot].is_empty() {
+            self.ready_events += 1;
+        }
+        self.pending[slot].push_back((event, payload));
+    }
+
+    /// Dequeues the oldest pending event of `slot`, if any.
+    pub(crate) fn pop_event(&mut self, slot: usize) -> Option<(EventId, [u64; MSG_WORDS])> {
+        let e = self.pending[slot].pop_front();
+        if e.is_some() && self.pending[slot].is_empty() {
+            self.ready_events -= 1;
+        }
+        e
+    }
+
+    /// The oldest pending event of `slot` without dequeuing it.
+    pub(crate) fn front_event(&self, slot: usize) -> Option<(EventId, [u64; MSG_WORDS])> {
+        self.pending[slot].front().copied()
+    }
+
+    /// Whether `slot` has undispatched events.
+    pub(crate) fn has_events(&self, slot: usize) -> bool {
+        !self.pending[slot].is_empty()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn counters_track_liveness_and_readiness() {
+        let mut a = WalkerArena::new(4);
+        assert_eq!(a.live_count(), 0);
+        assert_eq!(a.ready_events(), 0);
+        a.activate(1);
+        assert_eq!(a.live_count(), 1);
+        a.push_event(1, EventId::MISS, [0; MSG_WORDS]);
+        a.push_event(1, EventId::FILL, [9; MSG_WORDS]);
+        assert_eq!(a.ready_events(), 1, "one slot ready, not one per event");
+        assert_eq!(a.pop_event(1).map(|(e, _)| e), Some(EventId::MISS));
+        assert_eq!(a.ready_events(), 1, "still has a second event");
+        assert_eq!(a.pop_event(1).map(|(e, _)| e), Some(EventId::FILL));
+        assert_eq!(a.ready_events(), 0);
+        a.deactivate(1);
+        assert_eq!(a.live_count(), 0);
+    }
+
+    #[test]
+    fn deactivate_drops_pending_events() {
+        let mut a = WalkerArena::new(2);
+        a.activate(0);
+        a.push_event(0, EventId::MISS, [0; MSG_WORDS]);
+        a.deactivate(0);
+        assert_eq!(a.ready_events(), 0);
+        a.activate(0);
+        assert!(a.front_event(0).is_none(), "no stale events for new tenant");
+        assert!(!a.has_events(0));
+    }
+}

@@ -18,6 +18,13 @@
 //!    `xcache.watchdog.shed_access`) — the datapath drains instead of
 //!    hanging.
 //!
+//! The per-walker scan is gated on `wd_earliest`, a lower bound on the
+//! earliest per-walker deadline (`min(last_progress + budget)` over live
+//! walkers). Progress only pushes deadlines later, so the bound is sound:
+//! landing on it early just re-scans and tightens it. A scan that fires
+//! nothing touches no stats, so the gate is observationally identical to
+//! scanning every cycle.
+//!
 //! Enough health strikes within a window trip *degraded mode*
 //! (`xcache.degraded_enter`): loads and stores bypass the unhealthy
 //! meta-tag path entirely (answered "not found", so the datapath falls
@@ -43,57 +50,70 @@ impl<D: MemoryPort> XCache<D> {
         !self.pending.is_empty()
             || !self.replay_q.is_empty()
             || !self.delayed_replay.is_empty()
-            || self.walkers.iter().any(Option::is_some)
+            || self.arena.live_count() > 0
     }
 
     /// Runs the watchdog: per-walker budgets, then the global
     /// no-forward-progress check.
     pub(super) fn check_liveness(&mut self, now: Cycle) {
-        for slot in 0..self.walkers.len() {
-            let Some(w) = self.walkers[slot].as_ref() else {
-                continue;
-            };
-            let age = now.since(w.last_progress);
-            if age < self.wd_budget {
-                continue;
+        let global_due = self.has_local_work()
+            && now.since(self.global_progress) >= self.wd_budget.saturating_mul(2);
+        if now < self.wd_earliest && !global_due {
+            return;
+        }
+        if now >= self.wd_earliest {
+            // Earliest deadline among walkers that survive this scan; the
+            // next gate opens no later than this.
+            let mut next_deadline = Cycle::NEVER;
+            for slot in 0..self.arena.len() {
+                if !self.arena.is_live(slot) {
+                    continue;
+                }
+                let last = self.arena.last_progress[slot];
+                let age = now.since(last);
+                if age < self.wd_budget {
+                    next_deadline = next_deadline.min(last + self.wd_budget);
+                    continue;
+                }
+                let key = self.arena.cold[slot].key;
+                let routine = self.arena.cold[slot]
+                    .last_routine
+                    .map(|r| self.program.routines[r.0 as usize].name.clone());
+                let waiting_on = self.waiting_on(slot);
+                let attempts = self.retry_counts.get(&key).copied().unwrap_or(0);
+                let recovered = attempts < WALKER_RETRY_MAX;
+                self.push_stall_report(
+                    now,
+                    StallReport {
+                        cycle: now,
+                        slot: Some(slot),
+                        routine,
+                        waiting_on,
+                        age,
+                        recovered,
+                    },
+                );
+                self.ctx.stats.incr_id(counter!("xcache.watchdog.stall"));
+                if recovered {
+                    self.retry_counts.insert(key, attempts + 1);
+                    self.ctx.stats.incr_id(counter!("xcache.fault.retry"));
+                    // Exponential backoff: transient downstream faults (port
+                    // stalls, delayed fills) clear while the walk is parked.
+                    self.abort_with_backoff(now, slot, RETRY_BACKOFF_BASE << attempts);
+                } else {
+                    self.retry_counts.remove(&key);
+                    self.ctx
+                        .stats
+                        .incr_id(counter!("xcache.watchdog.walker_kill"));
+                    self.note_meta_strike(now);
+                    // Containment: only this slot's origin and waiters are
+                    // answered "not found"; siblings are untouched.
+                    self.fault_walker(now, slot);
+                }
+                // The watchdog acting *is* forward progress.
+                self.global_progress = now;
             }
-            let key = w.key;
-            let routine = w
-                .last_routine
-                .map(|r| self.program.routines[r.0 as usize].name.clone());
-            let waiting_on = self.waiting_on(slot);
-            let attempts = self.retry_counts.get(&key).copied().unwrap_or(0);
-            let recovered = attempts < WALKER_RETRY_MAX;
-            self.push_stall_report(
-                now,
-                StallReport {
-                    cycle: now,
-                    slot: Some(slot),
-                    routine,
-                    waiting_on,
-                    age,
-                    recovered,
-                },
-            );
-            self.ctx.stats.incr_id(counter!("xcache.watchdog.stall"));
-            if recovered {
-                self.retry_counts.insert(key, attempts + 1);
-                self.ctx.stats.incr_id(counter!("xcache.fault.retry"));
-                // Exponential backoff: transient downstream faults (port
-                // stalls, delayed fills) clear while the walk is parked.
-                self.abort_with_backoff(now, slot, RETRY_BACKOFF_BASE << attempts);
-            } else {
-                self.retry_counts.remove(&key);
-                self.ctx
-                    .stats
-                    .incr_id(counter!("xcache.watchdog.walker_kill"));
-                self.note_meta_strike(now);
-                // Containment: only this slot's origin and waiters are
-                // answered "not found"; siblings are untouched.
-                self.fault_walker(now, slot);
-            }
-            // The watchdog acting *is* forward progress.
-            self.global_progress = now;
+            self.wd_earliest = next_deadline;
         }
 
         if self.has_local_work()
@@ -106,7 +126,7 @@ impl<D: MemoryPort> XCache<D> {
     /// Global no-forward-progress recovery: fault every walker, shed all
     /// queued work with "not found", and report.
     fn global_stall(&mut self, now: Cycle) {
-        let live = self.walkers.iter().flatten().count();
+        let live = self.arena.live_count();
         let queued = self.pending.len() + self.replay_q.len() + self.delayed_replay.len();
         let age = now.since(self.global_progress);
         self.push_stall_report(
@@ -123,8 +143,8 @@ impl<D: MemoryPort> XCache<D> {
         self.ctx
             .stats
             .incr_id(counter!("xcache.watchdog.global_stall"));
-        for slot in 0..self.walkers.len() {
-            if self.walkers[slot].is_some() {
+        for slot in 0..self.arena.len() {
+            if self.arena.is_live(slot) {
                 self.fault_walker(now, slot);
             }
         }
@@ -153,13 +173,20 @@ impl<D: MemoryPort> XCache<D> {
     /// rung: like `abort_and_replay`, but the replay is delayed so a
     /// congested or faulty downstream has time to drain.
     fn abort_with_backoff(&mut self, now: Cycle, slot: usize, backoff: u64) {
-        let Some(mut w) = self.walkers[slot].take() else {
+        if !self.arena.is_live(slot) {
             return;
-        };
+        }
         self.launch_stalled = false;
-        self.launching.remove(&w.key);
-        if let Some(r) = w.entry {
-            if w.owns_entry {
+        let gen = self.arena.gen[slot];
+        let c = &mut self.arena.cold[slot];
+        let key = c.key;
+        let entry = c.entry.take();
+        let owns_entry = c.owns_entry;
+        let origin = c.origin;
+        let mut waiters = std::mem::take(&mut c.waiters);
+        self.launching.remove(&key);
+        if let Some(r) = entry {
+            if owns_entry {
                 let e = self.tags.invalidate(r, &mut self.ctx.stats);
                 if e.sector_count > 0 {
                     self.data.free(e.sector_start, e.sector_count);
@@ -171,18 +198,19 @@ impl<D: MemoryPort> XCache<D> {
         // Forget this walk's in-flight requests: a late (or injected-
         // delayed) fill must not wake the slot's next tenant. Generation
         // checks already drop them; pruning keeps the map from growing.
-        self.inflight
-            .retain(|_, &mut (s, g)| s != slot || g != w.gen);
+        self.inflight.retain(|_, &mut (s, g)| s != slot || g != gen);
         let due = now + backoff.max(1);
-        self.delayed_replay.push((due, w.origin));
-        for wa in w.waiters.drain(..) {
+        self.delayed_replay.push((due, origin));
+        for wa in waiters.drain(..) {
             self.delayed_replay.push((due, wa));
         }
+        self.arena.cold[slot].waiters = waiters;
         for l in &mut self.lanes {
             if l.is_some_and(|l| l.slot == slot) {
                 *l = None;
             }
         }
+        self.arena.deactivate(slot);
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
         self.ctx.stats.incr_id(counter!("xcache.walker_replay"));
@@ -191,19 +219,20 @@ impl<D: MemoryPort> XCache<D> {
     /// A deterministic description of what `slot` is blocked on, for
     /// stall reports (minimum in-flight request id, never map order).
     fn waiting_on(&self, slot: usize) -> String {
-        let Some(w) = self.walkers[slot].as_ref() else {
+        if !self.arena.is_live(slot) {
             return "nothing".into();
-        };
+        }
+        let gen = self.arena.gen[slot];
         if let Some(id) = self
             .inflight
             .iter()
-            .filter(|&(_, &(s, g))| s == slot && g == w.gen)
+            .filter(|&(_, &(s, g))| s == slot && g == gen)
             .map(|(&id, _)| id)
             .min()
         {
             return format!("dram fill (req #{id})");
         }
-        if !w.pending.is_empty() {
+        if self.arena.has_events(slot) {
             return "an executor lane".into();
         }
         if self
@@ -214,7 +243,7 @@ impl<D: MemoryPort> XCache<D> {
         {
             return "an event for its parked lane".into();
         }
-        format!("an event in state {}", w.state.0)
+        format!("an event in state {}", self.arena.cold[slot].state.0)
     }
 
     /// Records a meta-path health strike; enough strikes inside the
@@ -243,7 +272,7 @@ impl<D: MemoryPort> XCache<D> {
     fn push_stall_report(&mut self, now: Cycle, report: StallReport) {
         self.ctx
             .trace
-            .emit(now, TraceKind::Other, "xcache", report.to_string());
+            .emit_with(now, TraceKind::Other, "xcache", || report.to_string());
         if self.stall_reports.len() < STALL_REPORT_CAP {
             self.stall_reports.push(report);
         }

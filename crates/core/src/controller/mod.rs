@@ -23,21 +23,22 @@
 //! [`SimContext`](xcache_sim::SimContext) (cycle, stats, trace hooks,
 //! seed) plus the shared structural state on [`XCache`] itself.
 
+mod arena;
 mod executor;
 mod liveness;
 mod sched;
 mod trigger;
 mod walker;
 
-use std::collections::{HashMap, VecDeque};
+use std::collections::VecDeque;
 use std::sync::Arc;
 
 use xcache_isa::verify::{verify_with, VerifyError, VerifyLimits};
-use xcache_isa::{Action, Operand, RoutineId, WalkerProgram};
+use xcache_isa::{Action, EventId, Operand, RoutineId, WalkerProgram};
 use xcache_mem::MemoryPort;
 use xcache_sim::{
-    counter, watchdog_budget, Cycle, FaultPlan, MsgQueue, SimContext, StallReport, Stats,
-    TraceBuffer,
+    counter, watchdog_budget, Cycle, FaultPlan, FxHashMap, MsgQueue, SimContext, StallReport,
+    Stats, TimingWheel, TraceBuffer,
 };
 
 use crate::{
@@ -45,8 +46,12 @@ use crate::{
     XCacheConfig,
 };
 
-use sched::discipline_stage;
-use walker::Walker;
+use arena::WalkerArena;
+use sched::{discipline_stage, YieldPolicy};
+
+/// A delayed internal event: (slot, generation, event, payload). The due
+/// cycle is the timing-wheel key.
+pub(crate) type DelayedEvent = (usize, u32, EventId, [u64; MSG_WORDS]);
 
 /// Error constructing an [`XCache`].
 #[derive(Debug, Clone, PartialEq, Eq)]
@@ -179,6 +184,10 @@ pub(crate) const DEGRADE_PENALTY: u64 = 2048;
 /// `xcache.watchdog.*`, only the structured records are capped).
 pub(crate) const STALL_REPORT_CAP: usize = 256;
 
+/// Recycled response-data buffers kept per instance (see
+/// [`XCache::recycle`]).
+pub(crate) const DATA_POOL_CAP: usize = 64;
+
 /// One executor lane: a routine in flight for the walker in `slot`.
 #[derive(Debug, Clone, Copy)]
 pub(crate) struct Lane {
@@ -201,6 +210,10 @@ pub(crate) struct Lane {
 pub struct XCache<D> {
     pub(crate) cfg: XCacheConfig,
     pub(crate) program: WalkerProgram,
+    /// Direct-threaded dispatch table: `dispatch[r][pc]` pairs the
+    /// pre-decoded action with its handler function pointer (mirrors
+    /// `program.routines[r].actions[pc]`, built once after verification).
+    pub(crate) dispatch: Vec<Box<[executor::OpEntry<D>]>>,
     pub(crate) tags: MetaTagArray,
     pub(crate) data: DataRam,
     pub(crate) xregs: XRegPool,
@@ -213,21 +226,33 @@ pub struct XCache<D> {
     /// (e.g. a walker answering many waiters at once); drained in FIFO
     /// order ahead of new responses, so nothing is ever dropped.
     pub(crate) resp_spill: VecDeque<(u64, MetaResp)>,
-    pub(crate) walkers: Vec<Option<Walker>>,
-    /// Per-slot generation counters, persisting across walker reuse so
-    /// that stale DRAM responses never wake the wrong walker.
-    pub(crate) slot_gens: Vec<u32>,
+    /// Arena-allocated walker state (SoA hot columns + cold rows).
+    pub(crate) arena: WalkerArena,
     /// key → walker slot, held from launch to retirement (prevents
     /// duplicate walkers; queues waiters).
-    pub(crate) launching: HashMap<MetaKey, usize>,
+    pub(crate) launching: FxHashMap<MetaKey, usize>,
     pub(crate) lanes: Vec<Option<Lane>>,
-    /// Delayed internal events: (due, slot, gen, event, payload).
-    pub(crate) delayed: Vec<(Cycle, usize, u32, xcache_isa::EventId, [u64; MSG_WORDS])>,
-    pub(crate) inflight: HashMap<u64, (usize, u32)>,
-    pub(crate) issue_times: HashMap<u64, Cycle>,
+    /// Delayed internal events, scheduled on a timing wheel by due cycle.
+    pub(crate) delayed: TimingWheel<DelayedEvent>,
+    /// Reusable pop buffer for draining due delayed events.
+    pub(crate) delayed_buf: Vec<(Cycle, DelayedEvent)>,
+    pub(crate) inflight: FxHashMap<u64, (usize, u32)>,
+    pub(crate) issue_times: FxHashMap<u64, Cycle>,
     pub(crate) next_req_id: u64,
     pub(crate) wake_rr: usize,
     pub(crate) downstream: D,
+    /// Cached `downstream.next_event` from its last tick: the downstream
+    /// level is only ticked when this falls due or [`ds_dirty`] is set, so
+    /// an idle memory level costs nothing per controller cycle. Sound
+    /// because the `Component` contract already requires downstream ticks
+    /// to tolerate gaps (skip mode exercises exactly that), and per-tick
+    /// stall counters pin `next_event` to `now + 1` while they count.
+    ///
+    /// [`ds_dirty`]: XCache::ds_dirty
+    pub(crate) ds_next: Option<Cycle>,
+    /// The executor issued a downstream request since the last downstream
+    /// tick; the cached [`ds_next`](XCache::ds_next) is stale.
+    pub(crate) ds_dirty: bool,
     /// Ambient services (cycle, stats, trace, seed) shared by all stages.
     pub(crate) ctx: SimContext,
     /// Cycle of the last `tick`, for fast-forward-aware per-cycle charges
@@ -242,6 +267,18 @@ pub struct XCache<D> {
     pub(crate) fault: Option<Arc<FaultPlan>>,
     /// Per-walker liveness budget in cycles, captured at construction.
     pub(crate) wd_budget: u64,
+    /// Lower bound on the earliest per-walker watchdog deadline
+    /// (`last_progress + wd_budget` over live walkers). Progress only
+    /// pushes deadlines later, so the bound stays sound between the exact
+    /// recomputes the liveness scan performs when it fires; landing on a
+    /// stale-early bound is a no-op tick.
+    pub(crate) wd_earliest: Cycle,
+    /// Static occupancy charge per cycle, resolved from the discipline at
+    /// construction (zero for coroutines).
+    pub(crate) occ_charge: u64,
+    /// Lane disposition on yield, resolved from the discipline at
+    /// construction.
+    pub(crate) yield_policy: YieldPolicy,
     /// Cycle of the last globally observable forward progress (response,
     /// launch, retire, fill, dispatch, …).
     pub(crate) global_progress: Cycle,
@@ -249,10 +286,20 @@ pub struct XCache<D> {
     /// [`STALL_REPORT_CAP`]).
     pub(crate) stall_reports: Vec<StallReport>,
     /// Watchdog retries already spent per key (cleared on retire).
-    pub(crate) retry_counts: HashMap<MetaKey, u32>,
+    pub(crate) retry_counts: FxHashMap<MetaKey, u32>,
     /// Accesses aborted by the watchdog, replaying at `due` (exponential
     /// backoff): (due, access).
     pub(crate) delayed_replay: Vec<(Cycle, MetaAccess)>,
+    /// The trigger stage's last hazard-check tag lookup: `(key, where the
+    /// way scan landed)`. The serve that immediately follows a successful
+    /// hazard check reuses it via [`MetaTagArray::probe_at`] instead of
+    /// re-scanning the set (set by `can_serve`, consumed by
+    /// `serve_access`, always within one cycle).
+    pub(crate) probe_cache: Option<(MetaKey, Option<crate::metatag::EntryRef>)>,
+    /// Recycled response-data buffers (see [`recycle`](XCache::recycle)):
+    /// the respond path draws from here so steady-state hits and walker
+    /// completions allocate nothing.
+    pub(crate) data_pool: Vec<Vec<u64>>,
     /// Meta-tag path degraded (bypassed) until this cycle.
     pub(crate) degraded_until: Cycle,
     /// Health strikes accumulated in the current window.
@@ -350,7 +397,13 @@ impl<D: MemoryPort> XCache<D> {
         // lifetime; blocking threads additionally pay for their statically
         // allocated hardware contexts every cycle (see `tick`).
         let charged = usize::from(program.regs.max(1));
+        let stage = discipline_stage(cfg.discipline);
+        // Pre-decode the (now verified) program into the direct-threaded
+        // dispatch table the executor runs from.
+        let decoded = xcache_isa::predecode::predecode(&program, &cfg.params, MSG_WORDS);
+        let dispatch = executor::build_dispatch::<D>(&decoded);
         Ok(XCache {
+            dispatch,
             tags: MetaTagArray::new(cfg.sets, cfg.ways),
             data: DataRam::new(cfg.data_sectors, cfg.words_per_sector),
             xregs: XRegPool::new(cfg.active, cfg.xregs_per_walker, charged),
@@ -359,25 +412,32 @@ impl<D: MemoryPort> XCache<D> {
             pending: VecDeque::new(),
             resp_q: MsgQueue::new("xcache.resp", cfg.resp_queue_depth, cfg.hit_latency.max(1)),
             resp_spill: VecDeque::new(),
-            walkers: (0..cfg.active).map(|_| None).collect(),
-            slot_gens: vec![0; cfg.active],
-            launching: HashMap::new(),
+            arena: WalkerArena::new(cfg.active),
+            launching: FxHashMap::default(),
             lanes: vec![None; cfg.exe],
-            delayed: Vec::new(),
-            inflight: HashMap::new(),
-            issue_times: HashMap::new(),
+            delayed: TimingWheel::new(Cycle::ZERO),
+            delayed_buf: Vec::new(),
+            inflight: FxHashMap::default(),
+            issue_times: FxHashMap::default(),
             next_req_id: 1,
             wake_rr: 0,
             downstream,
+            ds_next: None,
+            ds_dirty: true,
             ctx: SimContext::new(0),
             last_tick: None,
             launch_stalled: false,
             fault: FaultPlan::current(),
             wd_budget: watchdog_budget(),
+            wd_earliest: Cycle::NEVER,
+            occ_charge: stage.static_occupancy(&cfg),
+            yield_policy: stage.on_yield(),
             global_progress: Cycle::ZERO,
             stall_reports: Vec::new(),
-            retry_counts: HashMap::new(),
+            retry_counts: FxHashMap::default(),
             delayed_replay: Vec::new(),
+            probe_cache: None,
+            data_pool: Vec::new(),
             degraded_until: Cycle::ZERO,
             health_strikes: 0,
             health_window_start: Cycle::ZERO,
@@ -469,6 +529,28 @@ impl<D: MemoryPort> XCache<D> {
         self.resp_q.pop(now)
     }
 
+    /// Returns a consumed response's data buffer to the internal pool.
+    ///
+    /// Optional — drivers that call this after reading a response let the
+    /// respond path reuse the allocation, so steady-state hit/answer
+    /// traffic performs no heap allocation at all.
+    pub fn recycle(&mut self, resp: MetaResp) {
+        self.give_buf(resp.data);
+    }
+
+    /// A cleared data buffer from the pool (or a fresh one).
+    pub(crate) fn take_buf(&mut self) -> Vec<u64> {
+        self.data_pool.pop().unwrap_or_default()
+    }
+
+    /// Returns a buffer to the pool (dropped when the pool is full).
+    pub(crate) fn give_buf(&mut self, mut buf: Vec<u64>) {
+        if buf.capacity() > 0 && self.data_pool.len() < DATA_POOL_CAP {
+            buf.clear();
+            self.data_pool.push(buf);
+        }
+    }
+
     /// Structured liveness violations observed so far (oldest first,
     /// capped at [`STALL_REPORT_CAP`]).
     #[must_use]
@@ -486,7 +568,7 @@ impl<D: MemoryPort> XCache<D> {
             || !self.resp_spill.is_empty()
             || !self.delayed.is_empty()
             || !self.delayed_replay.is_empty()
-            || self.walkers.iter().any(Option::is_some)
+            || self.arena.live_count() > 0
             || self.downstream.busy()
     }
 
@@ -501,11 +583,10 @@ impl<D: MemoryPort> XCache<D> {
         self.ctx.advance(now);
         let elapsed = self.last_tick.map_or(1, |t| now.since(t));
         self.last_tick = Some(now);
-        let charge = discipline_stage(self.cfg.discipline).static_occupancy(&self.cfg);
-        if charge > 0 {
+        if self.occ_charge > 0 {
             self.ctx.stats.add_id(
                 counter!("xcache.occupancy_reg_byte_cycles"),
-                charge * elapsed,
+                self.occ_charge * elapsed,
             );
         }
         if self.launch_stalled && elapsed > 1 {
@@ -516,17 +597,39 @@ impl<D: MemoryPort> XCache<D> {
                 .stats
                 .add_id(counter!("xcache.launch_stall"), elapsed - 1);
         }
-        self.downstream.tick(now);
-        self.drain_resp_spill(now);
-        self.collect_fills(now);
-        self.deliver_delayed(now);
-        self.check_liveness(now);
-        let mut wake_budget = 1usize;
-        self.process_access(now, &mut wake_budget);
-        if wake_budget > 0 {
-            self.wake_one(now);
+        {
+            xcache_sim::prof_scope!("xcache.downstream");
+            if self.ds_dirty || self.ds_next.is_some_and(|t| t <= now) {
+                self.downstream.tick(now);
+                self.ds_dirty = false;
+                self.ds_next = self.downstream.next_event(now);
+            }
         }
-        self.execute(now);
+        {
+            xcache_sim::prof_scope!("xcache.fills");
+            self.drain_resp_spill(now);
+            self.collect_fills(now);
+        }
+        {
+            xcache_sim::prof_scope!("xcache.delayed");
+            self.deliver_delayed(now);
+        }
+        {
+            xcache_sim::prof_scope!("xcache.liveness");
+            self.check_liveness(now);
+        }
+        {
+            xcache_sim::prof_scope!("xcache.trigger");
+            let mut wake_budget = 1usize;
+            self.process_access(now, &mut wake_budget);
+            if wake_budget > 0 {
+                self.wake_one(now);
+            }
+        }
+        {
+            xcache_sim::prof_scope!("xcache.execute");
+            self.execute(now);
+        }
     }
 
     /// Earliest cycle strictly after `now` at which `tick` could do
@@ -535,13 +638,14 @@ impl<D: MemoryPort> XCache<D> {
     /// queried after `tick(now)`).
     #[must_use]
     pub fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        xcache_sim::prof_scope!("xcache.next_event");
         // Per-cycle activity that cannot be jumped over: an active lane
         // executes (and counts) one action every cycle; an undispatched
         // walker event is examined every cycle; spilled responses retry
         // every cycle; a trigger window that is not known-stalled may
         // serve another access next cycle.
         if self.lanes.iter().flatten().any(|l| !l.waiting)
-            || self.walkers.iter().flatten().any(|w| !w.pending.is_empty())
+            || self.arena.ready_events() > 0
             || !self.resp_spill.is_empty()
             || !self.replay_q.is_empty()
             || (!self.pending.is_empty() && !self.launch_stalled)
@@ -550,19 +654,21 @@ impl<D: MemoryPort> XCache<D> {
         }
         let mut next = Cycle::NEVER;
         let mut wake = |t: Cycle| next = next.min(t);
-        for &(due, ..) in &self.delayed {
+        if let Some(due) = self.delayed.next_due() {
             wake(due.max(now.next()));
         }
         for &(due, _) in &self.delayed_replay {
             wake(due.max(now.next()));
         }
         // Watchdog deadlines are observable work (a stall report plus the
-        // recovery ladder), so a fast-forwarded run must land on exactly
-        // the cycle a single-stepped run would fire on. Landing there in
-        // a healthy run is a no-op tick: all per-cycle charges are linear
-        // in elapsed cycles, so the split leaves counters byte-identical.
-        for w in self.walkers.iter().flatten() {
-            wake((w.last_progress + self.wd_budget).max(now.next()));
+        // recovery ladder), so a fast-forwarded run must land no later
+        // than the cycle a single-stepped run would fire on. `wd_earliest`
+        // is a lower bound on the true earliest deadline: landing early
+        // (or on a healthy deadline) is a no-op tick — all per-cycle
+        // charges are linear in elapsed cycles, so the split leaves
+        // counters byte-identical.
+        if self.arena.live_count() > 0 {
+            wake(self.wd_earliest.max(now.next()));
         }
         if self.has_local_work() {
             wake((self.global_progress + self.wd_budget.saturating_mul(2)).max(now.next()));
@@ -577,7 +683,11 @@ impl<D: MemoryPort> XCache<D> {
         if let Some(ready) = self.resp_q.next_ready() {
             wake(ready.max(now.next()));
         }
-        if let Some(t) = self.downstream.next_event(now) {
+        if self.ds_dirty {
+            // A request went down since the last downstream tick; tick it
+            // next cycle and recompute the cache.
+            wake(now.next());
+        } else if let Some(t) = self.ds_next {
             wake(t.max(now.next()));
         }
         if next == Cycle::NEVER {

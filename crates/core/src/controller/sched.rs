@@ -84,13 +84,10 @@ impl<D: MemoryPort> XCache<D> {
 
     /// Dispatches the next pending event of walker `slot` into a lane.
     pub(super) fn dispatch(&mut self, now: Cycle, slot: usize) -> bool {
-        let (event, payload, in_lane, state) = {
-            let w = self.walkers[slot].as_ref().expect("dispatch on empty slot");
-            let Some(&(event, payload)) = w.pending.front() else {
-                return false;
-            };
-            (event, payload, w.in_lane, w.state)
+        let Some((event, payload)) = self.arena.front_event(slot) else {
+            return false;
         };
+        let state = self.arena.cold[slot].state;
         // Thread discipline: reuse the walker's blocked lane if it has one.
         let lane_idx = if let Some(i) = self
             .lanes
@@ -98,7 +95,7 @@ impl<D: MemoryPort> XCache<D> {
             .position(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
         {
             i
-        } else if in_lane {
+        } else if self.arena.in_lane[slot] {
             return false; // already running
         } else if let Some(i) = self.free_lane() {
             i
@@ -108,20 +105,15 @@ impl<D: MemoryPort> XCache<D> {
         let Some(routine) = self.program.table.lookup(state, event) else {
             // Protocol error: no transition for (state, event).
             self.ctx.stats.incr_id(counter!("xcache.protocol_error"));
-            self.walkers[slot]
-                .as_mut()
-                .expect("walker")
-                .pending
-                .pop_front();
+            self.arena.pop_event(slot);
             self.fault_walker(now, slot);
             return true;
         };
-        let w = self.walkers[slot].as_mut().expect("walker");
-        w.pending.pop_front();
-        w.msg = payload;
-        w.in_lane = true;
-        w.last_progress = now;
-        w.last_routine = Some(routine);
+        self.arena.pop_event(slot);
+        self.arena.msg[slot] = payload;
+        self.arena.in_lane[slot] = true;
+        self.arena.last_progress[slot] = now;
+        self.arena.cold[slot].last_routine = Some(routine);
         self.global_progress = now;
         self.lanes[lane_idx] = Some(Lane {
             slot,
@@ -131,32 +123,31 @@ impl<D: MemoryPort> XCache<D> {
             stall_cycles: 0,
         });
         self.ctx.stats.incr_id(counter!("xcache.wakeup"));
-        self.ctx.trace.emit(
-            now,
-            TraceKind::Wake,
-            "xcache",
-            format!("slot {slot} event {event}"),
-        );
+        self.ctx
+            .trace
+            .emit_with(now, TraceKind::Wake, "xcache", || {
+                format!("slot {slot} event {event}")
+            });
         true
     }
 
     /// Wakes one dormant walker with a pending event (round-robin).
     pub(super) fn wake_one(&mut self, now: Cycle) {
-        let n = self.walkers.len();
+        if self.arena.ready_events() == 0 {
+            return;
+        }
+        let n = self.arena.len();
         for off in 0..n {
             let slot = (self.wake_rr + off) % n;
-            let ready = self.walkers[slot]
-                .as_ref()
-                .is_some_and(|w| !w.in_lane && !w.pending.is_empty());
-            let blocked_thread = self.walkers[slot].as_ref().is_some_and(|w| {
-                w.in_lane
-                    && !w.pending.is_empty()
-                    && self
-                        .lanes
-                        .iter()
-                        .any(|l| l.is_some_and(|l| l.slot == slot && l.waiting))
-            });
-            if (ready || blocked_thread) && self.dispatch(now, slot) {
+            if !self.arena.is_live(slot) || !self.arena.has_events(slot) {
+                continue;
+            }
+            let dispatchable = !self.arena.in_lane[slot]
+                || self
+                    .lanes
+                    .iter()
+                    .any(|l| l.is_some_and(|l| l.slot == slot && l.waiting));
+            if dispatchable && self.dispatch(now, slot) {
                 self.wake_rr = (slot + 1) % n;
                 return;
             }

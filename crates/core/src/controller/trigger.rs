@@ -6,8 +6,6 @@
 //! checks of §4.1 ③ ("routines are not triggered until all the hazard
 //! conditions are eliminated").
 
-use std::collections::VecDeque;
-
 use xcache_isa::{EventId, StateId};
 use xcache_mem::MemoryPort;
 use xcache_sim::{counter, Cycle, FaultKind, TraceKind};
@@ -15,7 +13,6 @@ use xcache_sim::{counter, Cycle, FaultKind, TraceKind};
 use crate::metatag::EntryRef;
 use crate::{MetaAccess, MetaKey};
 
-use super::walker::Walker;
 use super::{XCache, MSG_WORDS, SCHED_WINDOW};
 
 impl<D: MemoryPort> XCache<D> {
@@ -25,10 +22,7 @@ impl<D: MemoryPort> XCache<D> {
             let Some((slot, gen)) = self.inflight.remove(&resp.id.0) else {
                 continue; // stale (walker faulted); drop
             };
-            let Some(w) = self.walkers[slot].as_mut() else {
-                continue;
-            };
-            if w.gen != gen {
+            if !self.arena.is_live(slot) || self.arena.gen[slot] != gen {
                 continue;
             }
             let mut payload = [0u64; MSG_WORDS];
@@ -37,37 +31,36 @@ impl<D: MemoryPort> XCache<D> {
                 b[..chunk.len()].copy_from_slice(chunk);
                 payload[i] = u64::from_le_bytes(b);
             }
-            w.fill_data = Some(resp.data.clone());
-            w.pending.push_back((EventId::FILL, payload));
-            w.last_progress = now;
+            self.arena.cold[slot].fill_data = Some(resp.data.clone());
+            self.arena.push_event(slot, EventId::FILL, payload);
+            self.arena.last_progress[slot] = now;
             self.global_progress = now;
             self.ctx.stats.incr_id(counter!("xcache.fill_resp"));
-            self.ctx.trace.emit(
-                now,
-                TraceKind::DramResp,
-                "xcache",
-                format!("slot {slot} addr {:#x}", resp.addr),
-            );
+            self.ctx
+                .trace
+                .emit_with(now, TraceKind::DramResp, "xcache", || {
+                    format!("slot {slot} addr {:#x}", resp.addr)
+                });
         }
     }
 
-    /// Delivers due delayed events (hash results, posted events).
+    /// Delivers due delayed events (hash results, posted events) from the
+    /// timing wheel, in deterministic (due, schedule-order) order.
     pub(super) fn deliver_delayed(&mut self, now: Cycle) {
-        let mut i = 0;
-        while i < self.delayed.len() {
-            if self.delayed[i].0 <= now {
-                let (_, slot, gen, ev, payload) = self.delayed.swap_remove(i);
-                if let Some(w) = self.walkers[slot].as_mut() {
-                    if w.gen == gen {
-                        w.pending.push_back((ev, payload));
-                        w.last_progress = now;
-                        self.global_progress = now;
-                    }
-                }
-            } else {
-                i += 1;
+        if self.delayed.next_due().is_none_or(|d| d > now) {
+            return;
+        }
+        let mut buf = std::mem::take(&mut self.delayed_buf);
+        self.delayed.pop_due_into(now, &mut buf);
+        for &(_, (slot, gen, ev, payload)) in &buf {
+            if self.arena.is_live(slot) && self.arena.gen[slot] == gen {
+                self.arena.push_event(slot, ev, payload);
+                self.arena.last_progress[slot] = now;
+                self.global_progress = now;
             }
         }
+        buf.clear();
+        self.delayed_buf = buf;
     }
 
     /// Processes at most one datapath access per cycle.
@@ -83,12 +76,14 @@ impl<D: MemoryPort> XCache<D> {
         // the replay queue first (their dues are folded into
         // `next_event`, so skip and step runs drain them on the same
         // cycles, in the same order).
+        let mut refilled = false;
         if !self.delayed_replay.is_empty() {
             let mut i = 0;
             while i < self.delayed_replay.len() {
                 if self.delayed_replay[i].0 <= now {
                     let (_, a) = self.delayed_replay.swap_remove(i);
                     self.replay_q.push_back(a);
+                    refilled = true;
                 } else {
                     i += 1;
                 }
@@ -104,18 +99,38 @@ impl<D: MemoryPort> XCache<D> {
             } else {
                 break;
             }
+            refilled = true;
+        }
+
+        // Dirty gate: `launch_stalled` means the last window scan failed
+        // and nothing since has perturbed the hazard state. Every site
+        // that frees a resource or mutates the tags clears the flag:
+        // retire/fault/abort/backoff (X-regs, lanes, launching claims),
+        // lane release on yield, AllocM/InsertM/DeallocM/PinM and idle
+        // eviction (tag contents), degraded-mode entry and watchdog
+        // recovery. Pure register/data/DRAM actions cannot change the
+        // hazard checks, so a busy executor no longer forces a rescan
+        // every cycle. If the window contents are also unchanged,
+        // rescanning would fail identically — charge the stall and skip
+        // the scan.
+        if self.launch_stalled && !refilled {
+            self.ctx.stats.incr_id(counter!("xcache.launch_stall"));
+            return;
         }
 
         let window = self.pending.len().min(SCHED_WINDOW);
-        let mut seen_keys: Vec<MetaKey> = Vec::with_capacity(window);
+        let mut seen_keys = [MetaKey::new(0); SCHED_WINDOW];
+        let mut seen = 0usize;
         let mut serve: Option<usize> = None;
+        self.probe_cache = None;
         for i in 0..window {
             let access = self.pending[i];
             let key = access.key();
-            if seen_keys.contains(&key) {
+            if seen_keys[..seen].contains(&key) {
                 continue; // per-key order preserved
             }
-            seen_keys.push(key);
+            seen_keys[seen] = key;
+            seen += 1;
             if self.can_serve(now, &access, wake_budget) {
                 serve = Some(i);
                 break;
@@ -148,7 +163,12 @@ impl<D: MemoryPort> XCache<D> {
         if self.degraded(now) && !matches!(access, MetaAccess::Take { .. }) {
             return true;
         }
-        let hit = match self.tags.peek(key) {
+        let peeked = self.tags.peek(key);
+        // Remember where the way scan landed: if this access is the one
+        // served, `serve_access` completes the lookup via `probe_at`
+        // without re-scanning the set.
+        self.probe_cache = Some((key, peeked));
+        let hit = match peeked {
             Some(r) => !self.misfires(access, self.tags.entry(r).pinned),
             None => false,
         };
@@ -190,8 +210,8 @@ impl<D: MemoryPort> XCache<D> {
         // baselines measure their per-walk latency.
         self.issue_times.insert(access.id(), now);
         if let Some(&slot) = self.launching.get(&key) {
-            let w = self.walkers[slot].as_mut().expect("launching entry");
-            w.waiters.push(access);
+            debug_assert!(self.arena.is_live(slot), "launching entry");
+            self.arena.cold[slot].waiters.push(access);
             self.ctx.stats.incr_id(counter!("xcache.waiter"));
             return;
         }
@@ -212,7 +232,14 @@ impl<D: MemoryPort> XCache<D> {
             }
             return;
         }
-        let probe = match self.tags.probe(key, &mut self.ctx.stats) {
+        // One tag scan per served access: reuse the hazard check's way
+        // scan when it was for this key (always, on the path through a
+        // successful `can_serve` peek).
+        let raw = match self.probe_cache.take() {
+            Some((k, r)) if k == key => self.tags.probe_at(r, &mut self.ctx.stats),
+            _ => self.tags.probe(key, &mut self.ctx.stats),
+        };
+        let probe = match raw {
             Some(r) if self.misfires(&access, self.tags.entry(r).pinned) => {
                 self.ctx
                     .stats
@@ -228,13 +255,17 @@ impl<D: MemoryPort> XCache<D> {
                     let e = *self.tags.entry(r);
                     debug_assert!(!e.active, "active entry without launching record");
                     self.ctx.stats.incr_id(counter!("xcache.hit"));
-                    let data =
-                        self.data
-                            .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
+                    let mut data = self.take_buf();
+                    self.data.gather_into(
+                        e.sector_start,
+                        e.sector_count,
+                        &mut data,
+                        &mut self.ctx.stats,
+                    );
                     self.respond(now, id, key, true, data);
                     self.ctx
                         .trace
-                        .emit(now, TraceKind::Hit, "xcache", format!("{key}"));
+                        .emit_with(now, TraceKind::Hit, "xcache", || format!("{key}"));
                 } else {
                     self.launch(
                         now,
@@ -271,9 +302,13 @@ impl<D: MemoryPort> XCache<D> {
                 if let Some(r) = probe {
                     let e = self.tags.invalidate(r, &mut self.ctx.stats);
                     self.ctx.stats.incr_id(counter!("xcache.take_hit"));
-                    let data =
-                        self.data
-                            .gather(e.sector_start, e.sector_count, &mut self.ctx.stats);
+                    let mut data = self.take_buf();
+                    self.data.gather_into(
+                        e.sector_start,
+                        e.sector_count,
+                        &mut data,
+                        &mut self.ctx.stats,
+                    );
                     if e.sector_count > 0 {
                         self.data.free(e.sector_start, e.sector_count);
                     }
@@ -304,36 +339,33 @@ impl<D: MemoryPort> XCache<D> {
             .alloc(now)
             .expect("can_serve checked a free file");
         let slot = usize::from(file.0);
-        self.slot_gens[slot] = self.slot_gens[slot].wrapping_add(1);
-        let gen = self.slot_gens[slot];
+        self.arena.gen[slot] = self.arena.gen[slot].wrapping_add(1);
         if let Some(r) = entry {
             self.tags.entry_mut(r).active = true;
         }
         let state = entry.map_or(StateId::DEFAULT, |r| self.tags.entry(r).state);
-        let mut w = Walker {
-            key: access.key(),
-            entry,
-            state: if event == EventId::MISS {
-                StateId::DEFAULT
-            } else {
-                state
-            },
-            probe_hit,
-            pending: VecDeque::new(),
-            msg,
-            fill_data: None,
-            origin: access,
-            responded: false,
-            owns_entry: false,
-            waiters: Vec::new(),
-            launched_at: now,
-            gen,
-            in_lane: false,
-            last_progress: now,
-            last_routine: None,
+        let c = &mut self.arena.cold[slot];
+        c.key = access.key();
+        c.entry = entry;
+        c.state = if event == EventId::MISS {
+            StateId::DEFAULT
+        } else {
+            state
         };
-        w.pending.push_back((event, msg));
-        self.walkers[slot] = Some(w);
+        c.probe_hit = probe_hit;
+        c.fill_data = None;
+        c.origin = access;
+        c.responded = false;
+        c.owns_entry = false;
+        debug_assert!(c.waiters.is_empty(), "stale waiters on launch");
+        c.launched_at = now;
+        c.last_routine = None;
+        self.arena.msg[slot] = msg;
+        self.arena.in_lane[slot] = false;
+        self.arena.last_progress[slot] = now;
+        self.arena.activate(slot);
+        self.arena.push_event(slot, event, msg);
+        self.wd_earliest = self.wd_earliest.min(now + self.wd_budget);
         self.launching.insert(access.key(), slot);
         self.global_progress = now;
         self.ctx.stats.incr_id(counter!("xcache.walker_launch"));
@@ -341,7 +373,9 @@ impl<D: MemoryPort> XCache<D> {
             self.ctx.stats.incr_id(counter!("xcache.miss"));
             self.ctx
                 .trace
-                .emit(now, TraceKind::Miss, "xcache", format!("{}", access.key()));
+                .emit_with(now, TraceKind::Miss, "xcache", || {
+                    format!("{}", access.key())
+                });
         }
         // Launch consumes the cycle's wake: dispatch immediately.
         *wake_budget = 0;

@@ -4,49 +4,41 @@
 //! stage, advanced by the executor, and ended here — by retiring
 //! (success), faulting (resources invalidated, datapath told "not
 //! found"), or aborting with replay (lost an allocation race; the access
-//! re-enters the trigger stage unanswered).
+//! re-enters the trigger stage unanswered). Walker state lives in the
+//! [`WalkerArena`](super::arena::WalkerArena); completion paths read the
+//! slot's row, then [`deactivate`](super::arena::WalkerArena::deactivate)
+//! it.
 
-use std::collections::VecDeque;
-
-use bytes::Bytes;
-
-use xcache_isa::{EventId, StateId};
+use xcache_isa::StateId;
 use xcache_mem::MemoryPort;
 use xcache_sim::{counter, Cycle, TraceKind};
 
-use crate::metatag::EntryRef;
-use crate::{MetaAccess, MetaKey, MetaResp};
+use crate::{MetaKey, MetaResp};
 
+use super::arena::WalkerCold;
 use super::executor::Outcome;
-use super::{SimError, XCache, MSG_WORDS};
-
-/// One in-flight structure walk.
-#[derive(Debug)]
-pub(crate) struct Walker {
-    pub(crate) key: MetaKey,
-    pub(crate) entry: Option<EntryRef>,
-    pub(crate) state: StateId,
-    pub(crate) probe_hit: bool,
-    pub(crate) pending: VecDeque<(EventId, [u64; MSG_WORDS])>,
-    pub(crate) msg: [u64; MSG_WORDS],
-    pub(crate) fill_data: Option<Bytes>,
-    pub(crate) origin: MetaAccess,
-    pub(crate) responded: bool,
-    /// The walker allocated its meta entry (vs. attached to an existing
-    /// one on a store hit); faults may only invalidate owned entries.
-    pub(crate) owns_entry: bool,
-    pub(crate) waiters: Vec<MetaAccess>,
-    pub(crate) launched_at: Cycle,
-    pub(crate) gen: u32,
-    pub(crate) in_lane: bool,
-    /// Last cycle this walker observably advanced (dispatch, executed
-    /// action, fill arrival, delayed event) — the watchdog's clock.
-    pub(crate) last_progress: Cycle,
-    /// Routine most recently dispatched into a lane, for stall reports.
-    pub(crate) last_routine: Option<xcache_isa::RoutineId>,
-}
+use super::{SimError, XCache};
 
 impl<D: MemoryPort> XCache<D> {
+    /// The cold row of the live walker in `slot`, or a [`SimError`] when
+    /// the slot is vacant (e.g. the walker faulted earlier this cycle).
+    pub(super) fn wk(&self, slot: usize, now: Cycle) -> Result<&WalkerCold, SimError> {
+        if self.arena.is_live(slot) {
+            Ok(&self.arena.cold[slot])
+        } else {
+            Err(SimError::new(slot, now, "no walker in slot"))
+        }
+    }
+
+    /// Mutable variant of [`wk`](Self::wk).
+    pub(super) fn wk_mut(&mut self, slot: usize, now: Cycle) -> Result<&mut WalkerCold, SimError> {
+        if self.arena.is_live(slot) {
+            Ok(&mut self.arena.cold[slot])
+        } else {
+            Err(SimError::new(slot, now, "no walker in slot"))
+        }
+    }
+
     /// Moves spilled responses into the response queue as room appears.
     pub(super) fn drain_resp_spill(&mut self, now: Cycle) {
         while !self.resp_spill.is_empty() {
@@ -78,8 +70,8 @@ impl<D: MemoryPort> XCache<D> {
             data,
         };
         if let Some(t) = self.issue_times.remove(&id) {
-            self.ctx.stats.sample(
-                "xcache.load_to_use",
+            self.ctx.stats.sample_id(
+                counter!("xcache.load_to_use"),
                 now.since(t) + self.cfg.hit_latency + sectors - 1,
             );
         }
@@ -99,12 +91,22 @@ impl<D: MemoryPort> XCache<D> {
 
     /// Successful completion: entry rests, waiters replay, resources free.
     pub(super) fn retire_walker(&mut self, now: Cycle, slot: usize) {
-        let mut w = self.walkers[slot].take().expect("retire on empty slot");
+        debug_assert!(self.arena.is_live(slot), "retire on empty slot");
         self.global_progress = now;
+        // Frees X-regs/lanes and removes the launching claim: a stalled
+        // trigger window may now make progress.
+        self.launch_stalled = false;
+        let c = &mut self.arena.cold[slot];
+        let key = c.key;
+        let entry = c.entry;
+        let responded = c.responded;
+        let origin_id = c.origin.id();
+        let launched_at = c.launched_at;
+        let mut waiters = std::mem::take(&mut c.waiters);
         // A completed walk clears its watchdog retry history.
-        self.retry_counts.remove(&w.key);
-        self.launching.remove(&w.key);
-        if let Some(r) = w.entry {
+        self.retry_counts.remove(&key);
+        self.launching.remove(&key);
+        if let Some(r) = entry {
             let e = self.tags.entry_mut(r);
             e.active = false;
             // A completed entry rests in `Default`: future events on it
@@ -112,38 +114,47 @@ impl<D: MemoryPort> XCache<D> {
             // from whatever mid-walk state the last yield recorded.
             e.state = StateId::DEFAULT;
         }
-        if !w.responded {
+        if !responded {
             // Auto-acknowledge (stores / preloads that never Respond).
-            self.respond(now, w.origin.id(), w.key, true, Vec::new());
+            self.respond(now, origin_id, key, true, Vec::new());
         }
         // Remaining waiters replay through the front-end and hit.
-        for wa in w.waiters.drain(..) {
+        for wa in waiters.drain(..) {
             self.replay_q.push_back(wa);
         }
+        self.arena.cold[slot].waiters = waiters;
+        self.arena.deactivate(slot);
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
         self.ctx.stats.incr_id(counter!("xcache.walker_retire"));
         self.ctx
             .stats
-            .sample("xcache.walk_latency", now.since(w.launched_at));
+            .sample_id(counter!("xcache.walk_latency"), now.since(launched_at));
         self.ctx
             .trace
-            .emit(now, TraceKind::Retire, "xcache", format!("slot {slot}"));
+            .emit_with(now, TraceKind::Retire, "xcache", || format!("slot {slot}"));
     }
 
     /// Failure: owned resources invalidated, origin and waiters answered
     /// "not found", lanes freed.
     pub(super) fn fault_walker(&mut self, now: Cycle, slot: usize) {
-        let Some(mut w) = self.walkers[slot].take() else {
+        if !self.arena.is_live(slot) {
             return;
-        };
+        }
         self.global_progress = now;
         // Frees X-regs/lanes/tag claims: a stalled trigger window may now
         // make progress, so it must be re-examined before fast-forwarding.
         self.launch_stalled = false;
-        self.launching.remove(&w.key);
-        if let Some(r) = w.entry {
-            if w.owns_entry {
+        let c = &mut self.arena.cold[slot];
+        let key = c.key;
+        let entry = c.entry.take();
+        let owns_entry = c.owns_entry;
+        let responded = c.responded;
+        let origin_id = c.origin.id();
+        let mut waiters = std::mem::take(&mut c.waiters);
+        self.launching.remove(&key);
+        if let Some(r) = entry {
+            if owns_entry {
                 let e = self.tags.invalidate(r, &mut self.ctx.stats);
                 if e.sector_count > 0 {
                     self.data.free(e.sector_start, e.sector_count);
@@ -154,18 +165,20 @@ impl<D: MemoryPort> XCache<D> {
                 self.tags.entry_mut(r).active = false;
             }
         }
-        if !w.responded {
-            self.respond(now, w.origin.id(), w.key, false, Vec::new());
+        if !responded {
+            self.respond(now, origin_id, key, false, Vec::new());
         }
-        for wa in w.waiters.drain(..) {
-            self.respond(now, wa.id(), w.key, false, Vec::new());
+        for wa in waiters.drain(..) {
+            self.respond(now, wa.id(), key, false, Vec::new());
         }
+        self.arena.cold[slot].waiters = waiters;
         // Free any lane the walker held (thread discipline).
         for l in &mut self.lanes {
             if l.is_some_and(|l| l.slot == slot) {
                 *l = None;
             }
         }
+        self.arena.deactivate(slot);
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
         self.ctx.stats.incr_id(counter!("xcache.walker_fault"));
@@ -175,13 +188,21 @@ impl<D: MemoryPort> XCache<D> {
     /// (and waiters) through the trigger stage — no response is sent, so
     /// the datapath just sees a longer walk.
     pub(super) fn abort_and_replay(&mut self, now: Cycle, slot: usize) {
-        let Some(mut w) = self.walkers[slot].take() else {
+        if !self.arena.is_live(slot) {
             return;
-        };
+        }
         self.global_progress = now;
-        self.launching.remove(&w.key);
-        if let Some(r) = w.entry {
-            if w.owns_entry {
+        // Frees X-regs/lanes/tag claims like a fault does.
+        self.launch_stalled = false;
+        let c = &mut self.arena.cold[slot];
+        let key = c.key;
+        let entry = c.entry.take();
+        let owns_entry = c.owns_entry;
+        let origin = c.origin;
+        let mut waiters = std::mem::take(&mut c.waiters);
+        self.launching.remove(&key);
+        if let Some(r) = entry {
+            if owns_entry {
                 let e = self.tags.invalidate(r, &mut self.ctx.stats);
                 if e.sector_count > 0 {
                     self.data.free(e.sector_start, e.sector_count);
@@ -190,35 +211,20 @@ impl<D: MemoryPort> XCache<D> {
                 self.tags.entry_mut(r).active = false;
             }
         }
-        self.replay_q.push_back(w.origin);
-        for wa in w.waiters.drain(..) {
+        self.replay_q.push_back(origin);
+        for wa in waiters.drain(..) {
             self.replay_q.push_back(wa);
         }
+        self.arena.cold[slot].waiters = waiters;
         for l in &mut self.lanes {
             if l.is_some_and(|l| l.slot == slot) {
                 *l = None;
             }
         }
+        self.arena.deactivate(slot);
         self.xregs
             .release(crate::xreg::XRegFile(slot as u16), now, &mut self.ctx.stats);
         self.ctx.stats.incr_id(counter!("xcache.walker_replay"));
-    }
-
-    /// The walker in `slot`, or a [`SimError`] when the slot is vacant
-    /// (e.g. the walker faulted earlier this cycle).
-    pub(super) fn walker(&self, slot: usize, now: Cycle) -> Result<&Walker, SimError> {
-        self.walkers
-            .get(slot)
-            .and_then(Option::as_ref)
-            .ok_or_else(|| SimError::new(slot, now, "no walker in slot"))
-    }
-
-    /// Mutable variant of [`walker`](Self::walker).
-    pub(super) fn walker_mut(&mut self, slot: usize, now: Cycle) -> Result<&mut Walker, SimError> {
-        self.walkers
-            .get_mut(slot)
-            .and_then(Option::as_mut)
-            .ok_or_else(|| SimError::new(slot, now, "no walker in slot"))
     }
 
     /// Records a runtime protocol violation and faults the walker: the
@@ -227,7 +233,7 @@ impl<D: MemoryPort> XCache<D> {
         self.ctx.stats.incr_id(counter!("xcache.walker_error"));
         self.ctx
             .trace
-            .emit(now, TraceKind::Other, "xcache", err.to_string());
+            .emit_with(now, TraceKind::Other, "xcache", || err.to_string());
         self.fault_walker(now, err.slot);
         Outcome::FreeLane
     }
@@ -246,6 +252,8 @@ impl<D: MemoryPort> XCache<D> {
         };
         let r = self.tags.peek(key).expect("victim present");
         let e = self.tags.invalidate(r, &mut self.ctx.stats);
+        // A freed way can unblock a stalled launch.
+        self.launch_stalled = false;
         self.data.free(e.sector_start, e.sector_count);
         self.ctx.stats.incr_id(counter!("xcache.capacity_evict"));
         true

@@ -13,7 +13,11 @@ use xcache_sim::{counter, Stats};
 pub struct DataRam {
     words_per_sector: usize,
     words: Vec<u64>,
-    used: Vec<bool>, // one flag per sector
+    /// Free map, one bit per sector, bit set = free. Word-packed so the
+    /// first-fit scan examines 64 sectors per step instead of one; tail
+    /// bits past `sectors` stay zero so no run extends off the end.
+    free: Vec<u64>,
+    sectors: usize,
     free_sectors: usize,
 }
 
@@ -27,10 +31,16 @@ impl DataRam {
     pub fn new(sectors: usize, words_per_sector: usize) -> Self {
         assert!(sectors > 0, "sectors must be nonzero");
         assert!(words_per_sector > 0, "words_per_sector must be nonzero");
+        let mut free = vec![u64::MAX; sectors.div_ceil(64)];
+        let tail = sectors % 64;
+        if tail != 0 {
+            *free.last_mut().expect("nonzero sectors") = (1u64 << tail) - 1;
+        }
         DataRam {
             words_per_sector,
             words: vec![0; sectors * words_per_sector],
-            used: vec![false; sectors],
+            free,
+            sectors,
             free_sectors: sectors,
         }
     }
@@ -38,7 +48,7 @@ impl DataRam {
     /// Total sectors.
     #[must_use]
     pub fn sectors(&self) -> usize {
-        self.used.len()
+        self.sectors
     }
 
     /// Currently free sectors.
@@ -60,24 +70,65 @@ impl DataRam {
         if count == 0 || count > self.free_sectors {
             return None;
         }
+        // First-fit over the packed free map: track the run of free
+        // sectors ending at the scan position, skipping whole words when
+        // they are uniformly used (run resets) or uniformly free.
         let mut run = 0usize;
-        for i in 0..self.used.len() {
-            if self.used[i] {
+        for (w, &word) in self.free.iter().enumerate() {
+            if word == 0 {
                 run = 0;
-            } else {
-                run += 1;
-                if run == count {
-                    let start = i + 1 - count;
-                    for s in &mut self.used[start..=i] {
-                        *s = true;
-                    }
-                    self.free_sectors -= count;
+                continue;
+            }
+            if word == u64::MAX {
+                run += 64;
+                if run >= count {
+                    // The run first reached `count` inside this word.
+                    let start = w * 64 - (run - 64);
+                    self.mark_used(start, count);
                     stats.add_id(counter!("xcache.data_alloc_sectors"), count as u64);
                     return Some(start as u32);
+                }
+                continue;
+            }
+            let mut bit = 0usize;
+            while bit < 64 {
+                let rest = word >> bit;
+                if rest & 1 == 0 {
+                    run = 0;
+                    bit += (rest.trailing_zeros() as usize).min(64 - bit);
+                } else {
+                    let ones = (rest.trailing_ones() as usize).min(64 - bit);
+                    if run + ones >= count {
+                        let start = w * 64 + bit - run;
+                        self.mark_used(start, count);
+                        stats.add_id(counter!("xcache.data_alloc_sectors"), count as u64);
+                        return Some(start as u32);
+                    }
+                    run += ones;
+                    bit += ones;
                 }
             }
         }
         None
+    }
+
+    /// Clears the free bits of the run `[start, start + count)`.
+    fn mark_used(&mut self, start: usize, count: usize) {
+        let mut i = start;
+        let end = start + count;
+        while i < end {
+            let w = i / 64;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            self.free[w] &= !mask;
+            i += span;
+        }
+        self.free_sectors -= count;
     }
 
     /// Frees the run `[start, start + count)` (the `deallocD` action).
@@ -88,10 +139,24 @@ impl DataRam {
     /// double-frees are controller bugs, not recoverable conditions.
     pub fn free(&mut self, start: u32, count: u32) {
         let (start, count) = (start as usize, count as usize);
-        assert!(start + count <= self.used.len(), "free out of range");
-        for i in start..start + count {
-            assert!(self.used[i], "double free of sector {i}");
-            self.used[i] = false;
+        assert!(start + count <= self.sectors, "free out of range");
+        let mut i = start;
+        let end = start + count;
+        while i < end {
+            let w = i / 64;
+            let bit = i % 64;
+            let span = (64 - bit).min(end - i);
+            let mask = if span == 64 {
+                u64::MAX
+            } else {
+                ((1u64 << span) - 1) << bit
+            };
+            if self.free[w] & mask != 0 {
+                let dup = w * 64 + (self.free[w] & mask).trailing_zeros() as usize;
+                panic!("double free of sector {dup}");
+            }
+            self.free[w] |= mask;
+            i += span;
         }
         self.free_sectors += count;
     }
@@ -154,10 +219,19 @@ impl DataRam {
     /// respond path). Counts one sector read per sector.
     #[must_use]
     pub fn gather(&self, start: u32, count: u32, stats: &mut Stats) -> Vec<u64> {
+        let mut out = Vec::new();
+        self.gather_into(start, count, &mut out, stats);
+        out
+    }
+
+    /// [`gather`](Self::gather) into a caller-provided buffer (cleared
+    /// first) — lets the hot respond path reuse pooled allocations.
+    pub fn gather_into(&self, start: u32, count: u32, out: &mut Vec<u64>, stats: &mut Stats) {
         stats.add_id(counter!("xcache.data_read_sector"), u64::from(count));
         let a = start as usize * self.words_per_sector;
         let b = (start + count) as usize * self.words_per_sector;
-        self.words[a..b].to_vec()
+        out.clear();
+        out.extend_from_slice(&self.words[a..b]);
     }
 
     fn widx(&self, sector: u32, word: u32) -> usize {

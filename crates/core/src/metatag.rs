@@ -135,6 +135,21 @@ impl MetaTagArray {
         None
     }
 
+    /// Completes a probe whose way scan [`peek`](Self::peek) already
+    /// performed: counts the tag read and touches recency exactly like
+    /// [`probe`](Self::probe), without re-scanning the set. The trigger
+    /// stage batches its hazard-check lookup and its serve lookup this
+    /// way — one scan, one modelled access.
+    pub fn probe_at(&mut self, r: Option<EntryRef>, stats: &mut Stats) -> Option<EntryRef> {
+        stats.incr_id(counter!("xcache.tag_read"));
+        if let Some(r) = r {
+            let idx = self.slot_idx(r);
+            self.use_counter += 1;
+            self.slots[idx].last_used = self.use_counter;
+        }
+        r
+    }
+
     /// Looks up `key` without touching recency or statistics (harness
     /// introspection, not a modelled hardware access).
     #[must_use]

@@ -16,17 +16,17 @@ use xcache_sim::{counter, Cycle, Stats};
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
 pub struct XRegFile(pub u16);
 
-#[derive(Debug, Clone)]
-struct FileState {
-    regs: Vec<u64>,
-    allocated_at: Cycle,
-    in_use: bool,
-}
-
 /// Fixed pool of `#Active` register files, `width` registers each.
+///
+/// Register storage is one contiguous `active × width` array (file `i`
+/// owns `regs[i*width .. (i+1)*width]`): no per-file heap indirection on
+/// the executor's operand path, and alloc/release just flip a slot flag.
 #[derive(Debug)]
 pub struct XRegPool {
-    files: Vec<FileState>,
+    regs: Vec<u64>,
+    width: usize,
+    allocated_at: Vec<Cycle>,
+    in_use: Vec<bool>,
     free: Vec<u16>,
     /// Registers charged per walker for occupancy (declared regs for
     /// coroutines, full context for threads).
@@ -47,14 +47,10 @@ impl XRegPool {
     pub fn new(active: usize, width: usize, charged_regs: usize) -> Self {
         assert!(active > 0 && width > 0 && charged_regs > 0);
         XRegPool {
-            files: vec![
-                FileState {
-                    regs: vec![0; width],
-                    allocated_at: Cycle::ZERO,
-                    in_use: false,
-                };
-                active
-            ],
+            regs: vec![0; active * width],
+            width,
+            allocated_at: vec![Cycle::ZERO; active],
+            in_use: vec![false; active],
             free: (0..active as u16).rev().collect(),
             charged_regs,
             occupancy: 0,
@@ -64,7 +60,7 @@ impl XRegPool {
     /// Number of files currently allocated.
     #[must_use]
     pub fn in_use(&self) -> usize {
-        self.files.len() - self.free.len()
+        self.in_use.len() - self.free.len()
     }
 
     /// Whether a free file exists.
@@ -76,10 +72,10 @@ impl XRegPool {
     /// Claims a file (zeroing it) at time `now`.
     pub fn alloc(&mut self, now: Cycle) -> Option<XRegFile> {
         let idx = self.free.pop()?;
-        let f = &mut self.files[idx as usize];
-        f.regs.fill(0);
-        f.allocated_at = now;
-        f.in_use = true;
+        let i = idx as usize;
+        self.regs[i * self.width..(i + 1) * self.width].fill(0);
+        self.allocated_at[i] = now;
+        self.in_use[i] = true;
         Some(XRegFile(idx))
     }
 
@@ -89,14 +85,14 @@ impl XRegPool {
     ///
     /// Panics on double release.
     pub fn release(&mut self, file: XRegFile, now: Cycle, stats: &mut Stats) {
-        let f = &mut self.files[file.0 as usize];
-        assert!(f.in_use, "double release of {file:?}");
-        f.in_use = false;
-        let lifetime = now.since(f.allocated_at).max(1);
+        let i = file.0 as usize;
+        assert!(self.in_use[i], "double release of {file:?}");
+        self.in_use[i] = false;
+        let lifetime = now.since(self.allocated_at[i]).max(1);
         let occ = (self.charged_regs as u64) * 8 * lifetime;
         self.occupancy += occ;
         stats.add_id(counter!("xcache.occupancy_reg_byte_cycles"), occ);
-        stats.sample("xcache.walker_lifetime", lifetime);
+        stats.sample_id(counter!("xcache.walker_lifetime"), lifetime);
         self.free.push(file.0);
     }
 
@@ -107,10 +103,11 @@ impl XRegPool {
     /// Panics if the file is unallocated or `reg` out of range.
     #[must_use]
     pub fn read(&self, file: XRegFile, reg: u8, stats: &mut Stats) -> u64 {
-        let f = &self.files[file.0 as usize];
-        assert!(f.in_use, "read from unallocated {file:?}");
+        let i = file.0 as usize;
+        assert!(self.in_use[i], "read from unallocated {file:?}");
+        assert!((reg as usize) < self.width, "register {reg} out of range");
         stats.incr_id(counter!("xcache.xreg_read"));
-        f.regs[reg as usize]
+        self.regs[i * self.width + reg as usize]
     }
 
     /// Writes register `reg` of `file`.
@@ -119,10 +116,11 @@ impl XRegPool {
     ///
     /// Panics if the file is unallocated or `reg` out of range.
     pub fn write(&mut self, file: XRegFile, reg: u8, value: u64, stats: &mut Stats) {
-        let f = &mut self.files[file.0 as usize];
-        assert!(f.in_use, "write to unallocated {file:?}");
+        let i = file.0 as usize;
+        assert!(self.in_use[i], "write to unallocated {file:?}");
+        assert!((reg as usize) < self.width, "register {reg} out of range");
         stats.incr_id(counter!("xcache.xreg_write"));
-        f.regs[reg as usize] = value;
+        self.regs[i * self.width + reg as usize] = value;
     }
 
     /// Total accumulated occupancy (register-byte-cycles).

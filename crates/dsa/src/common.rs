@@ -253,7 +253,7 @@ impl<D: MemoryPort, T: ProbeTask> ProbeEngine<D, T> {
                 // Per-task latency: the addr-cache analogue of the
                 // controller's load-to-use histogram (Figure 4).
                 self.stats
-                    .sample("engine.task_latency", now.since(started).max(1));
+                    .sample_id(counter!("engine.task_latency"), now.since(started).max(1));
                 None
             }
         }

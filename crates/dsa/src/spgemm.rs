@@ -20,7 +20,7 @@
 //!   `k` of B is reused whenever column `k` reappears in later A rows
 //!   (dynamic input-dependent reuse).
 
-use std::collections::HashMap;
+use xcache_sim::FxHashMap;
 
 use xcache_core::{MetaAccess, MetaKey, StreamConfig, StreamReader, XCache, XCacheConfig};
 use xcache_isa::asm::assemble;
@@ -257,8 +257,8 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
     // The datapath: pops (i, k, a) elements, requests B row k, MACs the
     // returned row into the accumulator. Loads are issued ahead of the
     // MAC units draining (decoupled preload).
-    let mut acc: HashMap<(u32, u32), f64> = HashMap::new();
-    let mut inflight: HashMap<u64, (u32, f64)> = HashMap::new(); // id -> (i, a)
+    let mut acc: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let mut inflight: FxHashMap<u64, (u32, f64)> = FxHashMap::default(); // id -> (i, a)
     let mut next_id = 0u64;
     let mut pending_elem: Option<(u64, u64, u64)> = None;
     let mut now = Cycle(0);
@@ -274,7 +274,7 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
         Ptr { i: u32, a: f64, k: u64 },
         Row { i: u32, a: f64, k: u64 },
     }
-    let mut bypass: HashMap<u64, Bypass> = HashMap::new();
+    let mut bypass: FxHashMap<u64, Bypass> = FxHashMap::default();
     let mut bypass_retry: Vec<(u32, f64, u64)> = Vec::new(); // (i, a, k)
     let mut next_bypass_id = 1u64 << 32;
     // SpArch keeps the current large row in a dedicated row buffer: the
@@ -285,8 +285,11 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
     const ROW_BUFFER_ENTRIES: usize = 4;
 
     while done < total {
-        stream.tick(now);
-        bypass_port.tick(now);
+        {
+            xcache_sim::prof_scope!("driver.ports");
+            stream.tick(now);
+            bypass_port.tick(now);
+        }
         // Retry bypass row_ptr reads the port had no room for.
         while !bypass_retry.is_empty() && bypass_port.can_accept() {
             let (i, a, k) = bypass_retry[0];
@@ -370,59 +373,70 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
             }
         }
         xc.tick(now);
-        while let Some(resp) = xc.take_response(now) {
-            let (i, a) = inflight.remove(&resp.id).expect("issued");
-            if !resp.found {
-                // Cache refused (empty or oversized row): bypass, unless
-                // the datapath's row buffer still holds it.
-                let k = resp.key.raw();
-                if let Some((_, data)) = row_buffer.iter().find(|(rk, _)| *rk == k) {
-                    let data = data.clone();
-                    for pair in data.chunks(16) {
-                        let j = u64::from_le_bytes(pair[0..8].try_into().expect("col")) as u32;
-                        let bv = f64::from_bits(u64::from_le_bytes(
-                            pair[8..16].try_into().expect("val"),
-                        ));
-                        *acc.entry((i, j)).or_insert(0.0) += a * bv;
-                    }
-                    let macs = (data.len() as u64 / 16).div_ceil(4);
-                    mac_busy_until = mac_busy_until.max(now) + macs;
-                    done += 1;
-                    continue;
-                }
-                bypass_retry.push((i, a, k));
-                continue;
-            }
-            if resp.found {
-                // Row data: (col, value) pairs. Trailing zero padding (from
-                // sector rounding) has col == 0 && value-bits == 0; real
-                // pairs always have nonzero value bits.
-                for pair in resp.data.chunks(2) {
-                    if pair.len() < 2 || pair[1] == 0 {
+        {
+            xcache_sim::prof_scope!("driver.resp");
+            while let Some(resp) = xc.take_response(now) {
+                let (i, a) = inflight.remove(&resp.id).expect("issued");
+                if !resp.found {
+                    // Cache refused (empty or oversized row): bypass, unless
+                    // the datapath's row buffer still holds it.
+                    let k = resp.key.raw();
+                    if let Some((_, data)) = row_buffer.iter().find(|(rk, _)| *rk == k) {
+                        let data = data.clone();
+                        for pair in data.chunks(16) {
+                            let j = u64::from_le_bytes(pair[0..8].try_into().expect("col")) as u32;
+                            let bv = f64::from_bits(u64::from_le_bytes(
+                                pair[8..16].try_into().expect("val"),
+                            ));
+                            *acc.entry((i, j)).or_insert(0.0) += a * bv;
+                        }
+                        let macs = (data.len() as u64 / 16).div_ceil(4);
+                        mac_busy_until = mac_busy_until.max(now) + macs;
+                        xc.recycle(resp);
+                        done += 1;
                         continue;
                     }
-                    let j = pair[0] as u32;
-                    let bv = f64::from_bits(pair[1]);
-                    *acc.entry((i, j)).or_insert(0.0) += a * bv;
+                    bypass_retry.push((i, a, k));
+                    xc.recycle(resp);
+                    continue;
                 }
-                // MAC occupancy: 4 MACs per cycle.
-                let macs = (resp.data.len() as u64 / 2).div_ceil(4);
-                mac_busy_until = mac_busy_until.max(now) + macs;
+                if resp.found {
+                    // Row data: (col, value) pairs. Trailing zero padding (from
+                    // sector rounding) has col == 0 && value-bits == 0; real
+                    // pairs always have nonzero value bits.
+                    for pair in resp.data.chunks(2) {
+                        if pair.len() < 2 || pair[1] == 0 {
+                            continue;
+                        }
+                        let j = pair[0] as u32;
+                        let bv = f64::from_bits(pair[1]);
+                        *acc.entry((i, j)).or_insert(0.0) += a * bv;
+                    }
+                    // MAC occupancy: 4 MACs per cycle.
+                    let macs = (resp.data.len() as u64 / 2).div_ceil(4);
+                    mac_busy_until = mac_busy_until.max(now) + macs;
+                }
+                xc.recycle(resp);
+                done += 1;
             }
-            done += 1;
         }
+        xcache_sim::prof_scope!("driver.wake");
         now = if done >= total {
             now.next() // same end-cycle as the single-stepped loop
         } else {
-            let mut wake = xc.next_event(now);
-            wake = xcache_sim::earliest(wake, stream.next_event(now));
-            wake = xcache_sim::earliest(wake, bypass_port.next_event(now));
+            // Cheap checks first: when more work is issuable right now the
+            // wake is the next cycle regardless, so the (comparatively
+            // expensive) component next-event queries can be skipped.
             let issuable = (pending_elem.is_some() || stream.word_ready()) && xc.can_accept();
             let retryable = !bypass_retry.is_empty() && bypass_port.can_accept();
             if issuable || retryable {
-                wake = Some(now.next());
+                now.next()
+            } else {
+                let mut wake = xc.next_event(now);
+                wake = xcache_sim::earliest(wake, stream.next_event(now));
+                wake = xcache_sim::earliest(wake, bypass_port.next_event(now));
+                xcache_sim::fast_forward(now, wake)
             }
-            xcache_sim::fast_forward(now, wake)
         };
         if now.raw() >= max_cycles {
             eprintln!(

@@ -264,16 +264,16 @@ fn drive_xcache(
                 // Node layout: [key, rid, next, pad].
                 checksum = checksum.wrapping_add(resp.data[1]);
             }
+            xc.recycle(resp);
             done += 1;
         }
-        now = if done >= total {
-            now.next() // same end-cycle as the single-stepped loop
+        // Done (preserve the single-stepped end cycle) or more probes
+        // issuable next cycle: advance by one without querying the
+        // comparatively expensive component next-event fold.
+        now = if done >= total || (next < total && xc.can_accept()) {
+            now.next()
         } else {
-            let mut wake = xc.next_event(now);
-            if next < total && xc.can_accept() {
-                wake = Some(now.next()); // more probes to issue next cycle
-            }
-            xcache_sim::fast_forward(now, wake)
+            xcache_sim::fast_forward(now, xc.next_event(now))
         };
         if now.raw() >= max_cycles {
             return Err(format!(

@@ -57,6 +57,7 @@
 
 pub mod asm;
 pub mod gen;
+pub mod predecode;
 pub mod verify;
 
 mod action;

@@ -51,6 +51,17 @@ impl SimContext {
     pub fn emit(&mut self, kind: TraceKind, unit: &'static str, what: String) {
         self.trace.emit(self.now, kind, unit, what);
     }
+
+    /// Emits a trace event whose detail is built only when tracing is on —
+    /// the hot-path form of [`emit`](SimContext::emit).
+    pub fn emit_with(
+        &mut self,
+        kind: TraceKind,
+        unit: &'static str,
+        what: impl FnOnce() -> String,
+    ) {
+        self.trace.emit_with(self.now, kind, unit, what);
+    }
 }
 
 impl Default for SimContext {

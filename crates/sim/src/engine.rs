@@ -1,6 +1,6 @@
 //! The cycle-stepping engine.
 
-use crate::{Component, Cycle, Stats};
+use crate::{Component, Cycle, SchedMode, Stats, TimingWheel};
 
 /// Why a run loop stopped.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
@@ -117,13 +117,40 @@ impl Engine {
 
     /// Runs until `stop` returns `true` (checked before each cycle), until
     /// quiescence, or until `max_cycles` elapse — whichever comes first.
+    ///
+    /// With skipping enabled the loop is driven by the active
+    /// [`SchedMode`](crate::SchedMode): the timing wheel ticks only
+    /// components whose scheduled wake-up has arrived, while `scan` keeps
+    /// the PR 2 tick-everything/fold-`next_event` reference path. Both must
+    /// end at the same cycle with the same statistics — the `next_event`
+    /// contract already requires skipped ticks to be complete no-ops, and
+    /// wheel mode additionally relies on a component's wake-up being a
+    /// function of its state (stable between its own ticks).
     pub fn run_until(
         &mut self,
         max_cycles: u64,
         mut stop: impl FnMut(&Engine) -> bool,
     ) -> RunResult {
         let deadline = self.now + max_cycles;
-        let outcome = loop {
+        let outcome = if crate::skip_enabled() && crate::sched_mode() == SchedMode::Wheel {
+            self.run_wheel(deadline, &mut stop)
+        } else {
+            self.run_scan(deadline, &mut stop)
+        };
+        let mut stats = Stats::new();
+        for c in &self.components {
+            c.report(&mut stats);
+        }
+        RunResult {
+            outcome,
+            end: self.now,
+            stats,
+        }
+    }
+
+    /// The fold-based reference loop (also the no-skip stepping loop).
+    fn run_scan(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Engine) -> bool) -> RunOutcome {
+        loop {
             if stop(self) || !self.components.iter().any(|c| c.busy()) {
                 break RunOutcome::Completed;
             }
@@ -137,15 +164,65 @@ impl Engine {
             if self.now > deadline {
                 self.now = deadline;
             }
-        };
-        let mut stats = Stats::new();
-        for c in &self.components {
-            c.report(&mut stats);
         }
-        RunResult {
-            outcome,
-            end: self.now,
-            stats,
+    }
+
+    /// The event-scheduled loop: each component has at most one pending
+    /// wake-up in the wheel, and only due components are ticked.
+    fn run_wheel(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Engine) -> bool) -> RunOutcome {
+        // Seed every component at the current time; the first pop ticks
+        // them all once, after which their own reports drive scheduling.
+        let mut wheel: TimingWheel<usize> = TimingWheel::new(self.now);
+        for i in 0..self.components.len() {
+            wheel.schedule(self.now, i);
+        }
+        let mut due: Vec<(Cycle, usize)> = Vec::with_capacity(self.components.len());
+        loop {
+            if stop(self) || !self.components.iter().any(|c| c.busy()) {
+                break RunOutcome::Completed;
+            }
+            if self.now >= deadline {
+                break RunOutcome::CycleLimit;
+            }
+            let t = self.now;
+            due.clear();
+            wheel.pop_due_into(t, &mut due);
+            if due.is_empty() {
+                // Nothing is scheduled at `t`. A busy component is always
+                // rescheduled below, so this means every component went
+                // dormant; single-step like `fast_forward` does for `None`.
+                self.now = t.next();
+                continue;
+            }
+            // Registration order within a cycle, exactly like `step()`.
+            due.sort_unstable_by_key(|&(_, idx)| idx);
+            for &(_, idx) in &due {
+                self.components[idx].tick(t);
+            }
+            for &(_, idx) in &due {
+                let c = &self.components[idx];
+                match c.next_event(t) {
+                    Some(at) if at > t && at != Cycle::NEVER => wheel.schedule(at, idx),
+                    // `None`/`NEVER`/stale while busy falls back to
+                    // stepping, mirroring `fast_forward`'s clamp; not busy
+                    // means dormant until the run ends.
+                    _ => {
+                        if c.busy() {
+                            wheel.schedule(t.next(), idx);
+                        }
+                    }
+                }
+            }
+            // Advance to the next scheduled wake-up, exactly as the scan
+            // path's `fast_forward(t, fold)` would, including the deadline
+            // overshoot clamp (the skipped range is event-free by contract).
+            self.now = match wheel.next_due() {
+                Some(n) if n > t => n,
+                _ => t.next(),
+            };
+            if self.now > deadline {
+                self.now = deadline;
+            }
         }
     }
 }

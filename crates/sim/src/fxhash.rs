@@ -1,0 +1,119 @@
+//! A fast, deterministic hasher for hot-path maps.
+//!
+//! `std`'s default `RandomState` seeds SipHash per process, which is both
+//! slow for the small integer/struct keys the controller uses and a source
+//! of run-to-run iteration-order variance. This module provides the classic
+//! Fx multiply-rotate hash (as used by rustc): a fixed-seed, word-at-a-time
+//! mix that is several times faster on short keys and makes map behaviour
+//! identical across processes. Nothing observable in this workspace depends
+//! on iteration order, but determinism here removes a whole class of
+//! "works locally, differs in CI" hazards for free.
+//!
+//! Not DoS-resistant — only use for keys the simulation itself generates.
+
+use std::collections::{HashMap, HashSet};
+use std::hash::{BuildHasherDefault, Hasher};
+
+/// Multiplicative constant from the Firefox/rustc Fx hash.
+const SEED: u64 = 0x51_7c_c1_b7_27_22_0a_95;
+const ROTATE: u32 = 5;
+
+/// A fixed-seed multiply-rotate hasher (word-at-a-time, not DoS-resistant).
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FxHasher {
+    hash: u64,
+}
+
+impl FxHasher {
+    #[inline]
+    fn add_to_hash(&mut self, word: u64) {
+        self.hash = (self.hash.rotate_left(ROTATE) ^ word).wrapping_mul(SEED);
+    }
+}
+
+impl Hasher for FxHasher {
+    #[inline]
+    fn finish(&self) -> u64 {
+        self.hash
+    }
+
+    #[inline]
+    fn write(&mut self, bytes: &[u8]) {
+        let mut chunks = bytes.chunks_exact(8);
+        for chunk in &mut chunks {
+            self.add_to_hash(u64::from_le_bytes(chunk.try_into().expect("8 bytes")));
+        }
+        let rest = chunks.remainder();
+        if !rest.is_empty() {
+            let mut word = [0u8; 8];
+            word[..rest.len()].copy_from_slice(rest);
+            self.add_to_hash(u64::from_le_bytes(word));
+        }
+    }
+
+    #[inline]
+    fn write_u8(&mut self, n: u8) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u16(&mut self, n: u16) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u32(&mut self, n: u32) {
+        self.add_to_hash(u64::from(n));
+    }
+
+    #[inline]
+    fn write_u64(&mut self, n: u64) {
+        self.add_to_hash(n);
+    }
+
+    #[inline]
+    fn write_usize(&mut self, n: usize) {
+        self.add_to_hash(n as u64);
+    }
+}
+
+/// A `HashMap` keyed by [`FxHasher`] — drop-in for hot-path maps.
+pub type FxHashMap<K, V> = HashMap<K, V, BuildHasherDefault<FxHasher>>;
+
+/// A `HashSet` keyed by [`FxHasher`].
+pub type FxHashSet<T> = HashSet<T, BuildHasherDefault<FxHasher>>;
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn deterministic_across_instances() {
+        let hash = |v: u64| {
+            let mut h = FxHasher::default();
+            h.write_u64(v);
+            h.finish()
+        };
+        assert_eq!(hash(42), hash(42));
+        assert_ne!(hash(42), hash(43));
+    }
+
+    #[test]
+    fn map_round_trips() {
+        let mut m: FxHashMap<u64, &str> = FxHashMap::default();
+        m.insert(1, "one");
+        m.insert(u64::MAX, "max");
+        assert_eq!(m.get(&1), Some(&"one"));
+        assert_eq!(m.get(&u64::MAX), Some(&"max"));
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn byte_writes_cover_remainders() {
+        let mut a = FxHasher::default();
+        a.write(b"hello world");
+        let mut b = FxHasher::default();
+        b.write(b"hello worle");
+        assert_ne!(a.finish(), b.finish());
+    }
+}

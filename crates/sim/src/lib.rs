@@ -29,19 +29,27 @@ mod component;
 mod context;
 mod engine;
 mod fault;
+mod fxhash;
+mod prof;
 mod queue;
 mod skip;
 mod stats;
 mod trace;
 mod watchdog;
+mod wheel;
 
 pub use clock::Cycle;
 pub use component::Component;
 pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
 pub use fault::{with_fault_plan, FaultHit, FaultKind, FaultPlan};
+pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use prof::{prof_enabled, prof_record, prof_reset, prof_snapshot, ProfEntry, ProfGuard};
 pub use queue::{MsgQueue, PushError};
-pub use skip::{earliest, fast_forward, skip_enabled, with_skip};
+pub use skip::{
+    earliest, fast_forward, sched_mode, skip_enabled, with_sched_mode, with_skip, SchedMode,
+};
 pub use stats::{CounterId, Histogram, Stats, StatsSnapshot};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
 pub use watchdog::{watchdog_budget, with_watchdog_budget, StallReport, DEFAULT_WATCHDOG_CYCLES};
+pub use wheel::TimingWheel;

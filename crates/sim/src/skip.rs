@@ -48,6 +48,53 @@ pub fn with_skip<T>(enabled: bool, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Which scheduler drives event-skipped execution.
+///
+/// Both modes must produce byte-identical statistics; `Scan` is retained as
+/// the reference implementation for differential testing and as an escape
+/// hatch (`XCACHE_SCHED=scan`).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SchedMode {
+    /// Timing-wheel scheduling: only components/events whose due cycle has
+    /// arrived are processed; idle ones cost nothing (the default).
+    Wheel,
+    /// The original PR 2 behaviour: tick everything every step and fold
+    /// `next_event` reports with a linear scan.
+    Scan,
+}
+
+fn env_sched_mode() -> SchedMode {
+    static MODE: OnceLock<SchedMode> = OnceLock::new();
+    *MODE.get_or_init(|| match std::env::var("XCACHE_SCHED").as_deref() {
+        Ok("scan") => SchedMode::Scan,
+        _ => SchedMode::Wheel,
+    })
+}
+
+thread_local! {
+    static SCHED_OVERRIDE: Cell<Option<SchedMode>> = const { Cell::new(None) };
+}
+
+/// The active scheduler mode on this thread: a [`with_sched_mode`] override
+/// wins, otherwise `XCACHE_SCHED` (`scan` selects the fold-based reference
+/// path; anything else, including unset, selects the timing wheel).
+#[must_use]
+pub fn sched_mode() -> SchedMode {
+    SCHED_OVERRIDE
+        .with(Cell::get)
+        .unwrap_or_else(env_sched_mode)
+}
+
+/// Runs `f` with the scheduler mode forced for the current thread, restoring
+/// the previous setting afterwards — the wheel-vs-scan differential tests'
+/// analogue of [`with_skip`].
+pub fn with_sched_mode<T>(mode: SchedMode, f: impl FnOnce() -> T) -> T {
+    let prev = SCHED_OVERRIDE.with(|c| c.replace(Some(mode)));
+    let out = f();
+    SCHED_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
 /// The next value of `now` for a tick loop: `next` (a component's reported
 /// wake-up) when skipping is enabled and the report is a usable future
 /// cycle, else `now + 1`.
@@ -112,6 +159,17 @@ mod tests {
             assert!(!skip_enabled());
             with_skip(true, || assert!(skip_enabled()));
             assert!(!skip_enabled());
+        });
+    }
+
+    #[test]
+    fn sched_mode_override_nests_and_restores() {
+        with_sched_mode(SchedMode::Scan, || {
+            assert_eq!(sched_mode(), SchedMode::Scan);
+            with_sched_mode(SchedMode::Wheel, || {
+                assert_eq!(sched_mode(), SchedMode::Wheel);
+            });
+            assert_eq!(sched_mode(), SchedMode::Scan);
         });
     }
 }

@@ -272,7 +272,7 @@ impl StatsSnapshot {
 #[derive(Debug, Clone, Default)]
 pub struct Stats {
     counters: Vec<Option<u64>>,
-    histograms: BTreeMap<&'static str, Histogram>,
+    histograms: Vec<Option<Histogram>>,
 }
 
 impl Stats {
@@ -327,13 +327,41 @@ impl Stats {
 
     /// Records a histogram sample under `name`.
     pub fn sample(&mut self, name: &'static str, value: u64) {
-        self.histograms.entry(name).or_default().record(value);
+        self.sample_id(CounterId::intern(name), value);
+    }
+
+    /// Records a histogram sample under `id` — the hot-path equivalent of
+    /// [`sample`](Stats::sample). Histograms share the counter name registry,
+    /// so the same `counter!` handle addresses both spaces.
+    pub fn sample_id(&mut self, id: CounterId, value: u64) {
+        let idx = id.index();
+        if idx >= self.histograms.len() {
+            self.histograms.resize(idx + 1, None);
+        }
+        self.histograms[idx]
+            .get_or_insert_with(Histogram::new)
+            .record(value);
     }
 
     /// The histogram registered under `name`, if any sample was recorded.
     #[must_use]
     pub fn histogram(&self, name: &str) -> Option<&Histogram> {
-        self.histograms.get(name)
+        let id = CounterId::lookup(name)?;
+        self.histograms.get(id.index())?.as_ref()
+    }
+
+    /// Iterates over `(name, histogram)` for recorded histograms in name
+    /// order (the order snapshots serialise them in).
+    fn histograms_by_name(&self) -> Vec<(&'static str, &Histogram)> {
+        let reg = registry().read().expect("stats registry");
+        let mut named: Vec<(&'static str, &Histogram)> = self
+            .histograms
+            .iter()
+            .enumerate()
+            .filter_map(|(i, slot)| slot.as_ref().map(|h| (reg.names[i], h)))
+            .collect();
+        named.sort_unstable_by_key(|&(name, _)| name);
+        named
     }
 
     /// Iterates over `(name, value)` for all touched counters in name order.
@@ -359,7 +387,7 @@ impl Stats {
             .counters()
             .map(|(name, v)| (name.to_owned(), v))
             .collect();
-        for (name, h) in &self.histograms {
+        for (name, h) in self.histograms_by_name() {
             counters.insert(format!("{name}.count"), h.count());
             counters.insert(format!("{name}.sum"), h.sum());
             if let (Some(mn), Some(mx)) = (h.min(), h.max()) {
@@ -387,8 +415,12 @@ impl Stats {
                 *slot = Some(slot.unwrap_or(0) + v);
             }
         }
-        for (k, h) in &other.histograms {
-            let mine = self.histograms.entry(k).or_default();
+        if other.histograms.len() > self.histograms.len() {
+            self.histograms.resize(other.histograms.len(), None);
+        }
+        for (slot, theirs) in self.histograms.iter_mut().zip(&other.histograms) {
+            let Some(h) = theirs else { continue };
+            let mine = slot.get_or_insert_with(Histogram::new);
             for (i, c) in h.buckets.iter().enumerate() {
                 mine.buckets[i] += c;
             }
@@ -546,6 +578,19 @@ mod tests {
         assert_eq!(s.histogram("q").unwrap().count(), 1);
         s.reset();
         assert!(s.histogram("q").is_none());
+    }
+
+    #[test]
+    fn sample_id_aliases_string_api() {
+        let mut s = Stats::new();
+        let id = CounterId::intern("interned.lat");
+        s.sample_id(id, 4);
+        s.sample("interned.lat", 8);
+        let h = s.histogram("interned.lat").unwrap();
+        assert_eq!(h.count(), 2);
+        assert_eq!(h.sum(), 12);
+        let snap = s.snapshot();
+        assert_eq!(snap.get("interned.lat.count"), 2);
     }
 
     #[test]

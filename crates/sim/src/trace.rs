@@ -112,6 +112,19 @@ impl TraceBuffer {
 
     /// Records an event, evicting the oldest if the buffer is full.
     pub fn emit(&mut self, at: Cycle, kind: TraceKind, source: &'static str, detail: String) {
+        self.emit_with(at, kind, source, || detail);
+    }
+
+    /// Records an event whose detail string is built only if the buffer is
+    /// enabled. Hot paths use this so that a disabled trace costs one branch
+    /// instead of a `format!` allocation per event.
+    pub fn emit_with(
+        &mut self,
+        at: Cycle,
+        kind: TraceKind,
+        source: &'static str,
+        detail: impl FnOnce() -> String,
+    ) {
         if self.capacity == 0 {
             return;
         }
@@ -123,7 +136,7 @@ impl TraceBuffer {
             at,
             kind,
             source,
-            detail,
+            detail: detail(),
         });
     }
 
