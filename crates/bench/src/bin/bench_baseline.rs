@@ -19,11 +19,14 @@
 
 use std::time::Instant;
 
-use xcache_bench::{meta_json, note_sim_cycles, widx_geometry, widx_workload};
-use xcache_core::XCacheConfig;
+use xcache_bench::{machine_factor, meta_json, note_sim_cycles, widx_geometry, widx_workload};
+use xcache_core::{shards_from_env, XCacheConfig};
 use xcache_dsa::{graphpulse, spgemm, widx};
 use xcache_mem::{DramConfig, DramModel, MemReq, MemoryPort};
-use xcache_sim::{prof_reset, prof_snapshot, with_skip, Cycle, ProfEntry};
+use xcache_sim::{
+    prof_reset, prof_snapshot, with_par_mode, with_par_threads, with_skip, Cycle, ParMode,
+    ProfEntry,
+};
 use xcache_workloads::QueryClass;
 
 /// Observables of one scenario run, compared across modes.
@@ -168,6 +171,19 @@ fn scenario_rate(json: &str, name: &str) -> Option<u64> {
     digits.parse().ok()
 }
 
+/// Extracts the recorded `machine_factor` from a baseline's meta
+/// envelope, `None` for baselines written before the field existed (the
+/// check then falls back to comparing raw rates).
+fn baseline_machine_factor(json: &str) -> Option<f64> {
+    let key = "\"machine_factor\":";
+    let rest = &json[json.find(key)? + key.len()..];
+    let s: String = rest
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.')
+        .collect();
+    s.parse().ok()
+}
+
 fn main() {
     let mut out_path = String::from("BENCH_baseline.json");
     let mut check_against: Option<String> = None;
@@ -210,6 +226,14 @@ fn main() {
     };
     let gp_g = xcache_bench::graphpulse_geometry(256);
 
+    // Sharded topology rows: the same cells at `XCACHE_SHARDS` (default 4)
+    // shards, once on the sequential reference engine and once on the
+    // worker pool at 4 threads. Byte-identical outcomes between the two
+    // are asserted below; the wall-clock ratio is the parallel speedup
+    // (≥ 1 only when the host has that many physical cores).
+    let shards = shards_from_env(4);
+    let par_threads = 4usize;
+
     let report = |r: xcache_dsa::RunReport| (r.cycles, r.checksum);
     let measurements = [
         measure("dram_read_roundtrip_x1000", &dram_roundtrips),
@@ -225,7 +249,64 @@ fn main() {
         measure("graphpulse_xcache", &|| {
             report(graphpulse::run_xcache(&gp_w, Some(gp_g.clone())))
         }),
+        measure("widx_q19_sharded4_seq", &|| {
+            report(with_par_mode(ParMode::Seq, || {
+                widx::run_xcache_sharded(&widx_q19, Some(widx_geom.clone()), shards)
+            }))
+        }),
+        measure("widx_q19_sharded4_par", &|| {
+            report(with_par_mode(ParMode::Par, || {
+                with_par_threads(par_threads, || {
+                    widx::run_xcache_sharded(&widx_q19, Some(widx_geom.clone()), shards)
+                })
+            }))
+        }),
+        measure("spgemm_gustavson_sharded4_seq", &|| {
+            report(with_par_mode(ParMode::Seq, || {
+                spgemm::run_xcache_sharded(&spgemm_w, Some(spgemm_g.clone()), shards)
+            }))
+        }),
+        measure("spgemm_gustavson_sharded4_par", &|| {
+            report(with_par_mode(ParMode::Par, || {
+                with_par_threads(par_threads, || {
+                    spgemm::run_xcache_sharded(&spgemm_w, Some(spgemm_g.clone()), shards)
+                })
+            }))
+        }),
+        measure("graphpulse_sharded4_par", &|| {
+            report(with_par_mode(ParMode::Par, || {
+                with_par_threads(par_threads, || {
+                    graphpulse::run_xcache_sharded(&gp_w, Some(gp_g.clone()), shards)
+                })
+            }))
+        }),
     ];
+
+    for (seq_name, par_name) in [
+        ("widx_q19_sharded4_seq", "widx_q19_sharded4_par"),
+        (
+            "spgemm_gustavson_sharded4_seq",
+            "spgemm_gustavson_sharded4_par",
+        ),
+    ] {
+        let row = |n: &str| {
+            measurements
+                .iter()
+                .find(|m| m.name == n)
+                .expect("sharded row is measured")
+        };
+        let (s, p) = (row(seq_name), row(par_name));
+        assert_eq!(
+            s.sim_cycles, p.sim_cycles,
+            "{seq_name} and {par_name} diverged — parallel time is not deterministic"
+        );
+        eprintln!(
+            "sharded par-over-seq {}: {:.2}x at {par_threads} threads ({} host cores)",
+            seq_name.trim_end_matches("_seq"),
+            s.wall_ms_skip / p.wall_ms_skip.max(1e-9),
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        );
+    }
 
     let mut body = String::from("[\n");
     for (i, m) in measurements.iter().enumerate() {
@@ -262,6 +343,14 @@ fn main() {
     if let Some(baseline_path) = check_against {
         let baseline = std::fs::read_to_string(&baseline_path)
             .unwrap_or_else(|e| panic!("read {baseline_path}: {e}"));
+        // Normalize both sides by their machine factor so a baseline
+        // recorded on a faster or slower host doesn't turn into a phantom
+        // regression (or mask a real one). Baselines that predate the
+        // field are compared raw, as before.
+        let (old_mf, new_mf) = match baseline_machine_factor(&baseline) {
+            Some(mf) if mf > 0.0 => (mf, machine_factor()),
+            _ => (1.0, 1.0),
+        };
         let mut failed = false;
         for name in CONTROLLER_BOUND {
             let old = scenario_rate(&baseline, name)
@@ -271,8 +360,11 @@ fn main() {
                 .find(|m| m.name == name)
                 .expect("checked scenario is measured")
                 .cycles_per_sec_skip();
-            let ratio = new as f64 / old.max(1) as f64;
-            eprintln!("check {name}: {new} vs baseline {old} c/s ({ratio:.2}x)");
+            let ratio = (new as f64 / new_mf) / (old.max(1) as f64 / old_mf);
+            eprintln!(
+                "check {name}: {new} vs baseline {old} c/s \
+                 ({ratio:.2}x machine-normalized, factors {new_mf:.3}/{old_mf:.3})"
+            );
             if ratio < 0.9 {
                 eprintln!("FAIL: {name} regressed more than 10% vs {baseline_path}");
                 failed = true;

@@ -25,7 +25,11 @@
 //!   full [`DEFAULT_CHAOS_SPEC`]; its walker never touches DRAM (event
 //!   payloads live on-chip), so most kinds are structurally inert there
 //!   and the cell asserts termination under an armed plan plus the
-//!   skip/jobs byte-identity.
+//!   skip/jobs byte-identity. The sharded Widx cell reruns the fig04
+//!   workload on the 4-shard topology under [`SHARD_CHAOS_SPEC`], which
+//!   adds the bank-conflict-storm and crossbar link-delay kinds — still
+//!   timing-only, so the oracle binds there too, and the differentials
+//!   exercise fault determinism *through the parallel-time machinery*.
 //!
 //! The `chaos_smoke` binary drives both layers over `XCACHE_CHAOS_SEEDS`
 //! seeds in CI and dumps violating runs (with their harvested
@@ -58,6 +62,16 @@ pub const DEFAULT_CHAOS_SPEC: &str = "dram_drop=0.02,dram_delay=0.03:40,dram_ecc
 /// or misfires, so the faulted run must still compute the exact oracle
 /// checksum — schedule perturbations may never change results.
 pub const DSA_TIMING_SPEC: &str = "dram_delay=0.02:48,port_stall=0.02:4,resp_stall=0.02:24";
+
+/// Timing-only spec for the sharded Widx cell: the single-instance
+/// delays plus the sharded-topology kinds — `bank_conflict_storm`
+/// inflates bank service latency, `link_delay` holds crossbar messages
+/// on the wire. Neither changes data, so the oracle checksum binds.
+pub const SHARD_CHAOS_SPEC: &str = "dram_delay=0.02:48,port_stall=0.02:4,resp_stall=0.02:24,\
+     bank_conflict_storm=0.05:24,link_delay=0.08:8";
+
+/// Shard count for the sharded chaos cell.
+pub const CHAOS_SHARDS: usize = 4;
 
 /// Watchdog budget for chaos runs: far above any legitimate wait in the
 /// fuzz/DSA workloads (hundreds of cycles), far below the runs' cycle
@@ -337,14 +351,19 @@ pub enum ChaosCell {
     /// The fig14 GraphPulse PageRank cell under the full
     /// [`DEFAULT_CHAOS_SPEC`]; termination and determinism only.
     GraphPulse,
+    /// The fig04 workload on the [`CHAOS_SHARDS`]-shard topology under
+    /// [`SHARD_CHAOS_SPEC`] (bank conflict storms + crossbar link
+    /// delays); timing-only, so the oracle checksum is enforced.
+    WidxSharded,
 }
 
 impl ChaosCell {
     /// Every cell, in declaration order.
-    pub const ALL: [ChaosCell; 3] = [
+    pub const ALL: [ChaosCell; 4] = [
         ChaosCell::WidxFig04,
         ChaosCell::WidxBlockingThread,
         ChaosCell::GraphPulse,
+        ChaosCell::WidxSharded,
     ];
 
     /// Stable label (also the determinism-diff key).
@@ -354,6 +373,7 @@ impl ChaosCell {
             ChaosCell::WidxFig04 => "widx-fig04",
             ChaosCell::WidxBlockingThread => "widx-blocking-thread",
             ChaosCell::GraphPulse => "graphpulse",
+            ChaosCell::WidxSharded => "widx-sharded",
         }
     }
 }
@@ -414,6 +434,39 @@ pub fn run_dsa_chaos_cell(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u6
             WalkerDiscipline::BlockingThread,
         ),
         ChaosCell::GraphPulse => graphpulse_chaos(scale, seed, fault_seed),
+        ChaosCell::WidxSharded => widx_sharded_chaos(cell, scale, seed, fault_seed),
+    }
+}
+
+/// The sharded Widx chaos cell: the fig04 workload across
+/// [`CHAOS_SHARDS`] controller instances with bank-conflict storms on
+/// the shared banked DRAM and delays on the crossbar links. The plan is
+/// armed *outside* the horizon runner, so worker threads inherit it
+/// through the parallel-time machinery — exactly the path where a
+/// thread-dependent fault decision would break byte-identity.
+fn widx_sharded_chaos(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u64) -> String {
+    let w = widx_workload(QueryClass::Q19, scale, seed);
+    let g = widx_geometry(scale);
+    let plan = plan_for(SHARD_CHAOS_SPEC, fault_seed, cell as u64 + 1);
+    let out = with_fault_plan(Some(plan), || {
+        with_watchdog_budget(CHAOS_WATCHDOG_BUDGET, || {
+            widx::run_xcache_sharded_chaos(&w, Some(g), CHAOS_SHARDS)
+        })
+    });
+    match out {
+        Ok(r) => {
+            note_sim_cycles(r.cycles);
+            // Timing-only faults must not change what the walks compute.
+            let oracle = w.oracle_checksum();
+            let violation = (r.checksum != oracle).then(|| {
+                format!(
+                    "timing-only faults changed sharded results: checksum {} != oracle {oracle}",
+                    r.checksum
+                )
+            });
+            render_cell(cell, Ok(&r), violation)
+        }
+        Err(e) => render_cell(cell, Err(&e), None),
     }
 }
 
@@ -601,5 +654,51 @@ mod tests {
         let b = run_dsa_chaos_cell(ChaosCell::WidxFig04, 64, 1, 2);
         assert_eq!(a, b);
         assert!(!cell_has_violation(&a), "cell violated: {a}");
+    }
+
+    #[test]
+    fn sharded_chaos_cell_is_deterministic_across_par_modes() {
+        use xcache_sim::{with_par_mode, with_par_threads, ParMode};
+        let seq = with_par_mode(ParMode::Seq, || {
+            run_dsa_chaos_cell(ChaosCell::WidxSharded, 64, 1, 2)
+        });
+        let par = with_par_mode(ParMode::Par, || {
+            with_par_threads(2, || run_dsa_chaos_cell(ChaosCell::WidxSharded, 64, 1, 2))
+        });
+        assert_eq!(seq, par, "sharded chaos diverged between seq and par");
+        assert!(!cell_has_violation(&seq), "cell violated: {seq}");
+    }
+
+    #[test]
+    fn sharded_chaos_faults_reach_bank_and_link() {
+        // Across a handful of fault seeds the sharded-topology kinds
+        // must fire somewhere — the spec actually arms them.
+        let fired: Vec<(u64, u64)> = (0..4)
+            .map(|fs| {
+                let r = run_dsa_chaos_cell(ChaosCell::WidxSharded, 64, 1, fs);
+                let grab = |key: &str| {
+                    r.split(&format!("\"{key}\":"))
+                        .nth(1)
+                        .and_then(|s| {
+                            s.split(|c: char| !c.is_ascii_digit())
+                                .next()
+                                .and_then(|d| d.parse().ok())
+                        })
+                        .unwrap_or(0)
+                };
+                (
+                    grab("bank.fault.conflict_storm"),
+                    grab("shard.link_fault_delays"),
+                )
+            })
+            .collect();
+        assert!(
+            fired.iter().any(|&(b, _)| b > 0),
+            "no bank conflict storm ever fired: {fired:?}"
+        );
+        assert!(
+            fired.iter().any(|&(_, l)| l > 0),
+            "no link delay ever fired: {fired:?}"
+        );
     }
 }

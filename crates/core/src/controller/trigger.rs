@@ -163,12 +163,14 @@ impl<D: MemoryPort> XCache<D> {
         if self.degraded(now) && !matches!(access, MetaAccess::Take { .. }) {
             return true;
         }
-        let peeked = self.tags.peek(key);
-        // Remember where the way scan landed: if this access is the one
-        // served, `serve_access` completes the lookup via `probe_at`
+        // One fused way scan answers residency, allocatability and
+        // pinned-full-ness together (it used to be up to three scans of
+        // the same set). Remember where it landed: if this access is the
+        // one served, `serve_access` completes the lookup via `probe_at`
         // without re-scanning the set.
-        self.probe_cache = Some((key, peeked));
-        let hit = match peeked {
+        let probe = self.tags.launch_probe(key);
+        self.probe_cache = Some((key, probe.hit));
+        let hit = match probe.hit {
             Some(r) => !self.misfires(access, self.tags.entry(r).pinned),
             None => false,
         };
@@ -182,7 +184,7 @@ impl<D: MemoryPort> XCache<D> {
             // Permanently pinned-full sets still launch so the walker can
             // fast-fault and inform the datapath.
             _ => {
-                let alloc_ok = hit || self.tags.can_alloc(key) || self.tags.set_unevictable(key);
+                let alloc_ok = hit || probe.can_alloc || probe.unevictable;
                 *wake_budget > 0 && self.xregs.has_free() && self.free_lane().is_some() && alloc_ok
             }
         }

@@ -94,6 +94,7 @@ mod controller;
 mod dataram;
 mod metatag;
 mod msg;
+mod shard;
 mod stream;
 mod taxonomy;
 mod xreg;
@@ -103,8 +104,12 @@ pub mod hierarchy;
 pub use config::{WalkerDiscipline, XCacheConfig};
 pub use controller::{splitmix64, BuildError, SimError, XCache};
 pub use dataram::DataRam;
-pub use metatag::{EntryRef, MetaEntry, MetaTagArray};
+pub use metatag::{EntryRef, LaunchProbe, MetaEntry, MetaTagArray};
 pub use msg::{MetaAccess, MetaKey, MetaResp};
+pub use shard::{
+    horizon_target, owner_of, shard_geometry, shards_from_env, ShardCell, DEFAULT_HORIZON,
+    DEFAULT_LINK_LATENCY,
+};
 pub use stream::{StreamConfig, StreamReader};
 pub use taxonomy::{IdiomRow, TAXONOMY};
 pub use xreg::{XRegFile, XRegPool};

@@ -36,6 +36,23 @@ struct Slot {
     last_used: u64,
 }
 
+/// The answers the trigger stage's launch gate needs about one key's
+/// set, computed by [`MetaTagArray::launch_probe`] in a single way scan:
+/// residency, allocatability, and permanent-unevictability. Field
+/// definitions match [`peek`](MetaTagArray::peek),
+/// [`can_alloc`](MetaTagArray::can_alloc) and
+/// [`set_unevictable`](MetaTagArray::set_unevictable) exactly.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct LaunchProbe {
+    /// Where `key` resides, if present (as [`peek`](MetaTagArray::peek)).
+    pub hit: Option<EntryRef>,
+    /// Whether an allocation would succeed right now.
+    pub can_alloc: bool,
+    /// Whether every way is valid, pinned and idle — allocation can never
+    /// succeed until something is explicitly taken.
+    pub unevictable: bool,
+}
+
 /// Where a probe landed.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct EntryRef {
@@ -162,6 +179,48 @@ impl MetaTagArray {
                 set: set as u32,
                 way: way as u32,
             })
+    }
+
+    /// Everything the trigger stage's launch gate needs from `key`'s set,
+    /// gathered in one way scan (see [`LaunchProbe`]). Counts nothing and
+    /// touches no recency — like [`peek`](Self::peek) it models the
+    /// hazard pre-check, not the serve-path tag read, which still goes
+    /// through [`probe_at`](Self::probe_at).
+    ///
+    /// Before this existed the launch gate made up to three separate
+    /// passes over the same set (`peek` + `can_alloc` + `set_unevictable`);
+    /// coalescing them is the PR 6 leftover micro-opt, visible in the
+    /// `XCACHE_PROF=1` trigger-stage scope.
+    #[must_use]
+    pub fn launch_probe(&self, key: MetaKey) -> LaunchProbe {
+        let set = self.set_of(key);
+        let mut probe = LaunchProbe {
+            hit: None,
+            can_alloc: false,
+            unevictable: true,
+        };
+        for way in 0..self.ways {
+            let s = &self.slots[set * self.ways + way];
+            if !s.valid {
+                probe.can_alloc = true;
+                probe.unevictable = false;
+                continue;
+            }
+            let idle = !s.entry.active;
+            if idle && !s.entry.pinned {
+                probe.can_alloc = true;
+            }
+            if !(idle && s.entry.pinned) {
+                probe.unevictable = false;
+            }
+            if probe.hit.is_none() && s.entry.key == key {
+                probe.hit = Some(EntryRef {
+                    set: set as u32,
+                    way: way as u32,
+                });
+            }
+        }
+        probe
     }
 
     /// The entry at `r`.
@@ -410,6 +469,52 @@ mod tests {
         let sets: std::collections::HashSet<usize> =
             (0..64u64).map(|k| a.set_of(MetaKey(k))).collect();
         assert!(sets.len() > 32, "hashing too weak: {} sets", sets.len());
+    }
+
+    #[test]
+    fn launch_probe_matches_the_three_scans() {
+        // Drive one set through every slot-state combination and check the
+        // fused scan agrees with the three separate queries it replaces.
+        let mut a = MetaTagArray::new(1, 3);
+        let mut s = stats();
+        for k in 0..3u64 {
+            let _ = a.alloc(MetaKey(k), StateId::DEFAULT, &mut s).unwrap();
+        }
+        for mask in 0..64u32 {
+            for way in 0..3u32 {
+                let e = a.entry_mut(EntryRef { set: 0, way });
+                e.active = mask & (1 << way) != 0;
+                e.pinned = mask & (1 << (way + 3)) != 0;
+            }
+            for k in 0..4u64 {
+                let key = MetaKey(k);
+                let probe = a.launch_probe(key);
+                assert_eq!(probe.hit, a.peek(key), "mask {mask} key {k}");
+                assert_eq!(probe.can_alloc, a.can_alloc(key), "mask {mask} key {k}");
+                assert_eq!(
+                    probe.unevictable,
+                    a.set_unevictable(key),
+                    "mask {mask} key {k}"
+                );
+            }
+        }
+        // And with an invalid way in the set.
+        let r = EntryRef { set: 0, way: 1 };
+        a.entry_mut(r).active = false;
+        a.entry_mut(r).pinned = false;
+        let _ = a.invalidate(r, &mut s);
+        for k in 0..4u64 {
+            let key = MetaKey(k);
+            let probe = a.launch_probe(key);
+            assert_eq!(probe.hit, a.peek(key));
+            assert_eq!(probe.can_alloc, a.can_alloc(key));
+            assert_eq!(probe.unevictable, a.set_unevictable(key));
+        }
+        assert_eq!(
+            s.get("xcache.tag_read"),
+            0,
+            "launch_probe must count nothing"
+        );
     }
 
     #[test]

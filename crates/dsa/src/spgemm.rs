@@ -22,13 +22,17 @@
 
 use xcache_sim::FxHashMap;
 
-use xcache_core::{MetaAccess, MetaKey, StreamConfig, StreamReader, XCache, XCacheConfig};
+use xcache_core::{
+    horizon_target, owner_of, shard_geometry, MetaAccess, MetaKey, ShardCell, StreamConfig,
+    StreamReader, XCache, XCacheConfig, DEFAULT_HORIZON, DEFAULT_LINK_LATENCY,
+};
 use xcache_isa::asm::assemble;
 use xcache_isa::WalkerProgram;
 use xcache_mem::{
-    AddressCache, DramConfig, DramModel, MainMemory, MemoryPort, PortHandle, SharedPort,
+    AddressCache, BankGroup, BankGroupConfig, DramConfig, DramModel, MainMemory, MemoryPort,
+    PortHandle, SharedPort,
 };
-use xcache_sim::{Cycle, Stats};
+use xcache_sim::{run_horizons, Cycle, Stats};
 use xcache_workloads::{CsrMatrix, MatrixLayout, SparsePattern};
 
 use crate::common::{apply_image, ProbeTask, RunReport, TaskStep};
@@ -476,6 +480,317 @@ pub fn run_xcache(workload: &SpgemmWorkload, geometry: Option<XCacheConfig>) -> 
     }
 }
 
+/// Runs the sharded X-Cache topology: B's row space is interleaved across
+/// `shards` controller instances by [`owner_of`], each over its
+/// [`BankGroup`] view of the banked DRAM; the element stream is routed to
+/// owners over crossbar links, replacing the stream engine as the pacing
+/// element. Oversized/empty rows still bypass to a driver-side DRAM port,
+/// serviced at horizon boundaries.
+///
+/// # Panics
+///
+/// Panics on deadlock or oracle divergence.
+#[must_use]
+pub fn run_xcache_sharded(
+    workload: &SpgemmWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> RunReport {
+    let report = drive_xcache_sharded(workload, geometry, shards)
+        .expect("sharded spgemm x-cache run deadlocked");
+    assert_eq!(
+        report.checksum,
+        workload.oracle_checksum(),
+        "{} sharded x-cache run diverged from the SpGEMM oracle",
+        workload.algorithm.name()
+    );
+    report
+}
+
+/// [`run_xcache_sharded`] for chaos runs: deadlocks come back as `Err`
+/// and the oracle is not enforced (faults may legitimately drop MACs).
+///
+/// # Errors
+///
+/// Returns `Err` when the run exceeds its cycle bound.
+pub fn run_xcache_sharded_chaos(
+    workload: &SpgemmWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> Result<RunReport, String> {
+    drive_xcache_sharded(workload, geometry, shards)
+}
+
+#[allow(clippy::too_many_lines)]
+fn drive_xcache_sharded(
+    workload: &SpgemmWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> Result<RunReport, String> {
+    let shards = shards.max(1);
+    let base = geometry.unwrap_or_else(|| match workload.algorithm {
+        Algorithm::OuterProduct => XCacheConfig::sparch(),
+        Algorithm::Gustavson => XCacheConfig::gamma(),
+    });
+    let layout = layout_b(&workload.b);
+    let items = workload.element_stream();
+
+    let mut mem = MainMemory::new();
+    apply_image(&mut mem, &layout.segments);
+
+    let mut cells: Vec<ShardCell<BankGroup>> = (0..shards)
+        .map(|s| {
+            let mut cfg = shard_geometry(&base, shards);
+            let sector_bytes = cfg.sector_bytes();
+            let max_row_bytes = (cfg.data_capacity_bytes() / 8).max(sector_bytes * 4);
+            cfg = cfg.with_params(vec![
+                layout.row_ptr_base,
+                layout.pairs_base,
+                sector_bytes,
+                max_row_bytes,
+            ]);
+            assert_eq!(
+                cfg.sector_bytes(),
+                32,
+                "walker's srl #5 assumes 32-byte sectors"
+            );
+            let bank = BankGroup::new(
+                BankGroupConfig {
+                    shards,
+                    shard_id: s,
+                    ..BankGroupConfig::default()
+                },
+                DramModel::with_memory(DramConfig::default(), mem.clone()),
+            );
+            let xc = XCache::new(cfg, walker(), bank).expect("valid spgemm shard");
+            ShardCell::new(s, xc, DEFAULT_LINK_LATENCY)
+        })
+        .collect();
+
+    // Route every element to its row's owner shard up front; per-shard
+    // issue order is the dataflow order restricted to owned rows, so
+    // column-local (SpArch) and Gustavson reuse survive sharding.
+    for (idx, &(_, k, _)) in items.iter().enumerate() {
+        let owner = owner_of(MetaKey::new(u64::from(k)), shards);
+        cells[owner].send(
+            Cycle::ZERO,
+            MetaAccess::Load {
+                id: idx as u64,
+                key: MetaKey::new(u64::from(k)),
+            },
+        );
+    }
+
+    let total = items.len();
+    let max_cycles = 10_000 * total as u64 + 2_000_000;
+    let mut acc: FxHashMap<(u32, u32), f64> = FxHashMap::default();
+    let mut done = 0usize;
+    let mut end = Cycle::ZERO;
+    let mut mac_busy_until = Cycle::ZERO;
+    let mut deadlocked = false;
+
+    // Bypass path for rows the cache refuses (empty or oversized): a
+    // driver-side DRAM port over the same image, serviced once per
+    // horizon boundary — coarse but deterministic in both engines.
+    let mut bypass_port = DramModel::with_memory(DramConfig::default(), mem);
+    enum Bypass {
+        Ptr { i: u32, a: f64 },
+        Row { i: u32, a: f64, k: u64 },
+    }
+    let mut bypass: FxHashMap<u64, Bypass> = FxHashMap::default();
+    let mut bypass_retry: Vec<(u32, f64, u64)> = Vec::new(); // (i, a, k)
+                                                             // Rows whose pointers are already resolved but whose data read hit
+                                                             // port backpressure. Held (not re-read) and issued with priority —
+                                                             // at boundary granularity responses arrive in bursts, so re-reading
+                                                             // pointers against the retry stream livelocks on a full port.
+    let mut row_pending: Vec<(u32, f64, u64, u64, u64)> = Vec::new(); // (i, a, k, start, end)
+    let mut next_bypass_id = 1u64 << 32;
+    let mut row_buffer: std::collections::VecDeque<(u64, bytes::Bytes)> =
+        std::collections::VecDeque::new();
+    const ROW_BUFFER_ENTRIES: usize = 4;
+    let mut mac = |i: u32, a: f64, pairs: &mut dyn Iterator<Item = (u32, f64)>, at: Cycle| {
+        let mut n = 0u64;
+        for (j, bv) in pairs {
+            *acc.entry((i, j)).or_insert(0.0) += a * bv;
+            n += 1;
+        }
+        // MAC occupancy: 4 MACs per cycle.
+        mac_busy_until = mac_busy_until.max(at) + n.div_ceil(4);
+    };
+
+    let cells = run_horizons(cells, Cycle::ZERO, |cells, t| {
+        bypass_port.tick(t);
+        while !row_pending.is_empty() && bypass_port.can_accept() {
+            let (i, a, k, s, e) = row_pending[0];
+            let req = xcache_mem::MemReq::read(
+                next_bypass_id,
+                layout.pairs_base + s * 16,
+                ((e - s) * 16) as u32,
+            );
+            bypass_port.try_request(t, req).expect("can_accept checked");
+            bypass.insert(next_bypass_id, Bypass::Row { i, a, k });
+            next_bypass_id += 1;
+            row_pending.swap_remove(0);
+        }
+        while !bypass_retry.is_empty() && bypass_port.can_accept() {
+            let (i, a, k) = bypass_retry[0];
+            let req = xcache_mem::MemReq::read(next_bypass_id, layout.row_ptr_base + k * 8, 16);
+            bypass_port.try_request(t, req).expect("can_accept checked");
+            bypass.insert(next_bypass_id, Bypass::Ptr { i, a });
+            next_bypass_id += 1;
+            bypass_retry.swap_remove(0);
+        }
+        while let Some(resp) = bypass_port.take_response(t) {
+            let at = resp.completed_at.max(t);
+            match bypass.remove(&resp.id.0) {
+                Some(Bypass::Ptr { i, a }) => {
+                    let s = u64::from_le_bytes(resp.data[0..8].try_into().expect("ptr"));
+                    let e = u64::from_le_bytes(resp.data[8..16].try_into().expect("ptr"));
+                    let k = (resp.addr - layout.row_ptr_base) / 8;
+                    if s == e {
+                        done += 1; // genuinely empty row
+                        end = end.max(at);
+                        continue;
+                    }
+                    if bypass_port.can_accept() {
+                        let req = xcache_mem::MemReq::read(
+                            next_bypass_id,
+                            layout.pairs_base + s * 16,
+                            ((e - s) * 16) as u32,
+                        );
+                        bypass_port.try_request(t, req).expect("can_accept checked");
+                        bypass.insert(next_bypass_id, Bypass::Row { i, a, k });
+                        next_bypass_id += 1;
+                    } else {
+                        row_pending.push((i, a, k, s, e));
+                    }
+                }
+                Some(Bypass::Row { i, a, k }) => {
+                    if row_buffer.len() == ROW_BUFFER_ENTRIES {
+                        row_buffer.pop_front();
+                    }
+                    row_buffer.push_back((k, resp.data.clone()));
+                    mac(
+                        i,
+                        a,
+                        &mut resp.data.chunks(16).map(|pair| {
+                            let j = u64::from_le_bytes(pair[0..8].try_into().expect("col")) as u32;
+                            let bv = f64::from_bits(u64::from_le_bytes(
+                                pair[8..16].try_into().expect("val"),
+                            ));
+                            (j, bv)
+                        }),
+                        at,
+                    );
+                    done += 1;
+                    end = end.max(at);
+                }
+                None => {}
+            }
+        }
+        for cell in cells {
+            let mut cell = cell.lock().expect("shard cell poisoned");
+            while let Some((at, resp)) = cell.recv_response(t) {
+                let idx = resp.id as usize;
+                let (i, _, a) = items[idx];
+                end = end.max(at);
+                if resp.found {
+                    // Row data: (col, value-bits) pairs; zero-padded tails
+                    // from sector rounding have zero value bits.
+                    mac(
+                        i,
+                        a,
+                        &mut resp
+                            .data
+                            .chunks(2)
+                            .filter(|pair| pair.len() == 2 && pair[1] != 0)
+                            .map(|pair| (pair[0] as u32, f64::from_bits(pair[1]))),
+                        at,
+                    );
+                    done += 1;
+                    continue;
+                }
+                let k = resp.key.raw();
+                if let Some((_, data)) = row_buffer.iter().find(|(rk, _)| *rk == k) {
+                    let data = data.clone();
+                    mac(
+                        i,
+                        a,
+                        &mut data.chunks(16).map(|pair| {
+                            let j = u64::from_le_bytes(pair[0..8].try_into().expect("col")) as u32;
+                            let bv = f64::from_bits(u64::from_le_bytes(
+                                pair[8..16].try_into().expect("val"),
+                            ));
+                            (j, bv)
+                        }),
+                        at,
+                    );
+                    done += 1;
+                    continue;
+                }
+                bypass_retry.push((i, a, k));
+            }
+        }
+        if done >= total {
+            return None;
+        }
+        if t.raw() >= max_cycles {
+            eprintln!(
+                "DEADLOCK at {t}: busy={} next_event={:?} can_accept={}",
+                bypass_port.busy(),
+                bypass_port.next_event(t),
+                bypass_port.can_accept()
+            );
+            for (k, v) in bypass_port.stats().counters() {
+                eprintln!("  {k}={v}");
+            }
+            deadlocked = true;
+            return None;
+        }
+        let target = horizon_target(cells, t, DEFAULT_HORIZON);
+        if bypass.is_empty() && bypass_retry.is_empty() && row_pending.is_empty() {
+            Some(target)
+        } else {
+            // Bypass work only progresses at boundaries, and the DRAM
+            // model advances on exact next-event cycles — land on them.
+            let mut dense = t + DEFAULT_HORIZON;
+            if let Some(w) = bypass_port.next_event(t) {
+                if w > t && w != Cycle::NEVER {
+                    dense = dense.min(w);
+                }
+            }
+            Some(target.min(dense))
+        }
+    });
+    if deadlocked {
+        return Err(format!(
+            "sharded spgemm run exceeded {max_cycles} cycles with {done}/{total} elements done \
+             (bypass in-flight {}, bypass retry {})",
+            bypass.len(),
+            bypass_retry.len()
+        ));
+    }
+    let end = end.max(mac_busy_until);
+
+    let got = product_checksum(
+        acc.iter()
+            .filter(|(_, v)| **v != 0.0)
+            .map(|(&(i, j), &v)| (i, j, v)),
+    );
+    let mut stats = Stats::new();
+    for cell in &cells {
+        cell.merge_stats_into(&mut stats);
+        cell.xcache().downstream().merge_stats_into(&mut stats);
+    }
+    stats.merge(bypass_port.stats());
+    Ok(RunReport {
+        label: format!("xcache-sharded{shards}"),
+        cycles: end.raw(),
+        stats: stats.snapshot(),
+        checksum: got,
+    })
+}
+
 /// One row-fetch through the address cache (ideal walker): read
 /// `row_ptr[k]`+`row_ptr[k+1]`, then the row's pairs in 64-byte blocks.
 struct RowFetch {
@@ -697,6 +1012,27 @@ mod tests {
             hits > misses,
             "outer product should mostly reuse ({hits} hits vs {misses} misses)"
         );
+    }
+
+    #[test]
+    fn sharded_run_matches_oracle_and_modes_agree() {
+        use xcache_sim::{with_par_mode, with_par_threads, ParMode};
+        for algorithm in [Algorithm::Gustavson, Algorithm::OuterProduct] {
+            let w = small(algorithm);
+            let fingerprint = |r: &RunReport| (r.cycles, r.checksum, r.stats.clone());
+            let seq = with_par_mode(ParMode::Seq, || {
+                run_xcache_sharded(&w, Some(small_geometry()), 3)
+            });
+            assert!(seq.cycles > 0);
+            let par = with_par_mode(ParMode::Par, || {
+                with_par_threads(3, || run_xcache_sharded(&w, Some(small_geometry()), 3))
+            });
+            assert_eq!(
+                fingerprint(&par),
+                fingerprint(&seq),
+                "par diverged from seq"
+            );
+        }
     }
 
     #[test]

@@ -14,11 +14,16 @@
 //!   front of an address cache (the original design; it "relied on an
 //!   address-based cache and, hence, always walked").
 
-use xcache_core::{MetaAccess, MetaKey, XCache, XCacheConfig};
+use xcache_core::{
+    horizon_target, owner_of, shard_geometry, MetaAccess, MetaKey, ShardCell, XCache, XCacheConfig,
+    DEFAULT_HORIZON, DEFAULT_LINK_LATENCY,
+};
 use xcache_isa::asm::assemble;
 use xcache_isa::WalkerProgram;
-use xcache_mem::{AddressCache, CacheConfig, DramConfig, DramModel, MainMemory};
-use xcache_sim::{Cycle, Stats};
+use xcache_mem::{
+    AddressCache, BankGroup, BankGroupConfig, CacheConfig, DramConfig, DramModel, MainMemory,
+};
+use xcache_sim::{run_horizons, Cycle, Stats};
 use xcache_workloads::hashidx::NODE_BYTES;
 use xcache_workloads::{HashIndex, TpchPreset};
 
@@ -291,6 +296,134 @@ fn drive_xcache(
     })
 }
 
+/// Runs the sharded X-Cache topology: `shards` controller + meta-path
+/// instances, each owning an address-interleaved slice of the probe key
+/// space over its [`BankGroup`] view of the shared banked DRAM, with the
+/// driver routing probes over fixed-latency crossbar links. Execution is
+/// horizon-synchronized ([`run_horizons`]) and byte-deterministic across
+/// `XCACHE_PAR=seq|par` and any thread count.
+///
+/// # Panics
+///
+/// Panics if the simulation deadlocks or the checksum diverges from the
+/// functional oracle.
+#[must_use]
+pub fn run_xcache_sharded(
+    workload: &WidxWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> RunReport {
+    let report = drive_xcache_sharded(workload, geometry, shards)
+        .expect("sharded widx x-cache run deadlocked");
+    assert_eq!(
+        report.checksum,
+        workload.oracle_checksum(),
+        "sharded x-cache run diverged from the functional oracle"
+    );
+    report
+}
+
+/// [`run_xcache_sharded`] for chaos runs: no oracle or deadlock panics,
+/// mirroring [`run_xcache_chaos`].
+///
+/// # Errors
+///
+/// Returns `Err` when the run exceeds its cycle bound.
+pub fn run_xcache_sharded_chaos(
+    workload: &WidxWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> Result<RunReport, String> {
+    drive_xcache_sharded(workload, geometry, shards)
+}
+
+fn drive_xcache_sharded(
+    workload: &WidxWorkload,
+    geometry: Option<XCacheConfig>,
+    shards: usize,
+) -> Result<RunReport, String> {
+    let shards = shards.max(1);
+    let (mem, bucket_base, mask) = memory_image(workload);
+    let base = geometry.unwrap_or_else(XCacheConfig::widx);
+    let mut cells: Vec<ShardCell<BankGroup>> = (0..shards)
+        .map(|s| {
+            let mut cfg = shard_geometry(&base, shards);
+            cfg.hash_latency = workload.hash_latency;
+            cfg = cfg.with_params(vec![bucket_base, NODE_BYTES, mask]);
+            let bank = BankGroup::new(
+                BankGroupConfig {
+                    shards,
+                    shard_id: s,
+                    ..BankGroupConfig::default()
+                },
+                DramModel::with_memory(DramConfig::default(), mem.clone()),
+            );
+            let xc = XCache::new(cfg, walker(), bank).expect("valid widx shard");
+            ShardCell::new(s, xc, DEFAULT_LINK_LATENCY)
+        })
+        .collect();
+
+    // Route every probe to its owner shard up front; the crossbar's
+    // 1-message-per-cycle lanes pace actual delivery, so issue order per
+    // shard is exactly the probe-stream order restricted to its keys.
+    for (i, &key) in workload.probes.iter().enumerate() {
+        let owner = owner_of(MetaKey::new(key), shards);
+        cells[owner].send(
+            Cycle::ZERO,
+            MetaAccess::Load {
+                id: i as u64,
+                key: MetaKey::new(key),
+            },
+        );
+    }
+
+    let total = workload.probes.len();
+    let max_cycles = 2_000 * total as u64 + 1_000_000;
+    let mut done = 0usize;
+    let mut checksum = 0u64;
+    let mut end = Cycle::ZERO;
+    let mut deadlocked = false;
+    let cells = run_horizons(cells, Cycle::ZERO, |cells, t| {
+        for cell in cells {
+            let mut cell = cell.lock().expect("shard cell poisoned");
+            while let Some((at, resp)) = cell.recv_response(t) {
+                if resp.found {
+                    // Node layout: [key, rid, next, pad].
+                    checksum = checksum.wrapping_add(resp.data[1]);
+                }
+                // End of run is the last crossbar arrival, not the
+                // boundary that happened to drain it — cadence-independent.
+                end = end.max(at);
+                done += 1;
+            }
+        }
+        if done >= total {
+            return None;
+        }
+        if t.raw() >= max_cycles {
+            deadlocked = true;
+            return None;
+        }
+        Some(horizon_target(cells, t, DEFAULT_HORIZON))
+    });
+    if deadlocked {
+        return Err(format!(
+            "sharded widx run exceeded {max_cycles} cycles with {done}/{total} probes answered"
+        ));
+    }
+    let mut stats = Stats::new();
+    for cell in &cells {
+        cell.merge_stats_into(&mut stats);
+        cell.xcache().downstream().merge_stats_into(&mut stats);
+    }
+    Ok(RunReport {
+        label: format!("xcache-sharded{shards}"),
+        cycles: end.raw(),
+        stats: stats.snapshot(),
+        checksum,
+    })
+}
+
 /// One probe through hash + bucket + chain, for the address-based
 /// configurations. Peek-then-commit per the [`ProbeTask`] contract.
 struct WidxProbe {
@@ -532,6 +665,37 @@ mod tests {
             r.stats.get("xcache.hit") > 0,
             "zipf stream must produce hits"
         );
+    }
+
+    #[test]
+    fn sharded_run_matches_oracle_and_modes_agree() {
+        use xcache_sim::{with_par_mode, with_par_threads, ParMode};
+        let w = small_workload(12);
+        let fingerprint = |r: &RunReport| (r.cycles, r.checksum, r.stats.clone());
+        let seq = with_par_mode(ParMode::Seq, || {
+            run_xcache_sharded(&w, Some(small_geometry()), 4)
+        });
+        assert!(seq.cycles > 0);
+        assert!(
+            seq.stats.get("xcache.hit") > 0,
+            "zipf stream must produce hits"
+        );
+        assert!(
+            seq.stats.get("bank.remote") > 0,
+            "interleaved banks must see remote traffic"
+        );
+        for threads in [1usize, 2, 4] {
+            let par = with_par_mode(ParMode::Par, || {
+                with_par_threads(threads, || {
+                    run_xcache_sharded(&w, Some(small_geometry()), 4)
+                })
+            });
+            assert_eq!(
+                fingerprint(&par),
+                fingerprint(&seq),
+                "par x{threads} diverged from seq"
+            );
+        }
     }
 
     #[test]

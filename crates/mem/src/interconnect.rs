@@ -1,0 +1,185 @@
+//! Cross-shard message links.
+//!
+//! A [`Link`] is one direction of a crossbar lane between the request
+//! router and a shard (or back): fixed per-hop latency, one message per
+//! cycle of injection bandwidth, strictly FIFO delivery. It is a timing
+//! wrapper, not a transport — senders push typed messages, receivers pop
+//! the ones whose arrival cycle has come.
+//!
+//! The PR 4 fault injector hooks the link through the `link_delay` kind:
+//! a held message's arrival is stretched, but delivery stays FIFO (a
+//! delayed message also delays everything behind it), so recovery logic
+//! upstream sees reordering-free slowdowns. Decisions are the usual pure
+//! per-message hash, which keeps seq/par and skip/no-skip byte-identity
+//! structural.
+
+use std::collections::VecDeque;
+use std::sync::Arc;
+
+use xcache_sim::{Cycle, FaultKind, FaultPlan};
+
+/// A one-way, fixed-latency, 1-message-per-cycle FIFO channel.
+#[derive(Debug)]
+pub struct Link<T> {
+    /// Crossbar lane id, mixed into fault salts so parallel lanes draw
+    /// independent delay decisions for the same message id.
+    lane: u64,
+    latency: u64,
+    next_free: Cycle,
+    last_arrival: Cycle,
+    queue: VecDeque<(Cycle, T)>,
+    fault: Option<Arc<FaultPlan>>,
+    sent: u64,
+    fault_delays: u64,
+}
+
+impl<T> Link<T> {
+    /// Creates a lane with the given per-hop latency. The active
+    /// [`FaultPlan`] (if any) is captured here, like every other timing
+    /// component.
+    #[must_use]
+    pub fn new(lane: u64, latency: u64) -> Self {
+        Link {
+            lane,
+            latency,
+            next_free: Cycle::ZERO,
+            last_arrival: Cycle::ZERO,
+            queue: VecDeque::new(),
+            fault: FaultPlan::current(),
+            sent: 0,
+            fault_delays: 0,
+        }
+    }
+
+    /// The lane's per-hop latency in cycles.
+    #[must_use]
+    pub fn latency(&self) -> u64 {
+        self.latency
+    }
+
+    /// Injects `msg` at `now`. Injection bandwidth is one message per
+    /// cycle: a second message offered in the same cycle departs a cycle
+    /// later, and arrivals never reorder. `id` must be unique per message
+    /// on this lane (it salts the `link_delay` fault decision).
+    pub fn send(&mut self, now: Cycle, id: u64, msg: T) {
+        let depart = self.next_free.max(now);
+        self.next_free = depart.next();
+        let mut arrival = depart + self.latency;
+        if let Some(hit) = self
+            .fault
+            .as_ref()
+            .and_then(|p| p.decide(FaultKind::LinkDelay, (self.lane << 48) ^ id))
+        {
+            arrival += hit.magnitude;
+            self.fault_delays += 1;
+        }
+        // FIFO even under injected delays: a held message holds the line.
+        arrival = arrival.max(self.last_arrival);
+        self.last_arrival = arrival;
+        self.queue.push_back((arrival, msg));
+        self.sent += 1;
+    }
+
+    /// Pops the oldest message whose arrival cycle is at or before `now`.
+    /// Returns the arrival cycle with the message so receivers can account
+    /// delivery time even when draining late.
+    pub fn recv_due(&mut self, now: Cycle) -> Option<(Cycle, T)> {
+        match self.queue.front() {
+            Some(&(at, _)) if at <= now => self.queue.pop_front(),
+            _ => None,
+        }
+    }
+
+    /// Arrival cycle of the oldest undelivered message, if any.
+    #[must_use]
+    pub fn next_arrival(&self) -> Option<Cycle> {
+        self.queue.front().map(|&(at, _)| at)
+    }
+
+    /// Number of undelivered messages.
+    #[must_use]
+    pub fn len(&self) -> usize {
+        self.queue.len()
+    }
+
+    /// Whether the lane has no undelivered messages.
+    #[must_use]
+    pub fn is_empty(&self) -> bool {
+        self.queue.is_empty()
+    }
+
+    /// Messages ever injected on this lane.
+    #[must_use]
+    pub fn messages(&self) -> u64 {
+        self.sent
+    }
+
+    /// Messages whose arrival was stretched by an injected `link_delay`.
+    #[must_use]
+    pub fn fault_delays(&self) -> u64 {
+        self.fault_delays
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use xcache_sim::with_fault_plan;
+
+    #[test]
+    fn latency_and_bandwidth_pace_arrivals() {
+        let mut link: Link<u32> = Link::new(0, 5);
+        link.send(Cycle(0), 0, 10);
+        link.send(Cycle(0), 1, 11);
+        link.send(Cycle(3), 2, 12);
+        // Departures 0, 1, 3 → arrivals 5, 6, 8.
+        assert_eq!(link.next_arrival(), Some(Cycle(5)));
+        assert_eq!(link.recv_due(Cycle(4)), None);
+        assert_eq!(link.recv_due(Cycle(5)), Some((Cycle(5), 10)));
+        assert_eq!(link.recv_due(Cycle(5)), None);
+        assert_eq!(link.recv_due(Cycle(100)), Some((Cycle(6), 11)));
+        assert_eq!(link.recv_due(Cycle(100)), Some((Cycle(8), 12)));
+        assert!(link.is_empty());
+        assert_eq!(link.messages(), 3);
+        assert_eq!(link.fault_delays(), 0);
+    }
+
+    #[test]
+    fn injected_delay_keeps_fifo_order() {
+        let plan = Arc::new(FaultPlan::parse("link_delay=0.5:20", 9).unwrap());
+        with_fault_plan(Some(plan), || {
+            let mut link: Link<u64> = Link::new(1, 4);
+            for id in 0..64 {
+                link.send(Cycle(id), id, id);
+            }
+            assert!(link.fault_delays() > 0, "plan at 0.5 should fire in 64");
+            let mut last = Cycle::ZERO;
+            let mut got = 0u64;
+            while let Some((at, msg)) = link.recv_due(Cycle::NEVER) {
+                assert!(at >= last, "arrival order regressed");
+                assert_eq!(msg, got, "delivery order must stay FIFO");
+                last = at;
+                got += 1;
+            }
+            assert_eq!(got, 64);
+        });
+    }
+
+    #[test]
+    fn lanes_draw_independent_fault_decisions() {
+        let plan = Arc::new(FaultPlan::parse("link_delay=0.5:7", 21).unwrap());
+        with_fault_plan(Some(plan), || {
+            let mut a: Link<u8> = Link::new(0, 1);
+            let mut b: Link<u8> = Link::new(1, 1);
+            for id in 0..256 {
+                a.send(Cycle(id), id, 0);
+                b.send(Cycle(id), id, 0);
+            }
+            assert_ne!(
+                a.fault_delays(),
+                b.fault_delays(),
+                "distinct lanes should not mirror each other's delays"
+            );
+        });
+    }
+}

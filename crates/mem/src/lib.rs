@@ -28,13 +28,17 @@
 //! ```
 
 mod address_cache;
+mod bank;
 mod dram;
+mod interconnect;
 mod memory;
 mod port;
 mod shared;
 
 pub use address_cache::{AddressCache, CacheConfig, ReplacementPolicy};
+pub use bank::{BankGroup, BankGroupConfig};
 pub use dram::{DramConfig, DramModel};
+pub use interconnect::Link;
 pub use memory::MainMemory;
 pub use port::{MemReq, MemReqKind, MemResp, MemoryPort, ReqId};
 pub use shared::{PortHandle, SharedPort};

@@ -50,17 +50,26 @@ pub enum FaultKind {
     /// absent (the flaky-lookup fault; destructive ops are exempt so an
     /// injected miss can never strand owned state).
     MetaMisfire,
+    /// A banked-DRAM request lands in a pathologically contended bank and
+    /// is staged `magnitude` extra cycles before entering the DRAM model
+    /// (the sharded-topology analogue of a row-conflict storm).
+    BankConflictStorm,
+    /// A cross-shard interconnect message is held on its link `magnitude`
+    /// extra cycles; delivery order on the link stays FIFO.
+    LinkDelay,
 }
 
 impl FaultKind {
     /// Every kind, in spec/display order.
-    pub const ALL: [FaultKind; 6] = [
+    pub const ALL: [FaultKind; 8] = [
         FaultKind::DramDropFill,
         FaultKind::DramDelayFill,
         FaultKind::DramEccFlip,
         FaultKind::DramPortStall,
         FaultKind::RespBackpressure,
         FaultKind::MetaMisfire,
+        FaultKind::BankConflictStorm,
+        FaultKind::LinkDelay,
     ];
 
     /// The spec-grammar name of this kind.
@@ -73,6 +82,8 @@ impl FaultKind {
             FaultKind::DramPortStall => "port_stall",
             FaultKind::RespBackpressure => "resp_stall",
             FaultKind::MetaMisfire => "meta_misfire",
+            FaultKind::BankConflictStorm => "bank_conflict_storm",
+            FaultKind::LinkDelay => "link_delay",
         }
     }
 
@@ -84,6 +95,8 @@ impl FaultKind {
             FaultKind::DramPortStall => 3,
             FaultKind::RespBackpressure => 4,
             FaultKind::MetaMisfire => 5,
+            FaultKind::BankConflictStorm => 6,
+            FaultKind::LinkDelay => 7,
         }
     }
 
@@ -93,6 +106,8 @@ impl FaultKind {
             FaultKind::DramDelayFill => 32,
             FaultKind::DramPortStall => 4,
             FaultKind::RespBackpressure => 16,
+            FaultKind::BankConflictStorm => 24,
+            FaultKind::LinkDelay => 8,
             _ => 1,
         }
     }
@@ -122,7 +137,7 @@ pub struct FaultHit {
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct FaultPlan {
     seed: u64,
-    rates: [Option<Rate>; 6],
+    rates: [Option<Rate>; 8],
 }
 
 /// splitmix64 finalizer — the workspace's standard cheap mixer.
@@ -141,7 +156,7 @@ impl FaultPlan {
     /// Returns a description of the first malformed clause: unknown kind,
     /// probability outside `[0, 1]`, or unparsable number.
     pub fn parse(spec: &str, seed: u64) -> Result<FaultPlan, String> {
-        let mut rates = [None; 6];
+        let mut rates = [None; 8];
         for clause in spec.split(',') {
             let clause = clause.trim();
             if clause.is_empty() {
@@ -321,6 +336,22 @@ mod tests {
             .find_map(|s| p.decide(FaultKind::DramPortStall, s))
             .unwrap();
         assert_eq!(hit.magnitude, 3);
+    }
+
+    #[test]
+    fn shard_kinds_parse_with_defaults() {
+        let p = FaultPlan::parse("bank_conflict_storm=1.0,link_delay=1.0", 3).unwrap();
+        let storm = p.decide(FaultKind::BankConflictStorm, 0).unwrap();
+        let delay = p.decide(FaultKind::LinkDelay, 0).unwrap();
+        assert_eq!(storm.magnitude, 24);
+        assert_eq!(delay.magnitude, 8);
+        // The two kinds draw independently from the same seed.
+        let q = FaultPlan::parse("bank_conflict_storm=0.5,link_delay=0.5", 3).unwrap();
+        let diverged = (0..2_000u64).any(|s| {
+            q.decide(FaultKind::BankConflictStorm, s).is_some()
+                != q.decide(FaultKind::LinkDelay, s).is_some()
+        });
+        assert!(diverged);
     }
 
     #[test]

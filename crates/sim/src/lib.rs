@@ -30,6 +30,7 @@ mod context;
 mod engine;
 mod fault;
 mod fxhash;
+mod parallel;
 mod prof;
 mod queue;
 mod skip;
@@ -44,6 +45,9 @@ pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
 pub use fault::{with_fault_plan, FaultHit, FaultKind, FaultPlan};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
+pub use parallel::{
+    par_mode, par_threads, run_horizons, with_par_mode, with_par_threads, ParCell, ParMode,
+};
 pub use prof::{prof_enabled, prof_record, prof_reset, prof_snapshot, ProfEntry, ProfGuard};
 pub use queue::{MsgQueue, PushError};
 pub use skip::{
