@@ -5,10 +5,12 @@
 //! each under its derived fault plan with the chaos watchdog budget and
 //! checks the liveness/conservation invariants, then replays each seed
 //! skip-vs-step and the whole batch at 1-vs-2 runner jobs demanding
-//! byte-identical reports. The DSA chaos cells (Widx fig04 in both
-//! disciplines, GraphPulse) run the same two differentials; the Widx
-//! cells additionally enforce the functional oracle under timing-only
-//! faults.
+//! byte-identical reports. The DSA chaos cells — Widx fig04 in both
+//! disciplines, GraphPulse, and the sharded-topology trio (Widx, SpGEMM,
+//! GraphPulse under bank-conflict storms and crossbar link delays) — run
+//! the same two differentials; the Widx and SpGEMM cells additionally
+//! enforce the functional oracle under timing-only faults, and the
+//! sharded cells assert termination with exactly-once completion.
 //!
 //! On failure, violating runs — including every harvested `StallReport`
 //! — are written under `results/chaos/` for artifact upload.

@@ -5,9 +5,11 @@
 //! rises, the meta-tag advantage grows — hits skip hashing and walking
 //! entirely, while the baseline walks regardless.
 
+use xcache_bench::crossval::{oracle_geometry, widx_oracle_ops};
 use xcache_bench::{maybe_dump_table_json, pct, render_table, scale, Runner, Scenario};
 use xcache_core::XCacheConfig;
 use xcache_dsa::widx;
+use xcache_oracle::CacheModel;
 use xcache_workloads::QueryClass;
 
 const HEADERS: [&str; 5] = [
@@ -28,22 +30,32 @@ fn main() {
     preset.miss_rate = 0.02;
     let w = xcache_dsa::widx::WidxWorkload::from_preset(&preset, 7);
     let keys = w.index.len();
+    // The access plan depends only on the index layout, not the cache
+    // geometry — derive it once and replay it per sweep point for the
+    // pruning estimate (predicted DRAM-walking misses: the cells where
+    // simulation has the most to say).
+    let oracle_ops = widx_oracle_ops(&w);
+    let geometry_for = |resident_pct: u32| {
+        let resident = (keys as u64 * u64::from(resident_pct) / 100).max(16);
+        // Fixed power-of-two sets; associativity carries the capacity so
+        // every sweep point is distinct (ways need not be a power of two).
+        let sets = 128usize;
+        let ways = (resident as usize / sets).max(1);
+        XCacheConfig {
+            sets,
+            ways,
+            data_sectors: (sets * ways).max(64),
+            ..XCacheConfig::widx()
+        }
+    };
     let cells: Vec<Scenario<'_, Vec<String>>> = [10u32, 25, 50, 75, 100]
         .into_iter()
         .map(|resident_pct| {
             let w = &w;
+            let predicted =
+                CacheModel::replay(oracle_geometry(&geometry_for(resident_pct)), &oracle_ops);
             Scenario::new(format!("{resident_pct}% resident"), move || {
-                let resident = (keys as u64 * u64::from(resident_pct) / 100).max(16);
-                // Fixed power-of-two sets; associativity carries the capacity so
-                // every sweep point is distinct (ways need not be a power of two).
-                let sets = 128usize;
-                let ways = (resident as usize / sets).max(1);
-                let g = XCacheConfig {
-                    sets,
-                    ways,
-                    data_sectors: (sets * ways).max(64),
-                    ..XCacheConfig::widx()
-                };
+                let g = geometry_for(resident_pct);
                 let x = widx::run_xcache(w, Some(g.clone()));
                 let b = widx::run_baseline(w, Some(g));
                 let hit_rate = x.stats.get("xcache.hit") as f64
@@ -56,10 +68,23 @@ fn main() {
                     format!("{:.2}x", x.speedup_over(&b)),
                 ]
             })
+            .with_estimate(predicted.misses as f64)
         })
         .collect();
-    let rows = Runner::from_env().run(cells);
+    let total = cells.len();
+    let rows: Vec<Vec<String>> = Runner::from_env()
+        .run_pruned(cells)
+        .into_iter()
+        .flatten()
+        .collect();
     print!("{}", render_table(&HEADERS, &rows));
     maybe_dump_table_json("fig17_residency_sweep", &HEADERS, &rows);
+    if rows.len() < total {
+        println!(
+            "\n({} of {total} cells pruned by XCACHE_ESTIMATE_FRAC; \
+             ranked by oracle-predicted misses)",
+            total - rows.len()
+        );
+    }
     println!("\n(paper: the meta-tag advantage grows with residency/hit rate)");
 }

@@ -25,11 +25,15 @@
 //!   full [`DEFAULT_CHAOS_SPEC`]; its walker never touches DRAM (event
 //!   payloads live on-chip), so most kinds are structurally inert there
 //!   and the cell asserts termination under an armed plan plus the
-//!   skip/jobs byte-identity. The sharded Widx cell reruns the fig04
-//!   workload on the 4-shard topology under [`SHARD_CHAOS_SPEC`], which
-//!   adds the bank-conflict-storm and crossbar link-delay kinds — still
-//!   timing-only, so the oracle binds there too, and the differentials
-//!   exercise fault determinism *through the parallel-time machinery*.
+//!   skip/jobs byte-identity. Three cells run the 4-shard topology under
+//!   [`SHARD_CHAOS_SPEC`], which adds the bank-conflict-storm and
+//!   crossbar link-delay kinds — still timing-only — so the
+//!   differentials exercise fault determinism *through the parallel-time
+//!   machinery*: sharded Widx (fig04 workload) and sharded SpGEMM
+//!   (Gustavson), where the oracle checksum binds and is enforced, and
+//!   sharded GraphPulse, where on-chip-only event state makes the
+//!   checksum unenforceable and the cell asserts termination with
+//!   exactly-once completion instead.
 //!
 //! The `chaos_smoke` binary drives both layers over `XCACHE_CHAOS_SEEDS`
 //! seeds in CI and dumps violating runs (with their harvested
@@ -355,15 +359,30 @@ pub enum ChaosCell {
     /// [`SHARD_CHAOS_SPEC`] (bank conflict storms + crossbar link
     /// delays); timing-only, so the oracle checksum is enforced.
     WidxSharded,
+    /// SpGEMM (Gustavson) on the sharded topology under
+    /// [`SHARD_CHAOS_SPEC`]. The product checksum folds exact small-int
+    /// f64 MACs order-independently, so timing-only faults must leave it
+    /// equal to the oracle — enforced, like the sharded Widx cell.
+    SpgemmSharded,
+    /// GraphPulse PageRank on the sharded topology under
+    /// [`SHARD_CHAOS_SPEC`]. Event payloads live on-chip, so a watchdog
+    /// kill legitimately drops in-flight upserts — the checksum does not
+    /// bind (same rationale as the non-sharded GraphPulse cell); the cell
+    /// asserts termination plus the skip/jobs byte-identity.
+    GraphPulseSharded,
 }
 
 impl ChaosCell {
-    /// Every cell, in declaration order.
-    pub const ALL: [ChaosCell; 4] = [
+    /// Every cell, in declaration order. New cells append: the per-cell
+    /// fault-plan salt is `cell as u64 + 1`, so insertion in the middle
+    /// would silently reshuffle every later cell's fault schedule.
+    pub const ALL: [ChaosCell; 6] = [
         ChaosCell::WidxFig04,
         ChaosCell::WidxBlockingThread,
         ChaosCell::GraphPulse,
         ChaosCell::WidxSharded,
+        ChaosCell::SpgemmSharded,
+        ChaosCell::GraphPulseSharded,
     ];
 
     /// Stable label (also the determinism-diff key).
@@ -374,6 +393,8 @@ impl ChaosCell {
             ChaosCell::WidxBlockingThread => "widx-blocking-thread",
             ChaosCell::GraphPulse => "graphpulse",
             ChaosCell::WidxSharded => "widx-sharded",
+            ChaosCell::SpgemmSharded => "spgemm-sharded",
+            ChaosCell::GraphPulseSharded => "graphpulse-sharded",
         }
     }
 }
@@ -435,6 +456,8 @@ pub fn run_dsa_chaos_cell(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u6
         ),
         ChaosCell::GraphPulse => graphpulse_chaos(scale, seed, fault_seed),
         ChaosCell::WidxSharded => widx_sharded_chaos(cell, scale, seed, fault_seed),
+        ChaosCell::SpgemmSharded => spgemm_sharded_chaos(cell, scale, seed, fault_seed),
+        ChaosCell::GraphPulseSharded => graphpulse_sharded_chaos(cell, scale, seed, fault_seed),
     }
 }
 
@@ -465,6 +488,76 @@ fn widx_sharded_chaos(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u64) -
                 )
             });
             render_cell(cell, Ok(&r), violation)
+        }
+        Err(e) => render_cell(cell, Err(&e), None),
+    }
+}
+
+/// The sharded SpGEMM chaos cell: Gustavson A×B across [`CHAOS_SHARDS`]
+/// controller instances under the timing-only [`SHARD_CHAOS_SPEC`].
+/// Every A-element must be answered exactly once (the sharded driver's
+/// in-flight map panics on a duplicate and the run only completes when
+/// all elements retire), and because the product checksum folds exact
+/// integer-valued f64 MACs order-independently, bank-conflict storms and
+/// link delays must leave it equal to the oracle.
+fn spgemm_sharded_chaos(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u64) -> String {
+    use xcache_dsa::spgemm::{self, Algorithm, SpgemmWorkload};
+
+    let w = SpgemmWorkload::paper_like(Algorithm::Gustavson, scale, seed);
+    let g = crate::spgemm_geometry(scale);
+    let plan = plan_for(SHARD_CHAOS_SPEC, fault_seed, cell as u64 + 1);
+    let out = with_fault_plan(Some(plan), || {
+        with_watchdog_budget(CHAOS_WATCHDOG_BUDGET, || {
+            spgemm::run_xcache_sharded_chaos(&w, Some(g), CHAOS_SHARDS)
+        })
+    });
+    match out {
+        Ok(r) => {
+            note_sim_cycles(r.cycles);
+            let oracle = w.oracle_checksum();
+            let violation = (r.checksum != oracle).then(|| {
+                format!(
+                    "timing-only faults changed sharded spgemm product: checksum {} != oracle {oracle}",
+                    r.checksum
+                )
+            });
+            render_cell(cell, Ok(&r), violation)
+        }
+        Err(e) => render_cell(cell, Err(&e), None),
+    }
+}
+
+/// The sharded GraphPulse chaos cell: PageRank event processing across
+/// [`CHAOS_SHARDS`] instances under [`SHARD_CHAOS_SPEC`]. Termination
+/// (every issued upsert answered exactly once — the sharded driver's
+/// requeue accounting errors out otherwise) is the property under test;
+/// the checksum is *not* enforced because accumulated ranks live only
+/// on-chip, so a watchdog-killed walker legitimately loses events.
+fn graphpulse_sharded_chaos(cell: ChaosCell, scale: u32, seed: u64, fault_seed: u64) -> String {
+    let (n, e) = xcache_workloads::GraphPreset::P2pGnutella08.dims();
+    let n = (n / scale).max(64);
+    let e = (e / scale as usize).max(256);
+    let w = graphpulse::GraphPulseWorkload {
+        graph: xcache_workloads::Graph::from_adjacency(xcache_workloads::CsrMatrix::generate(
+            n,
+            n,
+            e,
+            xcache_workloads::SparsePattern::RMat,
+            seed,
+        )),
+        iterations: 2,
+    };
+    let g = graphpulse_geometry(n);
+    let plan = plan_for(SHARD_CHAOS_SPEC, fault_seed, cell as u64 + 1);
+    let out = with_fault_plan(Some(plan), || {
+        with_watchdog_budget(CHAOS_WATCHDOG_BUDGET, || {
+            graphpulse::run_xcache_sharded_chaos(&w, Some(g), CHAOS_SHARDS)
+        })
+    });
+    match out {
+        Ok(r) => {
+            note_sim_cycles(r.cycles);
+            render_cell(cell, Ok(&r), None)
         }
         Err(e) => render_cell(cell, Err(&e), None),
     }
@@ -667,6 +760,26 @@ mod tests {
         });
         assert_eq!(seq, par, "sharded chaos diverged between seq and par");
         assert!(!cell_has_violation(&seq), "cell violated: {seq}");
+    }
+
+    #[test]
+    fn new_sharded_cells_terminate_exactly_once_under_chaos() {
+        // SpGEMM: a completed run means every A-element was answered
+        // exactly once (the sharded driver panics on duplicates and only
+        // finishes when all retire); the product checksum must survive
+        // timing-only faults.
+        let spgemm = run_dsa_chaos_cell(ChaosCell::SpgemmSharded, 64, 1, 2);
+        assert!(!cell_has_violation(&spgemm), "cell violated: {spgemm}");
+        assert!(
+            spgemm.contains("\"cycles\":"),
+            "run did not terminate: {spgemm}"
+        );
+        // GraphPulse: termination under the same spec; the checksum is
+        // deliberately unenforced (on-chip-only upsert state), so a clean
+        // cell is exactly "terminated with no violations recorded".
+        let gp = run_dsa_chaos_cell(ChaosCell::GraphPulseSharded, 64, 1, 2);
+        assert!(!cell_has_violation(&gp), "cell violated: {gp}");
+        assert!(gp.contains("\"cycles\":"), "run did not terminate: {gp}");
     }
 
     #[test]

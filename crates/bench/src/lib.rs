@@ -22,6 +22,7 @@
 //! tables and JSON dumps are byte-identical at any job count.
 
 pub mod chaos;
+pub mod crossval;
 pub mod fuzz;
 pub mod runner;
 
@@ -431,6 +432,15 @@ fn write_results_json(name: &str, key: &str, body: &str) {
     } else {
         eprintln!("(wrote {})", path.display());
     }
+}
+
+/// Writes a caller-rendered JSON `body` under `"<key>"` to
+/// `results/<name>.json` when `XCACHE_JSON` is set, wrapped in the same
+/// metadata envelope as every other dump. For binaries (the oracle
+/// predictor, the cross-validation harness) whose body shape is neither a
+/// table nor a [`DsaRun`] set.
+pub fn maybe_dump_custom_json(name: &str, key: &str, body: &str) {
+    write_results_json(name, key, body);
 }
 
 /// Serialises a rendered table (headers + rows) to `results/<name>.json`

@@ -1,0 +1,87 @@
+//! Regression: an oracle-pruned sweep must be byte-identical to the full
+//! sweep on every cell both executed — pruning may *skip* cells, never
+//! *perturb* them.
+//!
+//! Cells are real pipelined fuzz simulations rendered to their canonical
+//! JSON (`FuzzReport::stats_json`), ranked by the analytical oracle's
+//! predicted miss count — the way `XCACHE_ESTIMATE_FRAC` is meant to be
+//! used: predict every cell for microseconds, simulate only the cells the
+//! model ranks interesting.
+
+use xcache_bench::crossval::{fuzz_oracle_ops, oracle_geometry};
+use xcache_bench::fuzz;
+use xcache_bench::{Runner, Scenario};
+use xcache_core::XCacheConfig;
+use xcache_oracle::CacheModel;
+
+const ACCESSES: usize = 64;
+
+fn predicted_misses(seed: u64) -> f64 {
+    let p = CacheModel::replay(
+        oracle_geometry(&XCacheConfig::test_tiny()),
+        &fuzz_oracle_ops(seed, ACCESSES),
+    );
+    p.misses as f64
+}
+
+fn cells() -> Vec<Scenario<'static, String>> {
+    (0..6u64)
+        .map(|seed| {
+            Scenario::new(format!("estimate fuzz {seed}"), move || {
+                fuzz::run_seed(seed, ACCESSES).stats_json()
+            })
+            .with_estimate(predicted_misses(seed))
+        })
+        .collect()
+}
+
+#[test]
+fn pruned_sweep_is_byte_identical_on_shared_cells() {
+    let runner = Runner::with_jobs(2);
+    let full = runner.run_pruned_frac(cells(), 1.0);
+    let pruned = runner.run_pruned_frac(cells(), 0.5);
+
+    assert!(full.iter().all(Option::is_some), "frac 1.0 runs every cell");
+    let ran: usize = pruned.iter().filter(|c| c.is_some()).count();
+    assert_eq!(ran, 3, "frac 0.5 of 6 estimated cells keeps ceil(3)");
+
+    for (i, (p, f)) in pruned.iter().zip(&full).enumerate() {
+        if let Some(p) = p {
+            assert_eq!(
+                Some(p),
+                f.as_ref(),
+                "cell {i}: pruned and full sweeps diverged"
+            );
+        }
+    }
+}
+
+#[test]
+fn pruning_keeps_the_highest_predicted_cells() {
+    let estimates: Vec<f64> = (0..6).map(predicted_misses).collect();
+    let pruned = Runner::with_jobs(2).run_pruned_frac(cells(), 0.5);
+
+    let mut ranked: Vec<usize> = (0..6).collect();
+    ranked.sort_by(|&a, &b| estimates[b].partial_cmp(&estimates[a]).expect("finite"));
+    for (rank, &i) in ranked.iter().enumerate() {
+        assert_eq!(
+            pruned[i].is_some(),
+            rank < 3,
+            "cell {i} (rank {rank}, estimate {}) on the wrong side of the cut",
+            estimates[i]
+        );
+    }
+}
+
+#[test]
+fn estimate_frac_env_is_parsed_and_clamped() {
+    // Sole test touching the variable, so no cross-test interference.
+    std::env::set_var("XCACHE_ESTIMATE_FRAC", "0.5");
+    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), Some(0.5));
+    std::env::set_var("XCACHE_ESTIMATE_FRAC", "1.5");
+    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), Some(1.0));
+    std::env::set_var("XCACHE_ESTIMATE_FRAC", "junk");
+    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), None);
+    std::env::remove_var("XCACHE_ESTIMATE_FRAC");
+    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), None);
+}

@@ -470,6 +470,20 @@ impl<D: MemoryPort> XCache<D> {
         &self.ctx
     }
 
+    /// Per-set meta-tag hit/alloc/eviction counters (length = `sets`),
+    /// exported for cross-validation against the analytical oracle.
+    #[must_use]
+    pub fn meta_set_counters(&self) -> &[crate::metatag::SetCounters] {
+        self.tags.set_counters()
+    }
+
+    /// The meta-tag set `key` maps to (harness introspection; the oracle
+    /// pins its reimplementation of the set hash against this).
+    #[must_use]
+    pub fn meta_set_index(&self, key: MetaKey) -> usize {
+        self.tags.set_index(key)
+    }
+
     /// The memory level below.
     #[must_use]
     pub fn downstream(&self) -> &D {

@@ -104,7 +104,7 @@ pub mod hierarchy;
 pub use config::{WalkerDiscipline, XCacheConfig};
 pub use controller::{splitmix64, BuildError, SimError, XCache};
 pub use dataram::DataRam;
-pub use metatag::{EntryRef, LaunchProbe, MetaEntry, MetaTagArray};
+pub use metatag::{EntryRef, LaunchProbe, MetaEntry, MetaTagArray, SetCounters};
 pub use msg::{MetaAccess, MetaKey, MetaResp};
 pub use shard::{
     horizon_target, owner_of, shard_geometry, shards_from_env, ShardCell, DEFAULT_HORIZON,

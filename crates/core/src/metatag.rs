@@ -62,6 +62,23 @@ pub struct EntryRef {
     pub way: u32,
 }
 
+/// Per-set counters for cross-validation against the analytical oracle
+/// (`xcache-oracle`). Tracked outside [`Stats`] so the aggregate counter
+/// JSON every harness emits is byte-identical to before they existed:
+/// `hits` counts probe hits of any access type landing in the set,
+/// `allocs`/`evictions` count `allocM` allocations and the valid victims
+/// they displace. Capacity (data-RAM) evictions invalidate through
+/// [`MetaTagArray::invalidate`] and are aggregate-only.
+#[derive(Debug, Clone, Copy, Default, PartialEq, Eq)]
+pub struct SetCounters {
+    /// Probe hits landing in this set.
+    pub hits: u64,
+    /// `allocM` allocations in this set.
+    pub allocs: u64,
+    /// Valid entries displaced by those allocations.
+    pub evictions: u64,
+}
+
 /// The set-associative meta-tag array.
 #[derive(Debug)]
 pub struct MetaTagArray {
@@ -69,6 +86,7 @@ pub struct MetaTagArray {
     ways: usize,
     slots: Vec<Slot>,
     use_counter: u64,
+    set_stats: Vec<SetCounters>,
 }
 
 impl MetaTagArray {
@@ -103,6 +121,7 @@ impl MetaTagArray {
                 sets * ways
             ],
             use_counter: 0,
+            set_stats: vec![SetCounters::default(); sets],
         }
     }
 
@@ -130,6 +149,21 @@ impl MetaTagArray {
         ((key.0.wrapping_mul(0x9E37_79B9_7F4A_7C15) >> 32) as usize) & (self.sets - 1)
     }
 
+    /// The set `key` maps to. Public so the analytical oracle
+    /// (`xcache-oracle`) can pin its reimplementation of the hash against
+    /// this one in a cross-crate test.
+    #[must_use]
+    pub fn set_index(&self, key: MetaKey) -> usize {
+        self.set_of(key)
+    }
+
+    /// Per-set hit/alloc/eviction counters (length = `sets`), for
+    /// cross-validation against the analytical oracle.
+    #[must_use]
+    pub fn set_counters(&self) -> &[SetCounters] {
+        &self.set_stats
+    }
+
     fn slot_idx(&self, r: EntryRef) -> usize {
         r.set as usize * self.ways + r.way as usize
     }
@@ -143,6 +177,7 @@ impl MetaTagArray {
             if self.slots[idx].valid && self.slots[idx].entry.key == key {
                 self.use_counter += 1;
                 self.slots[idx].last_used = self.use_counter;
+                self.set_stats[set].hits += 1;
                 return Some(EntryRef {
                     set: set as u32,
                     way: way as u32,
@@ -163,6 +198,7 @@ impl MetaTagArray {
             let idx = self.slot_idx(r);
             self.use_counter += 1;
             self.slots[idx].last_used = self.use_counter;
+            self.set_stats[r.set as usize].hits += 1;
         }
         r
     }
@@ -294,8 +330,10 @@ impl MetaTagArray {
         let idx = set * self.ways + way;
         let evicted = self.slots[idx].valid.then(|| {
             stats.incr_id(counter!("xcache.meta_evict"));
+            self.set_stats[set].evictions += 1;
             self.slots[idx].entry
         });
+        self.set_stats[set].allocs += 1;
         self.use_counter += 1;
         self.slots[idx] = Slot {
             entry: MetaEntry {
@@ -515,6 +553,36 @@ mod tests {
             0,
             "launch_probe must count nothing"
         );
+    }
+
+    #[test]
+    fn per_set_counters_track_hits_allocs_evictions() {
+        let mut a = MetaTagArray::new(4, 1);
+        let mut s = stats();
+        let k = MetaKey(42);
+        let set = a.set_index(k);
+        let (r, _) = a.alloc(k, StateId::DEFAULT, &mut s).unwrap();
+        a.entry_mut(r).active = false;
+        let _ = a.probe(k, &mut s); // counted hit
+        let _ = a.probe_at(a.peek(k), &mut s); // counted hit
+        let _ = a.probe_at(None, &mut s); // miss: not attributed to any set
+        let _ = a.peek(k); // peek counts nothing
+                           // Find a colliding key to force an eviction in the same set.
+        let k2 = (0..1000u64)
+            .map(MetaKey)
+            .find(|&c| c != k && a.set_index(c) == set)
+            .expect("some key collides");
+        let _ = a.alloc(k2, StateId::DEFAULT, &mut s).unwrap();
+        let c = a.set_counters()[set];
+        assert_eq!((c.hits, c.allocs, c.evictions), (2, 2, 1));
+        let other_sets: u64 = a
+            .set_counters()
+            .iter()
+            .enumerate()
+            .filter(|&(i, _)| i != set)
+            .map(|(_, c)| c.hits + c.allocs + c.evictions)
+            .sum();
+        assert_eq!(other_sets, 0);
     }
 
     #[test]

@@ -56,6 +56,7 @@
 //! ```
 
 pub mod asm;
+pub mod effects;
 pub mod gen;
 pub mod predecode;
 pub mod verify;

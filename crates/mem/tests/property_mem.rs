@@ -6,8 +6,8 @@
 use proptest::prelude::*;
 
 use xcache_mem::{
-    AddressCache, CacheConfig, DramConfig, DramModel, MainMemory, MemReq, MemoryPort,
-    ReplacementPolicy,
+    AddressCache, BankGroup, BankGroupConfig, CacheConfig, DramConfig, DramModel, MainMemory,
+    MemReq, MemoryPort, ReplacementPolicy,
 };
 use xcache_sim::{with_skip, Cycle};
 
@@ -231,5 +231,99 @@ proptest! {
             now = now.next();
             prop_assert!(now.raw() < 1_000_000, "dram deadlock");
         }
+    }
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(64))]
+
+    /// Bank ownership partitions the address space: for any topology and
+    /// any address, exactly one shard claims the bank holding it, and
+    /// every shard agrees on who that owner is.
+    #[test]
+    fn bank_group_ownership_partitions_addresses(
+        shards in 1usize..9,
+        addrs in prop::collection::vec(0u64..(1 << 20), 1..32)
+    ) {
+        let groups: Vec<BankGroup> = (0..shards)
+            .map(|shard_id| {
+                BankGroup::new(
+                    BankGroupConfig { shards, shard_id, ..BankGroupConfig::default() },
+                    DramModel::new(DramConfig::test_tiny()),
+                )
+            })
+            .collect();
+        for &addr in &addrs {
+            let owner = groups[0].owner_shard(addr);
+            prop_assert!(owner < shards, "owner {owner} out of range");
+            for (shard_id, g) in groups.iter().enumerate() {
+                // The mapping is a pure function of the address and the
+                // topology, not of which shard asks.
+                prop_assert_eq!(g.owner_shard(addr), owner);
+                let claims = g.owner_shard(addr) == shard_id;
+                prop_assert_eq!(claims, shard_id == owner);
+            }
+        }
+    }
+
+    /// The ownership counters conserve traffic: every accepted request is
+    /// counted under exactly one of `bank.local`/`bank.remote`, and every
+    /// rejected one under `bank.stall` — no request is lost or counted
+    /// twice, regardless of address mix or staging back-pressure.
+    #[test]
+    fn bank_group_local_remote_counters_conserve_accesses(
+        shards in 1usize..5,
+        shard_id_raw in 0usize..4,
+        reqs in prop::collection::vec((0u64..(1 << 20), 0u64..30), 1..40)
+    ) {
+        let shard_id = shard_id_raw % shards;
+        let mut g = BankGroup::new(
+            BankGroupConfig { shards, shard_id, staging_depth: 4, ..BankGroupConfig::default() },
+            DramModel::new(DramConfig::test_tiny()),
+        );
+        let mut now = Cycle(0);
+        let mut accepted = 0u64;
+        let mut rejected = 0u64;
+        let mut expect_local = 0u64;
+        let mut expect_remote = 0u64;
+        let mut inflight = 0u64;
+        for (i, &(addr, gap)) in reqs.iter().enumerate() {
+            let addr = addr & !7;
+            match g.try_request(now, MemReq::read(i as u64, addr, 8)) {
+                Ok(()) => {
+                    accepted += 1;
+                    inflight += 1;
+                    if g.owner_shard(addr) == shard_id {
+                        expect_local += 1;
+                    } else {
+                        expect_remote += 1;
+                    }
+                }
+                Err(_) => rejected += 1,
+            }
+            for _ in 0..gap {
+                g.tick(now);
+                if g.take_response(now).is_some() {
+                    inflight -= 1;
+                }
+                now = now.next();
+            }
+        }
+        while inflight > 0 {
+            g.tick(now);
+            if g.take_response(now).is_some() {
+                inflight -= 1;
+            }
+            now = now.next();
+            prop_assert!(now.raw() < 1_000_000, "bank group deadlock");
+        }
+        prop_assert_eq!(
+            g.stats().get("bank.local") + g.stats().get("bank.remote"),
+            accepted,
+            "local+remote must equal accepted requests"
+        );
+        prop_assert_eq!(g.stats().get("bank.local"), expect_local);
+        prop_assert_eq!(g.stats().get("bank.remote"), expect_remote);
+        prop_assert_eq!(g.stats().get("bank.stall"), rejected);
     }
 }

@@ -167,6 +167,17 @@ impl TraceBuffer {
     pub fn of_kind(&self, kind: TraceKind) -> impl Iterator<Item = &TraceEvent> {
         self.events.iter().filter(move |e| e.kind == kind)
     }
+
+    /// Number of retained events matching `kind`.
+    ///
+    /// Only meaningful as a total count when nothing has been dropped —
+    /// cross-validation harnesses that tap the trace as a third opinion on
+    /// hit/miss totals must size the buffer to the run and check
+    /// [`TraceBuffer::dropped`] before trusting this.
+    #[must_use]
+    pub fn count_of_kind(&self, kind: TraceKind) -> u64 {
+        self.of_kind(kind).count() as u64
+    }
 }
 
 #[cfg(test)]

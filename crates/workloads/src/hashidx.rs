@@ -118,6 +118,15 @@ impl HashIndex {
         self.buckets[(hash64(key) & self.mask) as usize].len()
     }
 
+    /// The `(key, rid)` nodes of the bucket holding `key`, in walk order
+    /// (chain head first) — exactly the order the Widx walker visits them.
+    /// The analytical oracle uses this to predict which node keys a probe
+    /// side-inserts before it finds (or fails to find) its own key.
+    #[must_use]
+    pub fn chain(&self, key: u64) -> &[(u64, u64)] {
+        &self.buckets[(hash64(key) & self.mask) as usize]
+    }
+
     /// Average chain length over nonempty buckets.
     #[must_use]
     pub fn avg_chain_len(&self) -> f64 {
