@@ -17,16 +17,9 @@ use std::process::ExitCode;
 
 use xcache_bench::fuzz::{jobs_differential, skip_differential, DEFAULT_ACCESSES};
 
-fn env_u64(name: &str, default: u64) -> u64 {
-    std::env::var(name)
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .unwrap_or(default)
-}
-
 fn main() -> ExitCode {
-    let count = env_u64("XCACHE_FUZZ_SEEDS", 200);
-    let base = env_u64("XCACHE_FUZZ_BASE_SEED", 0);
+    let count = xcache_bench::env_u64_or("XCACHE_FUZZ_SEEDS", 200);
+    let base = xcache_bench::env_u64_or("XCACHE_FUZZ_BASE_SEED", 0);
     let seeds: Vec<u64> = (base..base + count).collect();
     println!(
         "fuzz smoke: {count} seeded walker programs (seeds {base}..{}), {DEFAULT_ACCESSES} accesses each",

@@ -601,14 +601,18 @@ pub fn spgemm_cell(algorithm: xcache_dsa::spgemm::Algorithm) -> CellReport {
     report
 }
 
-/// Fuzz-seed count from `XCACHE_CROSSVAL_SEEDS` (default 50).
+/// Fuzz-seed count from `XCACHE_CROSSVAL_SEEDS` (default 50). A
+/// malformed or zero value prints the structured error and exits 2.
 #[must_use]
 pub fn crossval_seeds() -> u64 {
-    std::env::var("XCACHE_CROSSVAL_SEEDS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(50)
+    xcache_sim::exit2(xcache_sim::env_parse_map("XCACHE_CROSSVAL_SEEDS", |s| {
+        let v: u64 = s.parse().map_err(|e| format!("{e}"))?;
+        if v == 0 {
+            return Err("seed count must be >= 1".into());
+        }
+        Ok(v)
+    }))
+    .unwrap_or(50)
 }
 
 /// The full suite: `seeds` fuzz seeds through both classes, plus the

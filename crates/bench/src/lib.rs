@@ -26,7 +26,10 @@ pub mod crossval;
 pub mod fuzz;
 pub mod runner;
 
-pub use runner::{jobs_from_env, merge_snapshots, Runner, Scenario};
+pub use runner::{
+    jobs_from_env, merge_snapshots, try_jobs_from_env, Cell, CellOutcome, CellStatus,
+    CheckpointPolicy, CheckpointStore, MemStore, Runner, Scenario,
+};
 
 use std::fmt::Write as _;
 use std::sync::atomic::{AtomicU64, Ordering};
@@ -92,15 +95,37 @@ pub fn machine_factor() -> f64 {
 
 /// Workload scale divisor. `1` = paper-sized. Default 10.
 ///
-/// Read from `XCACHE_SCALE`; invalid values fall back to the default.
+/// Read from `XCACHE_SCALE`; a malformed or zero value prints the
+/// structured error and exits 2 (see [`try_scale`]).
 #[must_use]
 pub fn scale() -> u32 {
+    xcache_sim::exit2(try_scale())
+}
+
+/// [`scale`] as a structured result, for callers (the scenario service)
+/// that must reject a bad knob instead of exiting.
+///
+/// # Errors
+///
+/// Returns an [`xcache_sim::EnvError`] for an unparsable or zero value.
+pub fn try_scale() -> Result<u32, xcache_sim::EnvError> {
     let _ = start_instant();
-    std::env::var("XCACHE_SCALE")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or(10)
+    Ok(xcache_sim::env_parse_map("XCACHE_SCALE", |s| {
+        let v: u32 = s.parse().map_err(|e| format!("{e}"))?;
+        if v == 0 {
+            return Err("scale divisor must be >= 1".into());
+        }
+        Ok(v)
+    })?
+    .unwrap_or(10))
+}
+
+/// A `u64` environment knob with a default — the smoke binaries' seed
+/// counters and friends. Malformed values print the structured error and
+/// exit 2 instead of silently falling back.
+#[must_use]
+pub fn env_u64_or(var: &str, default: u64) -> u64 {
+    xcache_sim::exit2(xcache_sim::env_parse::<u64>(var)).unwrap_or(default)
 }
 
 /// Renders an aligned text table.

@@ -12,7 +12,7 @@
 //! split across threads, so per-cell results are bit-exact regardless of
 //! scheduling.
 
-use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
 use std::sync::Mutex;
 
 use xcache_sim::StatsSnapshot;
@@ -64,20 +64,33 @@ impl<'a, T> Scenario<'a, T> {
 
 /// Worker-thread count from `XCACHE_JOBS`.
 ///
-/// Defaults to the machine's available parallelism; invalid or zero
-/// values fall back to the default. `XCACHE_JOBS=1` forces sequential
-/// in-thread execution.
+/// Defaults to the machine's available parallelism; `XCACHE_JOBS=1`
+/// forces sequential in-thread execution. A malformed or zero value
+/// prints the structured error and exits 2 (see [`try_jobs_from_env`]).
 #[must_use]
 pub fn jobs_from_env() -> usize {
-    std::env::var("XCACHE_JOBS")
-        .ok()
-        .and_then(|v| v.parse().ok())
-        .filter(|&v| v >= 1)
-        .unwrap_or_else(|| {
-            std::thread::available_parallelism()
-                .map(std::num::NonZeroUsize::get)
-                .unwrap_or(1)
-        })
+    xcache_sim::exit2(try_jobs_from_env())
+}
+
+/// [`jobs_from_env`] as a structured result, for callers (the scenario
+/// service) that must reject a bad knob instead of exiting.
+///
+/// # Errors
+///
+/// Returns an [`xcache_sim::EnvError`] for an unparsable or zero value.
+pub fn try_jobs_from_env() -> Result<usize, xcache_sim::EnvError> {
+    Ok(xcache_sim::env_parse_map("XCACHE_JOBS", |s| {
+        let v: usize = s.parse().map_err(|e| format!("{e}"))?;
+        if v == 0 {
+            return Err("worker count must be >= 1".into());
+        }
+        Ok(v)
+    })?
+    .unwrap_or_else(|| {
+        std::thread::available_parallelism()
+            .map(std::num::NonZeroUsize::get)
+            .unwrap_or(1)
+    }))
 }
 
 /// Executes a grid of [`Scenario`]s across a pool of worker threads.
@@ -175,15 +188,29 @@ impl Runner {
 
 /// The sweep-pruning fraction from `XCACHE_ESTIMATE_FRAC`, if set.
 ///
-/// Values are clamped to `(0, 1]`; unset, unparsable, or non-positive
-/// values mean "run everything".
+/// Must be a finite value in `(0, 1]`; unset means "run everything". A
+/// malformed or out-of-range value prints the structured error and
+/// exits 2 (see [`try_estimate_frac_from_env`]).
 #[must_use]
 pub fn estimate_frac_from_env() -> Option<f64> {
-    std::env::var("XCACHE_ESTIMATE_FRAC")
-        .ok()
-        .and_then(|v| v.parse::<f64>().ok())
-        .filter(|f| f.is_finite() && *f > 0.0)
-        .map(|f| f.min(1.0))
+    xcache_sim::exit2(try_estimate_frac_from_env())
+}
+
+/// [`estimate_frac_from_env`] as a structured result, for callers (the
+/// scenario service) that must reject a bad knob instead of exiting.
+///
+/// # Errors
+///
+/// Returns an [`xcache_sim::EnvError`] when the value is unparsable,
+/// non-finite, or outside `(0, 1]`.
+pub fn try_estimate_frac_from_env() -> Result<Option<f64>, xcache_sim::EnvError> {
+    xcache_sim::env_parse_map("XCACHE_ESTIMATE_FRAC", |s| {
+        let f: f64 = s.parse().map_err(|e| format!("{e}"))?;
+        if !f.is_finite() || f <= 0.0 || f > 1.0 {
+            return Err(format!("fraction {f} outside (0, 1]"));
+        }
+        Ok(f)
+    })
 }
 
 impl Runner {
@@ -243,6 +270,351 @@ impl Runner {
     pub fn run_pruned<T: Send>(&self, cells: Vec<Scenario<'_, T>>) -> Vec<Option<T>> {
         let frac = estimate_frac_from_env().unwrap_or(1.0);
         self.run_pruned_frac(cells, frac)
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Checkpointed execution: the durable-sweep path the scenario service
+// (`crates/serve`) builds on.
+// ---------------------------------------------------------------------------
+
+/// One cell of a *checkpointed* sweep.
+///
+/// Unlike [`Scenario`], the closure is `Fn` (an attempt that times out,
+/// panics, or returns an error can be retried) and the result is a JSON
+/// payload string (cell results must serialize into the sweep journal).
+/// Simulations are deterministic, so a retried attempt reproduces the
+/// original payload byte for byte.
+pub struct Cell<'a> {
+    label: String,
+    run: Box<dyn Fn() -> Result<String, String> + Send + Sync + 'a>,
+}
+
+impl<'a> Cell<'a> {
+    /// Declares a restartable cell.
+    pub fn new(
+        label: impl Into<String>,
+        run: impl Fn() -> Result<String, String> + Send + Sync + 'a,
+    ) -> Self {
+        Cell {
+            label: label.into(),
+            run: Box::new(run),
+        }
+    }
+
+    /// The cell's label — the journal key, unique within a sweep.
+    #[must_use]
+    pub fn label(&self) -> &str {
+        &self.label
+    }
+}
+
+/// Terminal (or not-yet-terminal) state of one checkpointed cell.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum CellStatus {
+    /// The cell completed; the payload is its JSON result.
+    Done(String),
+    /// Every attempt failed; the reason is a structured description of
+    /// the last failure. A failed cell does not poison the sweep.
+    Failed(String),
+    /// The cell was never completed this run (cancelled before it was
+    /// claimed, or its last attempt was interrupted by a drain). Pending
+    /// cells are *not* committed to the store, so a resumed run
+    /// re-executes them.
+    Pending,
+}
+
+/// Cell-granular result of a checkpointed run.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CellOutcome {
+    /// Declaration position in the sweep grid.
+    pub index: usize,
+    /// The cell's label.
+    pub label: String,
+    /// Terminal state.
+    pub status: CellStatus,
+    /// Attempts made *by this process* (0 when reused from the store).
+    pub attempts: u32,
+    /// `true` when the result was replayed from the store instead of
+    /// executed — the resume path.
+    pub reused: bool,
+}
+
+impl CellOutcome {
+    /// Whether the cell reached a terminal state (done or failed).
+    #[must_use]
+    pub fn is_terminal(&self) -> bool {
+        !matches!(self.status, CellStatus::Pending)
+    }
+}
+
+/// Durable completion log a checkpointed run replays from and commits
+/// to. Implementations must make [`commit`](CheckpointStore::commit)
+/// durable before returning (the service's journal fsyncs); [`MemStore`]
+/// is the in-memory stand-in for tests and overhead measurement.
+pub trait CheckpointStore: Sync {
+    /// The already-recorded terminal result for `label`, if any:
+    /// `Ok(payload)` for a completed cell, `Err(reason)` for one that
+    /// exhausted its retries in a previous run.
+    fn lookup(&self, label: &str) -> Option<Result<String, String>>;
+
+    /// Durably records a terminal outcome. Called at most once per cell
+    /// per run, before the result is published to the caller.
+    fn commit(&self, outcome: &CellOutcome);
+
+    /// Streaming hook: an attempt on `label` is starting.
+    fn started(&self, _index: usize, _label: &str, _attempt: u32) {}
+}
+
+/// An in-memory [`CheckpointStore`]: a plain map, no durability. Used by
+/// tests and by the checkpoint-overhead benchmark as the zero-cost
+/// reference.
+#[derive(Default)]
+pub struct MemStore {
+    cells: Mutex<std::collections::HashMap<String, Result<String, String>>>,
+}
+
+impl MemStore {
+    /// An empty store.
+    #[must_use]
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Pre-populates a completed cell (simulating a previous run).
+    pub fn preload(&self, label: &str, result: Result<String, String>) {
+        self.cells
+            .lock()
+            .expect("mem store lock")
+            .insert(label.to_owned(), result);
+    }
+}
+
+impl CheckpointStore for MemStore {
+    fn lookup(&self, label: &str) -> Option<Result<String, String>> {
+        self.cells
+            .lock()
+            .expect("mem store lock")
+            .get(label)
+            .cloned()
+    }
+
+    fn commit(&self, outcome: &CellOutcome) {
+        let result = match &outcome.status {
+            CellStatus::Done(p) => Ok(p.clone()),
+            CellStatus::Failed(r) => Err(r.clone()),
+            CellStatus::Pending => return,
+        };
+        self.cells
+            .lock()
+            .expect("mem store lock")
+            .insert(outcome.label.clone(), result);
+    }
+}
+
+/// Per-cell robustness policy for a checkpointed run.
+#[derive(Debug, Clone, Copy)]
+pub struct CheckpointPolicy {
+    /// Extra attempts after the first (so `retries = 2` means up to
+    /// three executions).
+    pub retries: u32,
+    /// Base backoff between attempts; doubles per retry, capped at 5 s.
+    pub backoff_ms: u64,
+    /// Wall-clock deadline per attempt (`XCACHE_CELL_TIMEOUT_MS` in the
+    /// service). `None` = unbounded. The deadline is host-level only: it
+    /// never reaches into the simulation, whose own liveness guard is
+    /// the cycle watchdog.
+    pub timeout_ms: Option<u64>,
+}
+
+impl Default for CheckpointPolicy {
+    fn default() -> Self {
+        CheckpointPolicy {
+            retries: 2,
+            backoff_ms: 50,
+            timeout_ms: None,
+        }
+    }
+}
+
+/// Renders a panic payload into the structured failure reason.
+fn panic_reason(payload: Box<dyn std::any::Any + Send>) -> String {
+    if let Some(s) = payload.downcast_ref::<&str>() {
+        format!("cell panicked: {s}")
+    } else if let Some(s) = payload.downcast_ref::<String>() {
+        format!("cell panicked: {s}")
+    } else {
+        "cell panicked".into()
+    }
+}
+
+impl Runner {
+    /// Runs a sweep with durable per-cell checkpointing: cells already
+    /// terminal in `store` are replayed without execution; the rest run
+    /// across the worker pool with per-attempt wall deadlines, bounded
+    /// retry with exponential backoff, and panic containment. Terminal
+    /// outcomes are committed to `store` *before* being published, so a
+    /// process killed at any instant resumes by re-running exactly the
+    /// cells whose completion never reached the store.
+    ///
+    /// Setting `cancel` drains the run: in-flight attempts finish (and
+    /// commit), unclaimed cells come back [`CellStatus::Pending`].
+    ///
+    /// Results arrive in declaration order regardless of scheduling, so
+    /// an output assembled from them — or from the store — is
+    /// byte-identical to an uninterrupted run's.
+    pub fn run_with_checkpoint(
+        &self,
+        cells: Vec<Cell<'_>>,
+        store: &dyn CheckpointStore,
+        policy: &CheckpointPolicy,
+        cancel: &AtomicBool,
+    ) -> Vec<CellOutcome> {
+        use std::panic::{catch_unwind, AssertUnwindSafe};
+        use std::sync::mpsc;
+        use std::sync::Arc;
+        use std::time::Duration;
+
+        let _ = crate::start_instant();
+        let n = cells.len();
+        let jobs = self.jobs.min(n.max(1));
+        let labels: Vec<String> = cells.iter().map(|c| c.label().to_owned()).collect();
+        let tasks: Vec<Mutex<Option<Cell<'_>>>> =
+            cells.into_iter().map(|c| Mutex::new(Some(c))).collect();
+        let slots: Vec<Mutex<Option<CellOutcome>>> = (0..n).map(|_| Mutex::new(None)).collect();
+        let next = AtomicUsize::new(0);
+
+        std::thread::scope(|s| {
+            for _ in 0..jobs {
+                s.spawn(|| loop {
+                    if cancel.load(Ordering::SeqCst) {
+                        break;
+                    }
+                    let i = next.fetch_add(1, Ordering::Relaxed);
+                    if i >= n {
+                        break;
+                    }
+                    let cell = Arc::new(
+                        tasks[i]
+                            .lock()
+                            .expect("task lock")
+                            .take()
+                            .expect("each cell is claimed once"),
+                    );
+                    let label = cell.label().to_owned();
+
+                    // Resume path: a terminal result in the store is
+                    // authoritative; never re-execute.
+                    if let Some(prior) = store.lookup(&label) {
+                        let status = match prior {
+                            Ok(p) => CellStatus::Done(p),
+                            Err(r) => CellStatus::Failed(r),
+                        };
+                        *slots[i].lock().expect("slot lock") = Some(CellOutcome {
+                            index: i,
+                            label,
+                            status,
+                            attempts: 0,
+                            reused: true,
+                        });
+                        continue;
+                    }
+
+                    let mut attempts = 0u32;
+                    let mut outcome: Option<CellOutcome> = None;
+                    while attempts <= policy.retries {
+                        attempts += 1;
+                        store.started(i, &label, attempts);
+                        let result = match policy.timeout_ms {
+                            None => {
+                                let cell = Arc::clone(&cell);
+                                catch_unwind(AssertUnwindSafe(move || (cell.run)()))
+                                    .unwrap_or_else(|p| Err(panic_reason(p)))
+                            }
+                            Some(ms) => {
+                                // The attempt runs on its own thread so a
+                                // wall-clock overrun can be abandoned; the
+                                // Arc keeps the cell alive for any
+                                // straggler still executing.
+                                let (tx, rx) = mpsc::channel();
+                                let runner = Arc::clone(&cell);
+                                s.spawn(move || {
+                                    let r = catch_unwind(AssertUnwindSafe(|| (runner.run)()))
+                                        .unwrap_or_else(|p| Err(panic_reason(p)));
+                                    let _ = tx.send(r);
+                                });
+                                match rx.recv_timeout(Duration::from_millis(ms)) {
+                                    Ok(r) => r,
+                                    Err(_) => {
+                                        Err(format!("cell deadline exceeded ({ms} ms wall clock)"))
+                                    }
+                                }
+                            }
+                        };
+                        match result {
+                            Ok(payload) => {
+                                outcome = Some(CellOutcome {
+                                    index: i,
+                                    label: label.clone(),
+                                    status: CellStatus::Done(payload),
+                                    attempts,
+                                    reused: false,
+                                });
+                                break;
+                            }
+                            Err(reason) => {
+                                if attempts > policy.retries {
+                                    outcome = Some(CellOutcome {
+                                        index: i,
+                                        label: label.clone(),
+                                        status: CellStatus::Failed(format!(
+                                            "{reason} (after {attempts} attempts)"
+                                        )),
+                                        attempts,
+                                        reused: false,
+                                    });
+                                    break;
+                                }
+                                if cancel.load(Ordering::SeqCst) {
+                                    // Drain requested mid-retry: leave the
+                                    // cell pending (uncommitted) so the
+                                    // resumed run re-executes it.
+                                    break;
+                                }
+                                let backoff = policy
+                                    .backoff_ms
+                                    .saturating_mul(1 << (attempts - 1).min(16))
+                                    .min(5_000);
+                                std::thread::sleep(Duration::from_millis(backoff));
+                            }
+                        }
+                    }
+                    if let Some(out) = outcome {
+                        // Durability before visibility: the store commit
+                        // (journal append + fsync) happens before the
+                        // result is published.
+                        store.commit(&out);
+                        *slots[i].lock().expect("slot lock") = Some(out);
+                    }
+                });
+            }
+        });
+
+        slots
+            .into_iter()
+            .enumerate()
+            .map(|(i, m)| {
+                m.into_inner()
+                    .expect("slot lock")
+                    .unwrap_or_else(|| CellOutcome {
+                        index: i,
+                        label: labels[i].clone(),
+                        status: CellStatus::Pending,
+                        attempts: 0,
+                        reused: false,
+                    })
+            })
+            .collect()
     }
 }
 
@@ -371,6 +743,175 @@ mod tests {
         // frac 1.0 runs everything and matches a plain run.
         let full = Runner::with_jobs(2).run_pruned_frac(grid(), 1.0);
         assert_eq!(full, vec![Some(1), Some(2), Some(3), Some(4)]);
+    }
+
+    #[test]
+    fn checkpoint_run_commits_and_orders_results() {
+        let store = MemStore::new();
+        let cells: Vec<Cell<'_>> = (0..6u64)
+            .map(|i| {
+                Cell::new(format!("c{i}"), move || {
+                    Ok(format!("{{\"v\":{}}}", chain(i, 500)))
+                })
+            })
+            .collect();
+        let outcomes = Runner::with_jobs(3).run_with_checkpoint(
+            cells,
+            &store,
+            &CheckpointPolicy::default(),
+            &AtomicBool::new(false),
+        );
+        assert_eq!(outcomes.len(), 6);
+        for (i, o) in outcomes.iter().enumerate() {
+            assert_eq!(o.index, i);
+            assert_eq!(o.label, format!("c{i}"));
+            assert_eq!(o.attempts, 1);
+            assert!(!o.reused);
+            assert_eq!(
+                o.status,
+                CellStatus::Done(format!("{{\"v\":{}}}", chain(i as u64, 500)))
+            );
+            assert_eq!(
+                store.lookup(&o.label),
+                Some(Ok(format!("{{\"v\":{}}}", chain(i as u64, 500))))
+            );
+        }
+    }
+
+    #[test]
+    fn checkpoint_resume_skips_completed_cells() {
+        let store = MemStore::new();
+        store.preload("c0", Ok("{\"v\":0}".into()));
+        store.preload("c2", Err("prior failure".into()));
+        let executed = AtomicUsize::new(0);
+        let cells: Vec<Cell<'_>> = (0..4)
+            .map(|i| {
+                let executed = &executed;
+                Cell::new(format!("c{i}"), move || {
+                    executed.fetch_add(1, Ordering::SeqCst);
+                    Ok(format!("{{\"v\":{i}}}"))
+                })
+            })
+            .collect();
+        let outcomes = Runner::with_jobs(2).run_with_checkpoint(
+            cells,
+            &store,
+            &CheckpointPolicy::default(),
+            &AtomicBool::new(false),
+        );
+        // Only the two cells absent from the store executed.
+        assert_eq!(executed.load(Ordering::SeqCst), 2);
+        assert!(outcomes[0].reused && outcomes[2].reused);
+        assert_eq!(outcomes[0].status, CellStatus::Done("{\"v\":0}".into()));
+        assert_eq!(
+            outcomes[2].status,
+            CellStatus::Failed("prior failure".into())
+        );
+        assert_eq!(outcomes[1].status, CellStatus::Done("{\"v\":1}".into()));
+        assert_eq!(outcomes[3].status, CellStatus::Done("{\"v\":3}".into()));
+    }
+
+    #[test]
+    fn checkpoint_retries_then_succeeds_and_exhausts() {
+        let store = MemStore::new();
+        let flaky_calls = AtomicUsize::new(0);
+        let cells = vec![
+            Cell::new("flaky", || {
+                if flaky_calls.fetch_add(1, Ordering::SeqCst) < 2 {
+                    Err("transient".into())
+                } else {
+                    Ok("{\"ok\":true}".into())
+                }
+            }),
+            Cell::new("hopeless", || Err("always broken".into())),
+            Cell::new("panicky", || panic!("boom {}", 42)),
+        ];
+        let policy = CheckpointPolicy {
+            retries: 2,
+            backoff_ms: 1,
+            timeout_ms: None,
+        };
+        let outcomes = Runner::with_jobs(1).run_with_checkpoint(
+            cells,
+            &store,
+            &policy,
+            &AtomicBool::new(false),
+        );
+        assert_eq!(outcomes[0].status, CellStatus::Done("{\"ok\":true}".into()));
+        assert_eq!(outcomes[0].attempts, 3);
+        match &outcomes[1].status {
+            CellStatus::Failed(r) => {
+                assert!(r.contains("always broken"), "{r}");
+                assert!(r.contains("3 attempts"), "{r}");
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        match &outcomes[2].status {
+            CellStatus::Failed(r) => {
+                assert!(r.contains("panicked") && r.contains("boom 42"), "{r}")
+            }
+            other => panic!("expected failure, got {other:?}"),
+        }
+        // Failures are committed too — a resumed run must not retry a
+        // cell that already exhausted its budget.
+        assert!(store.lookup("hopeless").unwrap().is_err());
+    }
+
+    #[test]
+    fn checkpoint_deadline_fails_slow_cells() {
+        let store = MemStore::new();
+        let cells = vec![
+            Cell::new("slow", || {
+                std::thread::sleep(std::time::Duration::from_millis(400));
+                Ok("{}".into())
+            }),
+            Cell::new("fast", || Ok("{\"fast\":1}".into())),
+        ];
+        let policy = CheckpointPolicy {
+            retries: 0,
+            backoff_ms: 1,
+            timeout_ms: Some(40),
+        };
+        let outcomes = Runner::with_jobs(2).run_with_checkpoint(
+            cells,
+            &store,
+            &policy,
+            &AtomicBool::new(false),
+        );
+        match &outcomes[0].status {
+            CellStatus::Failed(r) => assert!(r.contains("deadline exceeded"), "{r}"),
+            other => panic!("expected deadline failure, got {other:?}"),
+        }
+        assert_eq!(outcomes[1].status, CellStatus::Done("{\"fast\":1}".into()));
+    }
+
+    #[test]
+    fn checkpoint_cancel_leaves_unclaimed_cells_pending() {
+        let store = MemStore::new();
+        let cancel = AtomicBool::new(false);
+        let cells: Vec<Cell<'_>> = (0..5)
+            .map(|i| {
+                let cancel = &cancel;
+                Cell::new(format!("c{i}"), move || {
+                    // The first executed cell requests a drain; in-flight
+                    // work still completes and commits.
+                    cancel.store(true, Ordering::SeqCst);
+                    Ok(format!("{{\"v\":{i}}}"))
+                })
+            })
+            .collect();
+        let outcomes = Runner::with_jobs(1).run_with_checkpoint(
+            cells,
+            &store,
+            &CheckpointPolicy::default(),
+            &cancel,
+        );
+        assert_eq!(outcomes[0].status, CellStatus::Done("{\"v\":0}".into()));
+        assert!(store.lookup("c0").is_some());
+        for o in &outcomes[1..] {
+            assert_eq!(o.status, CellStatus::Pending, "{}", o.label);
+            assert!(store.lookup(&o.label).is_none());
+        }
     }
 
     #[test]

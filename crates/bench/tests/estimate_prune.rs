@@ -74,14 +74,21 @@ fn pruning_keeps_the_highest_predicted_cells() {
 }
 
 #[test]
-fn estimate_frac_env_is_parsed_and_clamped() {
+fn estimate_frac_env_is_parsed_and_validated() {
+    use xcache_bench::runner::try_estimate_frac_from_env;
     // Sole test touching the variable, so no cross-test interference.
     std::env::set_var("XCACHE_ESTIMATE_FRAC", "0.5");
-    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), Some(0.5));
-    std::env::set_var("XCACHE_ESTIMATE_FRAC", "1.5");
-    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), Some(1.0));
-    std::env::set_var("XCACHE_ESTIMATE_FRAC", "junk");
-    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), None);
+    assert_eq!(try_estimate_frac_from_env(), Ok(Some(0.5)));
+    // Out-of-range and malformed values are structured errors now, not
+    // silent clamps (the service rejects the job; CLIs exit 2).
+    for bad in ["1.5", "0", "-0.25", "junk", "NaN"] {
+        std::env::set_var("XCACHE_ESTIMATE_FRAC", bad);
+        let err = try_estimate_frac_from_env().expect_err(bad);
+        assert!(
+            err.to_string().contains("XCACHE_ESTIMATE_FRAC"),
+            "error for {bad:?} names the variable: {err}"
+        );
+    }
     std::env::remove_var("XCACHE_ESTIMATE_FRAC");
-    assert_eq!(xcache_bench::runner::estimate_frac_from_env(), None);
+    assert_eq!(try_estimate_frac_from_env(), Ok(None));
 }

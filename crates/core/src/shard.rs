@@ -45,13 +45,19 @@ pub fn owner_of(key: MetaKey, shards: usize) -> usize {
     }
 }
 
-/// Shard count from `XCACHE_SHARDS` (clamped to `1..=64`), or `default`.
+/// Shard count from `XCACHE_SHARDS` (must be `1..=64`), or `default`
+/// when unset. A malformed or out-of-range value prints the structured
+/// error and exits 2.
 #[must_use]
 pub fn shards_from_env(default: usize) -> usize {
-    std::env::var("XCACHE_SHARDS")
-        .ok()
-        .and_then(|v| v.trim().parse::<usize>().ok())
-        .map_or(default, |n| n.clamp(1, 64))
+    xcache_sim::exit2(xcache_sim::env_parse_map("XCACHE_SHARDS", |s| {
+        let n: usize = s.parse().map_err(|e| format!("{e}"))?;
+        if !(1..=64).contains(&n) {
+            return Err(format!("shard count {n} outside 1..=64"));
+        }
+        Ok(n)
+    }))
+    .unwrap_or(default)
 }
 
 /// A per-shard controller geometry: the base config with the meta-tag

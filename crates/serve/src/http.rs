@@ -1,0 +1,274 @@
+//! Minimal HTTP/1.1 over `std::net` — enough for a JSON job API plus
+//! NDJSON streaming, with no async runtime (vendor policy: no tokio).
+//!
+//! Server side: parse one request per connection (`Connection: close`
+//! semantics throughout — simple, and streaming responses have no
+//! length to frame anyway). Client side: a blocking request helper and
+//! a line-streaming variant, shared by `xcachectl` and the tests.
+
+use std::collections::HashMap;
+use std::io::{BufRead, BufReader, Read, Write};
+use std::net::TcpStream;
+use std::time::Duration;
+
+/// Upper bound on request bodies; a job spec is a few hundred bytes.
+const MAX_BODY: usize = 1 << 20;
+
+/// A parsed request.
+#[derive(Debug)]
+pub struct Request {
+    /// `GET`, `POST`, ...
+    pub method: String,
+    /// Path without the query string.
+    pub path: String,
+    /// Decoded query parameters (no percent-decoding; the API uses
+    /// plain tokens only).
+    pub query: HashMap<String, String>,
+    /// Header names lowercased.
+    pub headers: HashMap<String, String>,
+    /// Request body (`Content-Length`-framed).
+    pub body: Vec<u8>,
+}
+
+impl Request {
+    /// Reads one request from the stream.
+    ///
+    /// # Errors
+    ///
+    /// A description of the framing problem; the caller answers 400.
+    pub fn read(stream: &mut TcpStream) -> Result<Request, String> {
+        let mut reader = BufReader::new(stream);
+        let mut line = String::new();
+        reader
+            .read_line(&mut line)
+            .map_err(|e| format!("read request line: {e}"))?;
+        let mut parts = line.split_whitespace();
+        let method = parts.next().ok_or("empty request line")?.to_owned();
+        let target = parts.next().ok_or("request line has no target")?;
+        let (path, query_raw) = match target.split_once('?') {
+            Some((p, q)) => (p, q),
+            None => (target, ""),
+        };
+        let query = query_raw
+            .split('&')
+            .filter(|kv| !kv.is_empty())
+            .map(|kv| match kv.split_once('=') {
+                Some((k, v)) => (k.to_owned(), v.to_owned()),
+                None => (kv.to_owned(), String::new()),
+            })
+            .collect();
+
+        let mut headers = HashMap::new();
+        loop {
+            let mut h = String::new();
+            reader
+                .read_line(&mut h)
+                .map_err(|e| format!("read header: {e}"))?;
+            let h = h.trim_end();
+            if h.is_empty() {
+                break;
+            }
+            if let Some((k, v)) = h.split_once(':') {
+                headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+            }
+        }
+
+        let len: usize = headers
+            .get("content-length")
+            .map(|v| v.parse().map_err(|_| format!("bad content-length `{v}`")))
+            .transpose()?
+            .unwrap_or(0);
+        if len > MAX_BODY {
+            return Err(format!("body too large ({len} bytes)"));
+        }
+        let mut body = vec![0u8; len];
+        reader
+            .read_exact(&mut body)
+            .map_err(|e| format!("read body: {e}"))?;
+        Ok(Request {
+            method,
+            path: path.to_owned(),
+            query,
+            headers,
+            body,
+        })
+    }
+}
+
+fn status_text(code: u16) -> &'static str {
+    match code {
+        200 => "OK",
+        202 => "Accepted",
+        400 => "Bad Request",
+        404 => "Not Found",
+        405 => "Method Not Allowed",
+        409 => "Conflict",
+        429 => "Too Many Requests",
+        503 => "Service Unavailable",
+        _ => "Internal Server Error",
+    }
+}
+
+/// Writes a complete response (`Content-Length`-framed, connection
+/// closes after). Extra headers are `(name, value)` pairs.
+pub fn respond(stream: &mut TcpStream, code: u16, extra: &[(&str, &str)], body: &str) {
+    let mut head = format!(
+        "HTTP/1.1 {code} {}\r\nContent-Type: application/json\r\nContent-Length: {}\r\nConnection: close\r\n",
+        status_text(code),
+        body.len()
+    );
+    for (k, v) in extra {
+        head.push_str(k);
+        head.push_str(": ");
+        head.push_str(v);
+        head.push_str("\r\n");
+    }
+    head.push_str("\r\n");
+    let _ = stream.write_all(head.as_bytes());
+    let _ = stream.write_all(body.as_bytes());
+    let _ = stream.flush();
+}
+
+/// Starts a streaming NDJSON response: headers only, no
+/// `Content-Length` — the body is framed by connection close.
+///
+/// # Errors
+///
+/// Propagates the socket write failure (client went away).
+pub fn start_ndjson(stream: &mut TcpStream) -> std::io::Result<()> {
+    stream.write_all(
+        b"HTTP/1.1 200 OK\r\nContent-Type: application/x-ndjson\r\nConnection: close\r\n\r\n",
+    )?;
+    stream.flush()
+}
+
+/// Blocking client request; returns `(status, body)`.
+///
+/// # Errors
+///
+/// Connection or protocol failures, described.
+pub fn request(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<(u16, String), String> {
+    request_full(addr, method, path, headers, body).map(|(status, _, body)| (status, body))
+}
+
+/// [`request`], additionally returning the response headers (names
+/// lowercased) — e.g. to read `Retry-After` on a 429.
+///
+/// # Errors
+///
+/// Connection or protocol failures, described.
+pub fn request_full(
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<(u16, HashMap<String, String>, String), String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    stream
+        .set_read_timeout(Some(Duration::from_secs(120)))
+        .map_err(|e| e.to_string())?;
+    send_request(&mut stream, addr, method, path, headers, body)?;
+    let mut reader = BufReader::new(stream);
+    let (status, resp_headers) = read_status_and_headers(&mut reader)?;
+    let mut body_out = String::new();
+    if let Some(len) = resp_headers.get("content-length") {
+        let len: usize = len.parse().map_err(|_| "bad content-length")?;
+        let mut buf = vec![0u8; len];
+        reader
+            .read_exact(&mut buf)
+            .map_err(|e| format!("read body: {e}"))?;
+        body_out = String::from_utf8_lossy(&buf).into_owned();
+    } else {
+        reader
+            .read_to_string(&mut body_out)
+            .map_err(|e| format!("read body: {e}"))?;
+    }
+    Ok((status, resp_headers, body_out))
+}
+
+/// Opens a streaming request and hands each NDJSON line to `on_line`
+/// until the server closes the connection. Returns the status code.
+///
+/// # Errors
+///
+/// Connection or protocol failures, described.
+pub fn request_stream(
+    addr: &str,
+    path: &str,
+    mut on_line: impl FnMut(&str),
+) -> Result<u16, String> {
+    let mut stream = TcpStream::connect(addr).map_err(|e| format!("connect {addr}: {e}"))?;
+    send_request(&mut stream, addr, "GET", path, &[], None)?;
+    let mut reader = BufReader::new(stream);
+    let (status, _) = read_status_and_headers(&mut reader)?;
+    if status == 200 {
+        let mut line = String::new();
+        while reader.read_line(&mut line).map_err(|e| e.to_string())? > 0 {
+            let trimmed = line.trim_end();
+            if !trimmed.is_empty() {
+                on_line(trimmed);
+            }
+            line.clear();
+        }
+    }
+    Ok(status)
+}
+
+fn send_request(
+    stream: &mut TcpStream,
+    addr: &str,
+    method: &str,
+    path: &str,
+    headers: &[(&str, &str)],
+    body: Option<&str>,
+) -> Result<(), String> {
+    let body = body.unwrap_or("");
+    let mut req = format!(
+        "{method} {path} HTTP/1.1\r\nHost: {addr}\r\nConnection: close\r\nContent-Length: {}\r\n",
+        body.len()
+    );
+    for (k, v) in headers {
+        req.push_str(&format!("{k}: {v}\r\n"));
+    }
+    req.push_str("\r\n");
+    req.push_str(body);
+    stream
+        .write_all(req.as_bytes())
+        .map_err(|e| format!("send request: {e}"))
+}
+
+fn read_status_and_headers(
+    reader: &mut BufReader<TcpStream>,
+) -> Result<(u16, HashMap<String, String>), String> {
+    let mut line = String::new();
+    reader
+        .read_line(&mut line)
+        .map_err(|e| format!("read status line: {e}"))?;
+    let status: u16 = line
+        .split_whitespace()
+        .nth(1)
+        .and_then(|s| s.parse().ok())
+        .ok_or_else(|| format!("bad status line `{}`", line.trim_end()))?;
+    let mut headers = HashMap::new();
+    loop {
+        let mut h = String::new();
+        reader
+            .read_line(&mut h)
+            .map_err(|e| format!("read header: {e}"))?;
+        let h = h.trim_end();
+        if h.is_empty() {
+            break;
+        }
+        if let Some((k, v)) = h.split_once(':') {
+            headers.insert(k.trim().to_ascii_lowercase(), v.trim().to_owned());
+        }
+    }
+    Ok((status, headers))
+}

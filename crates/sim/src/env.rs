@@ -1,0 +1,158 @@
+//! Structured environment-knob parsing.
+//!
+//! Every `XCACHE_*` knob in the workspace used to be read ad hoc — some
+//! readers silently fell back to a default on garbage, some panicked.
+//! Both are wrong for a long-running service: a typo'd knob must be a
+//! *rejectable, reportable* error, not a silent behaviour change or a
+//! crash deep inside a simulation. [`env_parse`] is the one funnel: it
+//! returns `Ok(None)` when the variable is unset (or empty — convenient
+//! for CI scripting), `Ok(Some(value))` when it parses, and a structured
+//! [`EnvError`] otherwise.
+//!
+//! Callers pick their failure policy explicitly:
+//!
+//! * CLIs wrap the result in [`exit2`] — print the error, exit with
+//!   status 2 (the workspace's usage-error code, as `xasm` does).
+//! * The scenario service (`xcache-serve`) keeps the `Result` and turns
+//!   it into a rejected job or a refused startup, never a panic.
+
+use std::fmt;
+use std::str::FromStr;
+
+/// A malformed environment knob: which variable, what it held, and why
+/// it was rejected.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct EnvError {
+    /// The variable name (e.g. `XCACHE_JOBS`).
+    pub var: String,
+    /// The offending value as found in the environment.
+    pub value: String,
+    /// Human-readable rejection reason.
+    pub reason: String,
+}
+
+impl EnvError {
+    /// Builds an error for `var` holding `value`.
+    #[must_use]
+    pub fn new(var: &str, value: &str, reason: impl Into<String>) -> Self {
+        EnvError {
+            var: var.to_owned(),
+            value: value.to_owned(),
+            reason: reason.into(),
+        }
+    }
+}
+
+impl fmt::Display for EnvError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid {}={:?}: {}", self.var, self.value, self.reason)
+    }
+}
+
+impl std::error::Error for EnvError {}
+
+/// Reads and parses `var` via [`FromStr`]. Unset or empty → `Ok(None)`;
+/// unparsable → a structured [`EnvError`].
+///
+/// # Errors
+///
+/// Returns [`EnvError`] when the variable is set, non-empty, and fails
+/// to parse as `T`.
+pub fn env_parse<T: FromStr>(var: &str) -> Result<Option<T>, EnvError>
+where
+    T::Err: fmt::Display,
+{
+    env_parse_map(var, |s| s.parse::<T>().map_err(|e| e.to_string()))
+}
+
+/// [`env_parse`] with a caller-supplied parser/validator: `f` receives
+/// the trimmed value and returns either the parsed knob or a rejection
+/// reason.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] carrying `f`'s rejection reason.
+pub fn env_parse_map<T>(
+    var: &str,
+    f: impl FnOnce(&str) -> Result<T, String>,
+) -> Result<Option<T>, EnvError> {
+    let raw = match std::env::var(var) {
+        Ok(v) => v,
+        Err(_) => return Ok(None),
+    };
+    let trimmed = raw.trim();
+    if trimmed.is_empty() {
+        return Ok(None);
+    }
+    match f(trimmed) {
+        Ok(v) => Ok(Some(v)),
+        Err(reason) => Err(EnvError::new(var, &raw, reason)),
+    }
+}
+
+/// CLI failure policy: unwraps an env-knob result, printing the
+/// structured error and exiting with status 2 (usage error) on failure.
+pub fn exit2<T>(r: Result<T, EnvError>) -> T {
+    match r {
+        Ok(v) => v,
+        Err(e) => {
+            eprintln!("error: {e}");
+            std::process::exit(2);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // Each test uses its own variable name so the process-global
+    // environment never races between tests.
+
+    #[test]
+    fn unset_and_empty_are_none() {
+        assert_eq!(env_parse::<u64>("XCACHE_ENVTEST_UNSET"), Ok(None));
+        std::env::set_var("XCACHE_ENVTEST_EMPTY", "  ");
+        assert_eq!(env_parse::<u64>("XCACHE_ENVTEST_EMPTY"), Ok(None));
+    }
+
+    #[test]
+    fn valid_values_parse_trimmed() {
+        std::env::set_var("XCACHE_ENVTEST_OK", " 42 ");
+        assert_eq!(env_parse::<u64>("XCACHE_ENVTEST_OK"), Ok(Some(42)));
+        std::env::set_var("XCACHE_ENVTEST_F64", "0.25");
+        assert_eq!(env_parse::<f64>("XCACHE_ENVTEST_F64"), Ok(Some(0.25)));
+    }
+
+    #[test]
+    fn malformed_values_are_structured_errors() {
+        std::env::set_var("XCACHE_ENVTEST_BAD", "three");
+        let err = env_parse::<u64>("XCACHE_ENVTEST_BAD").unwrap_err();
+        assert_eq!(err.var, "XCACHE_ENVTEST_BAD");
+        assert_eq!(err.value, "three");
+        assert!(err.to_string().contains("XCACHE_ENVTEST_BAD"), "{err}");
+        assert!(err.to_string().contains("three"), "{err}");
+    }
+
+    #[test]
+    fn negative_and_overflow_are_errors_for_unsigned() {
+        std::env::set_var("XCACHE_ENVTEST_NEG", "-3");
+        assert!(env_parse::<u64>("XCACHE_ENVTEST_NEG").is_err());
+        std::env::set_var("XCACHE_ENVTEST_HUGE", "99999999999999999999999999");
+        assert!(env_parse::<u64>("XCACHE_ENVTEST_HUGE").is_err());
+    }
+
+    #[test]
+    fn map_variant_carries_validator_reason() {
+        std::env::set_var("XCACHE_ENVTEST_ZERO", "0");
+        let err = env_parse_map("XCACHE_ENVTEST_ZERO", |s| {
+            let v: u64 = s.parse().map_err(|e| format!("{e}"))?;
+            if v == 0 {
+                return Err("must be >= 1".into());
+            }
+            Ok(v)
+        })
+        .unwrap_err();
+        assert_eq!(err.reason, "must be >= 1");
+    }
+}

@@ -225,10 +225,9 @@ impl FaultPlan {
     /// `XCACHE_FAULT_SPEC` / `XCACHE_FAULT_SEED`. `None` means fault
     /// injection is off (the default).
     ///
-    /// # Panics
-    ///
-    /// Panics (once, at first use) if `XCACHE_FAULT_SPEC` is set but
-    /// malformed — a configuration error, not an injected fault.
+    /// A malformed spec or seed prints the structured error and exits 2
+    /// (once, at first use) — a configuration error, not an injected
+    /// fault. Services validate ahead of time via [`FaultPlan::try_from_env`].
     #[must_use]
     pub fn current() -> Option<Arc<FaultPlan>> {
         if let Some(over) = PLAN_OVERRIDE.with(|c| c.borrow().clone()) {
@@ -236,25 +235,26 @@ impl FaultPlan {
         }
         env_plan()
     }
+
+    /// Parses `XCACHE_FAULT_SPEC` / `XCACHE_FAULT_SEED` without caching
+    /// or exiting: `Ok(None)` when injection is unarmed, a structured
+    /// [`EnvError`](crate::env::EnvError) when either knob is malformed.
+    /// The scenario service uses this to refuse a bad configuration at
+    /// startup instead of dying mid-job.
+    ///
+    /// # Errors
+    ///
+    /// Returns the first malformed knob as an [`crate::env::EnvError`].
+    pub fn try_from_env() -> Result<Option<FaultPlan>, crate::env::EnvError> {
+        let seed = crate::env::env_parse::<u64>("XCACHE_FAULT_SEED")?.unwrap_or(0xFA01);
+        crate::env::env_parse_map("XCACHE_FAULT_SPEC", |spec| FaultPlan::parse(spec, seed))
+    }
 }
 
 fn env_plan() -> Option<Arc<FaultPlan>> {
     static PLAN: OnceLock<Option<Arc<FaultPlan>>> = OnceLock::new();
-    PLAN.get_or_init(|| {
-        let spec = match std::env::var("XCACHE_FAULT_SPEC") {
-            Ok(s) if !s.trim().is_empty() => s,
-            _ => return None,
-        };
-        let seed = std::env::var("XCACHE_FAULT_SEED")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .unwrap_or(0xFA01);
-        match FaultPlan::parse(&spec, seed) {
-            Ok(p) => Some(Arc::new(p)),
-            Err(e) => panic!("invalid XCACHE_FAULT_SPEC: {e}"),
-        }
-    })
-    .clone()
+    PLAN.get_or_init(|| crate::env::exit2(FaultPlan::try_from_env()).map(Arc::new))
+        .clone()
 }
 
 thread_local! {

@@ -28,6 +28,7 @@ mod clock;
 mod component;
 mod context;
 mod engine;
+pub mod env;
 mod fault;
 mod fxhash;
 mod parallel;
@@ -43,6 +44,7 @@ pub use clock::Cycle;
 pub use component::Component;
 pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
+pub use env::{env_parse, env_parse_map, exit2, EnvError};
 pub use fault::{with_fault_plan, FaultHit, FaultKind, FaultPlan};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use parallel::{
@@ -55,5 +57,7 @@ pub use skip::{
 };
 pub use stats::{CounterId, Histogram, Stats, StatsSnapshot};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
-pub use watchdog::{watchdog_budget, with_watchdog_budget, StallReport, DEFAULT_WATCHDOG_CYCLES};
+pub use watchdog::{
+    watchdog_budget, with_watchdog_budget, HostDeadline, StallReport, DEFAULT_WATCHDOG_CYCLES,
+};
 pub use wheel::TimingWheel;

@@ -49,9 +49,13 @@ pub enum ParMode {
 
 fn env_par_mode() -> ParMode {
     static MODE: OnceLock<ParMode> = OnceLock::new();
-    *MODE.get_or_init(|| match std::env::var("XCACHE_PAR").as_deref() {
-        Ok("seq") => ParMode::Seq,
-        _ => ParMode::Par,
+    *MODE.get_or_init(|| {
+        crate::env::exit2(crate::env::env_parse_map("XCACHE_PAR", |s| match s {
+            "seq" => Ok(ParMode::Seq),
+            "par" => Ok(ParMode::Par),
+            other => Err(format!("unknown mode `{other}` (expected `seq` or `par`)")),
+        }))
+        .unwrap_or(ParMode::Par)
     })
 }
 
@@ -81,13 +85,16 @@ pub fn with_par_mode<T>(mode: ParMode, f: impl FnOnce() -> T) -> T {
 fn env_par_threads() -> usize {
     static THREADS: OnceLock<usize> = OnceLock::new();
     *THREADS.get_or_init(|| {
-        std::env::var("XCACHE_PAR_THREADS")
-            .ok()
-            .and_then(|v| v.trim().parse::<usize>().ok())
-            .filter(|&n| n >= 1)
-            .unwrap_or_else(|| {
-                std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
-            })
+        crate::env::exit2(crate::env::env_parse_map("XCACHE_PAR_THREADS", |s| {
+            let n: usize = s.parse().map_err(|e| format!("{e}"))?;
+            if n == 0 {
+                return Err("thread count must be >= 1".into());
+            }
+            Ok(n)
+        }))
+        .unwrap_or_else(|| {
+            std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get)
+        })
     })
 }
 

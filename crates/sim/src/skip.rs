@@ -65,9 +65,15 @@ pub enum SchedMode {
 
 fn env_sched_mode() -> SchedMode {
     static MODE: OnceLock<SchedMode> = OnceLock::new();
-    *MODE.get_or_init(|| match std::env::var("XCACHE_SCHED").as_deref() {
-        Ok("scan") => SchedMode::Scan,
-        _ => SchedMode::Wheel,
+    *MODE.get_or_init(|| {
+        crate::env::exit2(crate::env::env_parse_map("XCACHE_SCHED", |s| match s {
+            "scan" => Ok(SchedMode::Scan),
+            "wheel" => Ok(SchedMode::Wheel),
+            other => Err(format!(
+                "unknown mode `{other}` (expected `wheel` or `scan`)"
+            )),
+        }))
+        .unwrap_or(SchedMode::Wheel)
     })
 }
 

@@ -16,7 +16,9 @@
 use std::cell::Cell;
 use std::fmt;
 use std::sync::OnceLock;
+use std::time::{Duration, Instant};
 
+use crate::env::{env_parse_map, exit2, EnvError};
 use crate::Cycle;
 
 /// Default per-walker liveness budget. Far above any legitimate walk
@@ -24,15 +26,27 @@ use crate::Cycle;
 /// healthy run never trips it; chaos harnesses lower it per-thread.
 pub const DEFAULT_WATCHDOG_CYCLES: u64 = 1_000_000;
 
+/// The `XCACHE_WATCHDOG_CYCLES` budget as a structured result: `None`
+/// when unset (use [`DEFAULT_WATCHDOG_CYCLES`]), an [`EnvError`] when
+/// malformed or zero. The scenario service validates through this
+/// without exiting; CLIs go through [`watchdog_budget`] which exits 2.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] for an unparsable or zero value.
+pub fn try_env_budget() -> Result<Option<u64>, EnvError> {
+    env_parse_map("XCACHE_WATCHDOG_CYCLES", |s| {
+        let v: u64 = s.parse().map_err(|e| format!("{e}"))?;
+        if v == 0 {
+            return Err("budget must be >= 1 cycle".into());
+        }
+        Ok(v)
+    })
+}
+
 fn env_budget() -> u64 {
     static BUDGET: OnceLock<u64> = OnceLock::new();
-    *BUDGET.get_or_init(|| {
-        std::env::var("XCACHE_WATCHDOG_CYCLES")
-            .ok()
-            .and_then(|v| v.trim().parse().ok())
-            .filter(|&v| v > 0)
-            .unwrap_or(DEFAULT_WATCHDOG_CYCLES)
-    })
+    *BUDGET.get_or_init(|| exit2(try_env_budget()).unwrap_or(DEFAULT_WATCHDOG_CYCLES))
 }
 
 thread_local! {
@@ -102,9 +116,67 @@ impl fmt::Display for StallReport {
     }
 }
 
+/// A wall-clock deadline for one *host-level* unit of work (a sweep
+/// cell), complementing the simulated-cycle budget above.
+///
+/// The cycle watchdog keeps a *simulation* from hanging — it is part of
+/// the deterministic model and fires on the same cycle in every replay.
+/// A service hosting many sweeps additionally needs a wall-clock bound
+/// per cell (`XCACHE_CELL_TIMEOUT_MS`): a cell that blows it is retried
+/// with backoff and eventually marked failed, without poisoning the job.
+/// The deadline is deliberately *outside* the simulation: it never
+/// influences simulated behaviour, so resumed sweeps stay byte-identical.
+#[derive(Debug, Clone, Copy)]
+pub struct HostDeadline {
+    expires: Option<Instant>,
+}
+
+impl HostDeadline {
+    /// A deadline `timeout_ms` from now; `None` means unbounded.
+    #[must_use]
+    pub fn after_ms(timeout_ms: Option<u64>) -> Self {
+        HostDeadline {
+            expires: timeout_ms.map(|ms| Instant::now() + Duration::from_millis(ms)),
+        }
+    }
+
+    /// Whether the deadline has passed.
+    #[must_use]
+    pub fn expired(&self) -> bool {
+        self.expires.is_some_and(|t| Instant::now() >= t)
+    }
+
+    /// Time left before expiry; `None` when unbounded.
+    #[must_use]
+    pub fn remaining(&self) -> Option<Duration> {
+        self.expires
+            .map(|t| t.saturating_duration_since(Instant::now()))
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
+
+    #[test]
+    fn host_deadline_expires_and_unbounded_never_does() {
+        let unbounded = HostDeadline::after_ms(None);
+        assert!(!unbounded.expired());
+        assert!(unbounded.remaining().is_none());
+        let instant = HostDeadline::after_ms(Some(0));
+        assert!(instant.expired());
+        let far = HostDeadline::after_ms(Some(60_000));
+        assert!(!far.expired());
+        assert!(far.remaining().unwrap() > Duration::from_secs(30));
+    }
+
+    #[test]
+    fn try_env_budget_unset_is_none() {
+        // The test environment never sets the variable.
+        if std::env::var("XCACHE_WATCHDOG_CYCLES").is_err() {
+            assert_eq!(try_env_budget(), Ok(None));
+        }
+    }
 
     #[test]
     fn override_wins_nests_and_restores() {
