@@ -332,10 +332,16 @@ fn main() {
     std::fs::write(&out_path, out).expect("write baseline json");
     eprintln!("(wrote {out_path})");
 
+    // Guards that fast-forwarding still pays off where it should — a
+    // DRAM-latency-bound loop is mostly idle cycles. The floor is 2x,
+    // not higher: the ratio's denominator is the *busy*-cycle path, so
+    // every busy-path optimization (thin LTO, memoized DRAM next_event,
+    // macro-step execution) legitimately compresses it — ~3.6x at PR 6,
+    // ~2.7x now, with the skip-side absolute wall time unchanged.
     let dram_bound = &measurements[0];
     assert!(
-        dram_bound.speedup() >= 3.0,
-        "expected >= 3x wall-clock speedup on the DRAM-latency-bound \
+        dram_bound.speedup() >= 2.0,
+        "expected >= 2x wall-clock speedup on the DRAM-latency-bound \
          scenario, measured {:.2}x",
         dram_bound.speedup()
     );

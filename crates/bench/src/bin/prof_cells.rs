@@ -1,0 +1,37 @@
+//! Profiling driver: runs one controller-bound cell in a loop so an
+//! external profiler (gprofng, perf) gets a long, steady sample of the
+//! per-tick hot path. Usage: `prof_cells <widx|spgemm> [iters]`.
+
+use xcache_bench::{widx_geometry, widx_workload};
+use xcache_dsa::{spgemm, widx};
+use xcache_workloads::QueryClass;
+
+fn main() {
+    let mut args = std::env::args().skip(1);
+    let which = args.next().unwrap_or_else(|| "widx".into());
+    let iters: usize = args.next().and_then(|s| s.parse().ok()).unwrap_or(10);
+    match which.as_str() {
+        "widx" => {
+            let w = widx_workload(QueryClass::Q19, 40, 7);
+            let g = widx_geometry(40);
+            let mut sink = 0u64;
+            for _ in 0..iters {
+                sink = sink.wrapping_add(widx::run_xcache(&w, Some(g.clone())).cycles);
+            }
+            println!("widx ok ({sink})");
+        }
+        "spgemm" => {
+            let w = spgemm::SpgemmWorkload::paper_like(spgemm::Algorithm::Gustavson, 40, 7);
+            let g = xcache_bench::spgemm_geometry(40);
+            let mut sink = 0u64;
+            for _ in 0..iters {
+                sink = sink.wrapping_add(spgemm::run_xcache(&w, Some(g.clone())).cycles);
+            }
+            println!("spgemm ok ({sink})");
+        }
+        other => {
+            eprintln!("unknown cell {other}; use widx or spgemm");
+            std::process::exit(2);
+        }
+    }
+}

@@ -416,9 +416,13 @@ pub fn git_sha() -> String {
 /// Run metadata recorded in every JSON dump: enough to reproduce the run
 /// (scale divisor, job count, commit) and to identify the format, plus the
 /// timing fields (`wall_ms`, `sim_cycles`, `sim_cycles_per_sec`) that give
-/// every dump a perf trajectory. The timing fields are machine-dependent;
-/// comparisons across runs must ignore the meta line (it sits on its own
-/// line in the envelope precisely so `grep -v '^"meta"'` drops it).
+/// every dump a perf trajectory. `parallel_fallbacks` counts silent
+/// `Par`-pool degradations to sequential execution — nonzero means the
+/// run's wall times came from a machine that couldn't actually go
+/// parallel, so its throughput numbers undersell the code. The timing
+/// fields are machine-dependent; comparisons across runs must ignore the
+/// meta line (it sits on its own line in the envelope precisely so
+/// `grep -v '^"meta"'` drops it).
 #[must_use]
 pub fn meta_json(name: &str) -> String {
     let (wall_ms, sim_cycles) = timing_totals();
@@ -427,12 +431,13 @@ pub fn meta_json(name: &str) -> String {
         .checked_div(wall_ms)
         .unwrap_or(0);
     format!(
-        "{{\"schema\":\"xcache-bench/1\",\"experiment\":\"{}\",\"scale\":{},\"jobs\":{},\"machine_factor\":{:.3},\"git_sha\":\"{}\",\"wall_ms\":{wall_ms},\"sim_cycles\":{sim_cycles},\"sim_cycles_per_sec\":{per_sec}}}",
+        "{{\"schema\":\"xcache-bench/2\",\"experiment\":\"{}\",\"scale\":{},\"jobs\":{},\"machine_factor\":{:.3},\"git_sha\":\"{}\",\"wall_ms\":{wall_ms},\"sim_cycles\":{sim_cycles},\"sim_cycles_per_sec\":{per_sec},\"parallel_fallbacks\":{}}}",
         json_escape(name),
         scale(),
         jobs_from_env(),
         machine_factor(),
-        json_escape(&git_sha())
+        json_escape(&git_sha()),
+        xcache_sim::parallel_fallbacks()
     )
 }
 

@@ -6,7 +6,9 @@
 //! both worker counts (its cells never touch `with_skip`).
 
 use proptest::prelude::*;
-use xcache_bench::fuzz::{jobs_differential, run_seed, sched_differential, skip_differential};
+use xcache_bench::fuzz::{
+    exec_differential, jobs_differential, run_seed, sched_differential, skip_differential,
+};
 
 /// Seeds per in-tree test run — small enough for a debug build, spread
 /// over a couple of windows so both generator shapes (hashed, store
@@ -27,6 +29,13 @@ fn wheel_and_scan_schedulers_are_byte_identical() {
     }
 }
 
+#[test]
+fn macro_and_micro_engines_are_byte_identical() {
+    for seed in SEEDS {
+        exec_differential(seed, 48).unwrap();
+    }
+}
+
 proptest! {
     // Each case runs a generated program twice (wheel + scan), so keep the
     // case count near the deterministic seed window's size; the strategy
@@ -37,6 +46,19 @@ proptest! {
     #[test]
     fn wheel_matches_scan_on_arbitrary_seeds(seed in any::<u64>(), accesses in 8usize..96) {
         if let Err(e) = sched_differential(seed, accesses) {
+            panic!("{e}");
+        }
+    }
+
+    /// Superinstruction fusion is semantics-preserving: for
+    /// generator-produced verifier-clean programs, the fused macro-step
+    /// engine and the unfused micro-step reference must agree on every
+    /// register/memory effect — the response checksum folds every
+    /// returned payload word, and the counter map folds every
+    /// architectural event, so byte-equal JSON means byte-equal effects.
+    #[test]
+    fn fused_matches_unfused_on_arbitrary_seeds(seed in any::<u64>(), accesses in 8usize..96) {
+        if let Err(e) = exec_differential(seed, accesses) {
             panic!("{e}");
         }
     }

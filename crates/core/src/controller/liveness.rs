@@ -111,7 +111,7 @@ impl<D: MemoryPort> XCache<D> {
                     self.fault_walker(now, slot);
                 }
                 // The watchdog acting *is* forward progress.
-                self.global_progress = now;
+                self.global_progress = self.global_progress.max(now);
             }
             self.wd_earliest = next_deadline;
         }
@@ -165,7 +165,7 @@ impl<D: MemoryPort> XCache<D> {
             self.respond(now, a.id(), a.key(), false, Vec::new());
         }
         self.launch_stalled = false;
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
     }
 
     /// Aborts the walker in `slot` and schedules its access (and waiters)
@@ -192,7 +192,7 @@ impl<D: MemoryPort> XCache<D> {
                     self.data.free(e.sector_start, e.sector_count);
                 }
             } else {
-                self.tags.entry_mut(r).active = false;
+                self.tags.update_entry(r, |e| e.active = false);
             }
         }
         // Forget this walk's in-flight requests: a late (or injected-

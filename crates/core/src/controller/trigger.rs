@@ -31,10 +31,12 @@ impl<D: MemoryPort> XCache<D> {
                 b[..chunk.len()].copy_from_slice(chunk);
                 payload[i] = u64::from_le_bytes(b);
             }
-            self.arena.cold[slot].fill_data = Some(resp.data.clone());
+            self.arena.cold[slot].fill_data = Some(resp.data);
             self.arena.push_event(slot, EventId::FILL, payload);
-            self.arena.last_progress[slot] = now;
-            self.global_progress = now;
+            // Max-semantics: a fill can land while the slot's lane is
+            // macro-dormant holding a future-dated progress stamp.
+            self.arena.last_progress[slot] = self.arena.last_progress[slot].max(now);
+            self.global_progress = self.global_progress.max(now);
             self.ctx.stats.incr_id(counter!("xcache.fill_resp"));
             self.ctx
                 .trace
@@ -55,8 +57,8 @@ impl<D: MemoryPort> XCache<D> {
         for &(_, (slot, gen, ev, payload)) in &buf {
             if self.arena.is_live(slot) && self.arena.gen[slot] == gen {
                 self.arena.push_event(slot, ev, payload);
-                self.arena.last_progress[slot] = now;
-                self.global_progress = now;
+                self.arena.last_progress[slot] = self.arena.last_progress[slot].max(now);
+                self.global_progress = self.global_progress.max(now);
             }
         }
         buf.clear();
@@ -118,29 +120,72 @@ impl<D: MemoryPort> XCache<D> {
             return;
         }
 
+        let Some(&head) = self.pending.front() else {
+            self.launch_stalled = false;
+            return;
+        };
+        // Head fast path: the window's first candidate is always
+        // `pending[0]`, and on the vast majority of scans it serves —
+        // skip the dedup-window build entirely for that case. `can_serve`
+        // is deterministic and side-effect-free (its only write,
+        // `probe_cache`, is key-validated by the consumer), so the slow
+        // path below can also skip re-checking candidate 0.
+        self.probe_cache = None;
+        if self.can_serve(now, &head, wake_budget, None) {
+            self.launch_stalled = false;
+            let access = self.pending.pop_front().expect("head exists");
+            self.serve_access(now, access, wake_budget);
+            return;
+        }
         let window = self.pending.len().min(SCHED_WINDOW);
         let mut seen_keys = [MetaKey::new(0); SCHED_WINDOW];
-        let mut seen = 0usize;
-        let mut serve: Option<usize> = None;
-        self.probe_cache = None;
-        for i in 0..window {
-            let access = self.pending[i];
-            let key = access.key();
+        let mut cand = [0usize; SCHED_WINDOW];
+        seen_keys[0] = head.key();
+        let mut seen = 1usize;
+        for i in 1..window {
+            let key = self.pending[i].key();
             if seen_keys[..seen].contains(&key) {
                 continue; // per-key order preserved
             }
             seen_keys[seen] = key;
+            cand[seen] = i;
             seen += 1;
-            if self.can_serve(now, &access, wake_budget) {
-                serve = Some(i);
+        }
+        // Macro mode: the head candidate keeps its lazy probe (handled
+        // above); past it, hazard checks are primed through
+        // [`MetaTagArray::launch_probe_batch`] in geometrically growing
+        // chunks — deep scans coalesce into a few multi-probe passes
+        // while shallow ones over-probe at most one chunk. The batch
+        // probe is pure and uncounted, so probing candidates the scan
+        // never reaches is byte-invisible. Micro mode keeps the fully
+        // lazy per-candidate probe as the reference path.
+        let macro_mode = seen > 1 && matches!(xcache_sim::exec_mode(), xcache_sim::ExecMode::Macro);
+        if macro_mode {
+            self.probe_batch.clear();
+        }
+        let mut serve: Option<usize> = None;
+        for (c, &cand_c) in cand.iter().enumerate().take(seen).skip(1) {
+            let prefetched = if macro_mode {
+                // `probe_batch[i]` answers candidate `1 + i`.
+                if c > self.probe_batch.len() {
+                    let covered = 1 + self.probe_batch.len();
+                    let chunk_end = seen.min((c * 2).max(c + 2));
+                    self.tags
+                        .launch_probe_batch(&seen_keys[covered..chunk_end], &mut self.probe_batch);
+                }
+                Some(self.probe_batch[c - 1])
+            } else {
+                None
+            };
+            let access = self.pending[cand_c];
+            if self.can_serve(now, &access, wake_budget, prefetched) {
+                serve = Some(cand_c);
                 break;
             }
         }
         let Some(i) = serve else {
-            self.launch_stalled = !self.pending.is_empty();
-            if self.launch_stalled {
-                self.ctx.stats.incr_id(counter!("xcache.launch_stall"));
-            }
+            self.launch_stalled = true;
+            self.ctx.stats.incr_id(counter!("xcache.launch_stall"));
             return;
         };
         self.launch_stalled = false;
@@ -150,8 +195,15 @@ impl<D: MemoryPort> XCache<D> {
 
     /// Whether `access` can make progress this cycle (trigger-stage hazard
     /// check — "routines are not triggered until all the hazard conditions
-    /// are eliminated", §4.1 ③).
-    fn can_serve(&mut self, now: Cycle, access: &MetaAccess, wake_budget: &usize) -> bool {
+    /// are eliminated", §4.1 ③). `prefetched` carries this key's answer
+    /// from the macro-mode batched window probe, when one ran.
+    fn can_serve(
+        &mut self,
+        now: Cycle,
+        access: &MetaAccess,
+        wake_budget: &usize,
+        prefetched: Option<crate::metatag::LaunchProbe>,
+    ) -> bool {
         let key = access.key();
         if let Some(_slot) = self.launching.get(&key) {
             // Loads attach as waiters (always possible); stores/takes must
@@ -168,7 +220,7 @@ impl<D: MemoryPort> XCache<D> {
         // the same set). Remember where it landed: if this access is the
         // one served, `serve_access` completes the lookup via `probe_at`
         // without re-scanning the set.
-        let probe = self.tags.launch_probe(key);
+        let probe = prefetched.unwrap_or_else(|| self.tags.launch_probe(key));
         self.probe_cache = Some((key, probe.hit));
         let hit = match probe.hit {
             Some(r) => !self.misfires(access, self.tags.entry(r).pinned),
@@ -343,7 +395,7 @@ impl<D: MemoryPort> XCache<D> {
         let slot = usize::from(file.0);
         self.arena.gen[slot] = self.arena.gen[slot].wrapping_add(1);
         if let Some(r) = entry {
-            self.tags.entry_mut(r).active = true;
+            self.tags.update_entry(r, |e| e.active = true);
         }
         let state = entry.map_or(StateId::DEFAULT, |r| self.tags.entry(r).state);
         let c = &mut self.arena.cold[slot];
@@ -369,7 +421,7 @@ impl<D: MemoryPort> XCache<D> {
         self.arena.push_event(slot, event, msg);
         self.wd_earliest = self.wd_earliest.min(now + self.wd_budget);
         self.launching.insert(access.key(), slot);
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
         self.ctx.stats.incr_id(counter!("xcache.walker_launch"));
         if event == EventId::MISS {
             self.ctx.stats.incr_id(counter!("xcache.miss"));

@@ -61,7 +61,7 @@ impl<D: MemoryPort> XCache<D> {
         found: bool,
         data: Vec<u64>,
     ) {
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
         let sectors = data.len().div_ceil(self.data.words_per_sector()).max(1) as u64;
         let resp = MetaResp {
             id,
@@ -92,7 +92,7 @@ impl<D: MemoryPort> XCache<D> {
     /// Successful completion: entry rests, waiters replay, resources free.
     pub(super) fn retire_walker(&mut self, now: Cycle, slot: usize) {
         debug_assert!(self.arena.is_live(slot), "retire on empty slot");
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
         // Frees X-regs/lanes and removes the launching claim: a stalled
         // trigger window may now make progress.
         self.launch_stalled = false;
@@ -107,12 +107,14 @@ impl<D: MemoryPort> XCache<D> {
         self.retry_counts.remove(&key);
         self.launching.remove(&key);
         if let Some(r) = entry {
-            let e = self.tags.entry_mut(r);
-            e.active = false;
-            // A completed entry rests in `Default`: future events on it
-            // (e.g. a Store merge) dispatch from the resting state, not
-            // from whatever mid-walk state the last yield recorded.
-            e.state = StateId::DEFAULT;
+            self.tags.update_entry(r, |e| {
+                e.active = false;
+                // A completed entry rests in `Default`: future events on
+                // it (e.g. a Store merge) dispatch from the resting
+                // state, not from whatever mid-walk state the last yield
+                // recorded.
+                e.state = StateId::DEFAULT;
+            });
         }
         if !responded {
             // Auto-acknowledge (stores / preloads that never Respond).
@@ -141,7 +143,7 @@ impl<D: MemoryPort> XCache<D> {
         if !self.arena.is_live(slot) {
             return;
         }
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
         // Frees X-regs/lanes/tag claims: a stalled trigger window may now
         // make progress, so it must be re-examined before fast-forwarding.
         self.launch_stalled = false;
@@ -162,7 +164,7 @@ impl<D: MemoryPort> XCache<D> {
             } else {
                 // Attached to a pre-existing entry (store hit): the data
                 // is still valid, just release the active claim.
-                self.tags.entry_mut(r).active = false;
+                self.tags.update_entry(r, |e| e.active = false);
             }
         }
         if !responded {
@@ -191,7 +193,7 @@ impl<D: MemoryPort> XCache<D> {
         if !self.arena.is_live(slot) {
             return;
         }
-        self.global_progress = now;
+        self.global_progress = self.global_progress.max(now);
         // Frees X-regs/lanes/tag claims like a fault does.
         self.launch_stalled = false;
         let c = &mut self.arena.cold[slot];
@@ -208,7 +210,7 @@ impl<D: MemoryPort> XCache<D> {
                     self.data.free(e.sector_start, e.sector_count);
                 }
             } else {
-                self.tags.entry_mut(r).active = false;
+                self.tags.update_entry(r, |e| e.active = false);
             }
         }
         self.replay_q.push_back(origin);

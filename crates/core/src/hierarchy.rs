@@ -253,10 +253,11 @@ impl<L: MetaPort> MetaL1<L> {
                 &mut self.stats,
             );
         }
-        let e = self.tags.entry_mut(r);
-        e.sector_start = start;
-        e.sector_count = sectors as u32;
-        e.active = false;
+        self.tags.update_entry(r, |e| {
+            e.sector_start = start;
+            e.sector_count = sectors as u32;
+            e.active = false;
+        });
     }
 }
 

@@ -87,7 +87,19 @@ pub struct MetaTagArray {
     slots: Vec<Slot>,
     use_counter: u64,
     set_stats: Vec<SetCounters>,
+    /// Slot-parallel packed copy of each slot's key, kept in sync by
+    /// every mutation path. The launch gate probes every pending access
+    /// each cycle; scanning one cache line of packed keys instead of
+    /// `ways` 40-byte slots is the difference between the trigger stage
+    /// and the tag array dominating the simulator profile.
+    probe_keys: Vec<u64>,
+    /// Slot-parallel packed flags: bit0 valid, bit1 active, bit2 pinned.
+    probe_flags: Vec<u8>,
 }
+
+const PF_VALID: u8 = 1;
+const PF_ACTIVE: u8 = 1 << 1;
+const PF_PINNED: u8 = 1 << 2;
 
 impl MetaTagArray {
     /// Creates an invalid-initialised array.
@@ -122,7 +134,21 @@ impl MetaTagArray {
             ],
             use_counter: 0,
             set_stats: vec![SetCounters::default(); sets],
+            probe_keys: vec![0; sets * ways],
+            probe_flags: vec![0; sets * ways],
         }
+    }
+
+    /// Re-derives slot `idx`'s packed probe-index words from the slot
+    /// itself — every path that mutates a slot's key, validity, active
+    /// or pinned bit funnels through here.
+    #[inline]
+    fn sync_probe_slot(&mut self, idx: usize) {
+        let s = &self.slots[idx];
+        self.probe_keys[idx] = s.entry.key.0;
+        self.probe_flags[idx] = (u8::from(s.valid) * PF_VALID)
+            | (u8::from(s.entry.active) * PF_ACTIVE)
+            | (u8::from(s.entry.pinned) * PF_PINNED);
     }
 
     /// Number of entries (sets × ways).
@@ -168,23 +194,28 @@ impl MetaTagArray {
         r.set as usize * self.ways + r.way as usize
     }
 
+    /// Where `key` resides in its (already computed) set, scanning only
+    /// the packed probe index.
+    #[inline]
+    fn find_way(&self, set: usize, key: MetaKey) -> Option<usize> {
+        let base = set * self.ways;
+        (0..self.ways).find(|&way| {
+            self.probe_flags[base + way] & PF_VALID != 0 && self.probe_keys[base + way] == key.0
+        })
+    }
+
     /// Looks up `key`, updating recency and the probe counter.
     pub fn probe(&mut self, key: MetaKey, stats: &mut Stats) -> Option<EntryRef> {
         stats.incr_id(counter!("xcache.tag_read"));
         let set = self.set_of(key);
-        for way in 0..self.ways {
-            let idx = set * self.ways + way;
-            if self.slots[idx].valid && self.slots[idx].entry.key == key {
-                self.use_counter += 1;
-                self.slots[idx].last_used = self.use_counter;
-                self.set_stats[set].hits += 1;
-                return Some(EntryRef {
-                    set: set as u32,
-                    way: way as u32,
-                });
-            }
-        }
-        None
+        let way = self.find_way(set, key)?;
+        self.use_counter += 1;
+        self.slots[set * self.ways + way].last_used = self.use_counter;
+        self.set_stats[set].hits += 1;
+        Some(EntryRef {
+            set: set as u32,
+            way: way as u32,
+        })
     }
 
     /// Completes a probe whose way scan [`peek`](Self::peek) already
@@ -208,13 +239,10 @@ impl MetaTagArray {
     #[must_use]
     pub fn peek(&self, key: MetaKey) -> Option<EntryRef> {
         let set = self.set_of(key);
-        (0..self.ways)
-            .map(|way| (way, &self.slots[set * self.ways + way]))
-            .find(|(_, s)| s.valid && s.entry.key == key)
-            .map(|(way, _)| EntryRef {
-                set: set as u32,
-                way: way as u32,
-            })
+        self.find_way(set, key).map(|way| EntryRef {
+            set: set as u32,
+            way: way as u32,
+        })
     }
 
     /// Everything the trigger stage's launch gate needs from `key`'s set,
@@ -230,26 +258,28 @@ impl MetaTagArray {
     #[must_use]
     pub fn launch_probe(&self, key: MetaKey) -> LaunchProbe {
         let set = self.set_of(key);
+        let base = set * self.ways;
         let mut probe = LaunchProbe {
             hit: None,
             can_alloc: false,
             unevictable: true,
         };
         for way in 0..self.ways {
-            let s = &self.slots[set * self.ways + way];
-            if !s.valid {
+            let f = self.probe_flags[base + way];
+            if f & PF_VALID == 0 {
                 probe.can_alloc = true;
                 probe.unevictable = false;
                 continue;
             }
-            let idle = !s.entry.active;
-            if idle && !s.entry.pinned {
+            let idle = f & PF_ACTIVE == 0;
+            let pinned = f & PF_PINNED != 0;
+            if idle && !pinned {
                 probe.can_alloc = true;
             }
-            if !(idle && s.entry.pinned) {
+            if !(idle && pinned) {
                 probe.unevictable = false;
             }
-            if probe.hit.is_none() && s.entry.key == key {
+            if probe.hit.is_none() && self.probe_keys[base + way] == key.0 {
                 probe.hit = Some(EntryRef {
                     set: set as u32,
                     way: way as u32,
@@ -257,6 +287,21 @@ impl MetaTagArray {
             }
         }
         probe
+    }
+
+    /// Multi-probe form of [`launch_probe`](Self::launch_probe): probes
+    /// every key in `keys` in one call, appending the answers to `out`
+    /// in order (`out` is *not* cleared, so chunked window scans can
+    /// extend their coverage incrementally).
+    ///
+    /// The macro-step trigger stage uses this to prime the hazard
+    /// checks for its scheduling window in batched passes instead of
+    /// one interleaved probe per candidate. Like the single-probe form
+    /// it is read-only and counts nothing, so probing candidates the
+    /// window scan never reaches is invisible to stats, recency, and
+    /// therefore byte-identity.
+    pub fn launch_probe_batch(&self, keys: &[MetaKey], out: &mut Vec<LaunchProbe>) {
+        out.extend(keys.iter().map(|&k| self.launch_probe(k)));
     }
 
     /// The entry at `r`.
@@ -271,15 +316,20 @@ impl MetaTagArray {
         &self.slots[idx].entry
     }
 
-    /// The entry at `r`, mutably.
+    /// Mutates the entry at `r` through `f`, then re-syncs the packed
+    /// probe index (the closure may flip `active`/`pinned`, which the
+    /// launch gate reads from the index, not the slot). The only mutable
+    /// entry access — a returned `&mut MetaEntry` could desync the index.
     ///
     /// # Panics
     ///
     /// Panics if `r` does not refer to a valid entry.
-    pub fn entry_mut(&mut self, r: EntryRef) -> &mut MetaEntry {
+    pub fn update_entry<R>(&mut self, r: EntryRef, f: impl FnOnce(&mut MetaEntry) -> R) -> R {
         let idx = self.slot_idx(r);
-        assert!(self.slots[idx].valid, "entry_mut({r:?}) on invalid slot");
-        &mut self.slots[idx].entry
+        assert!(self.slots[idx].valid, "update_entry({r:?}) on invalid slot");
+        let out = f(&mut self.slots[idx].entry);
+        self.sync_probe_slot(idx);
+        out
     }
 
     /// Allocates an entry for `key` (the `allocM` action).
@@ -347,6 +397,7 @@ impl MetaTagArray {
             valid: true,
             last_used: self.use_counter,
         };
+        self.sync_probe_slot(idx);
         stats.incr_id(counter!("xcache.meta_alloc"));
         Some((
             EntryRef {
@@ -362,9 +413,10 @@ impl MetaTagArray {
     #[must_use]
     pub fn can_alloc(&self, key: MetaKey) -> bool {
         let set = self.set_of(key);
+        let base = set * self.ways;
         (0..self.ways).any(|way| {
-            let s = &self.slots[set * self.ways + way];
-            !s.valid || (!s.entry.active && !s.entry.pinned)
+            let f = self.probe_flags[base + way];
+            f & PF_VALID == 0 || f & (PF_ACTIVE | PF_PINNED) == 0
         })
     }
 
@@ -375,9 +427,10 @@ impl MetaTagArray {
     #[must_use]
     pub fn set_unevictable(&self, key: MetaKey) -> bool {
         let set = self.set_of(key);
+        let base = set * self.ways;
         (0..self.ways).all(|way| {
-            let s = &self.slots[set * self.ways + way];
-            s.valid && s.entry.pinned && !s.entry.active
+            let f = self.probe_flags[base + way];
+            f & (PF_VALID | PF_ACTIVE | PF_PINNED) == (PF_VALID | PF_PINNED)
         })
     }
 
@@ -404,6 +457,7 @@ impl MetaTagArray {
         assert!(self.slots[idx].valid, "invalidate({r:?}) on invalid slot");
         stats.incr_id(counter!("xcache.tag_write"));
         self.slots[idx].valid = false;
+        self.sync_probe_slot(idx);
         self.slots[idx].entry
     }
 
@@ -446,8 +500,8 @@ mod tests {
         // Both active: set full, no victim.
         assert!(a.alloc(MetaKey(3), StateId::DEFAULT, &mut s).is_none());
         // Deactivate key 1 (walker retired); now it is the victim.
-        a.entry_mut(r1).active = false;
-        a.entry_mut(r2).active = false;
+        a.update_entry(r1, |e| e.active = false);
+        a.update_entry(r2, |e| e.active = false);
         // Touch key 2 so key 1 is LRU.
         let _ = a.probe(MetaKey(2), &mut s);
         let (_, evicted) = a.alloc(MetaKey(3), StateId::DEFAULT, &mut s).unwrap();
@@ -460,8 +514,8 @@ mod tests {
         let mut a = MetaTagArray::new(1, 1);
         let mut s = stats();
         let (r, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
-        a.entry_mut(r).active = false;
-        a.entry_mut(r).pinned = true;
+        a.update_entry(r, |e| e.active = false);
+        a.update_entry(r, |e| e.pinned = true);
         assert!(a.alloc(MetaKey(2), StateId::DEFAULT, &mut s).is_none());
     }
 
@@ -520,9 +574,10 @@ mod tests {
         }
         for mask in 0..64u32 {
             for way in 0..3u32 {
-                let e = a.entry_mut(EntryRef { set: 0, way });
-                e.active = mask & (1 << way) != 0;
-                e.pinned = mask & (1 << (way + 3)) != 0;
+                a.update_entry(EntryRef { set: 0, way }, |e| {
+                    e.active = mask & (1 << way) != 0;
+                    e.pinned = mask & (1 << (way + 3)) != 0;
+                });
             }
             for k in 0..4u64 {
                 let key = MetaKey(k);
@@ -538,8 +593,8 @@ mod tests {
         }
         // And with an invalid way in the set.
         let r = EntryRef { set: 0, way: 1 };
-        a.entry_mut(r).active = false;
-        a.entry_mut(r).pinned = false;
+        a.update_entry(r, |e| e.active = false);
+        a.update_entry(r, |e| e.pinned = false);
         let _ = a.invalidate(r, &mut s);
         for k in 0..4u64 {
             let key = MetaKey(k);
@@ -562,7 +617,7 @@ mod tests {
         let k = MetaKey(42);
         let set = a.set_index(k);
         let (r, _) = a.alloc(k, StateId::DEFAULT, &mut s).unwrap();
-        a.entry_mut(r).active = false;
+        a.update_entry(r, |e| e.active = false);
         let _ = a.probe(k, &mut s); // counted hit
         let _ = a.probe_at(a.peek(k), &mut s); // counted hit
         let _ = a.probe_at(None, &mut s); // miss: not attributed to any set
@@ -597,7 +652,7 @@ mod tests {
         let mut a = MetaTagArray::new(1, 2);
         let mut s = stats();
         let (r1, _) = a.alloc(MetaKey(1), StateId::DEFAULT, &mut s).unwrap();
-        a.entry_mut(r1).active = false;
+        a.update_entry(r1, |e| e.active = false);
         // A suppressed lookup (meta-tag misfire) re-allocates key 1 while
         // it is still resident: the resident way must be the victim, so
         // the set never holds two entries with the same key.

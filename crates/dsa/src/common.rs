@@ -300,6 +300,26 @@ mod tests {
     }
 
     #[test]
+    fn env_knobs_surface_structured_errors() {
+        // The engine's only environment surface is the skip knob its
+        // `run` loop consults through `xcache_sim::fast_forward`
+        // (`XCACHE_NO_SKIP`) — a flag-shaped value routed through the
+        // sim crate's env funnel. Pin the funnel's contract from this
+        // side: a typo'd flag yields a structured error naming the
+        // variable (unique name so parallel tests can't race on it),
+        // never a silent coercion to "skip on".
+        std::env::set_var("XCACHE_DSA_ENVTEST_FLAG", "fast");
+        let err = xcache_sim::env_flag("XCACHE_DSA_ENVTEST_FLAG").unwrap_err();
+        assert_eq!(err.var, "XCACHE_DSA_ENVTEST_FLAG");
+        assert!(err.reason.contains("expected"), "{err}");
+        std::env::set_var("XCACHE_DSA_ENVTEST_FLAG", "1");
+        assert_eq!(
+            xcache_sim::env_flag("XCACHE_DSA_ENVTEST_FLAG"),
+            Ok(Some(true))
+        );
+    }
+
+    #[test]
     fn chases_pointers_to_completion() {
         let mut dram = DramModel::new(DramConfig::test_tiny());
         // Chain: 0x100 -> 0x200 -> 0x300 -> 0 (value read at each hop).

@@ -15,6 +15,7 @@
 //! Transfers longer than one burst occupy the bus for multiple beats, which
 //! models SpArch/Gamma row refills fetching whole matrix rows.
 
+use std::cell::Cell;
 use std::collections::VecDeque;
 use std::sync::Arc;
 
@@ -170,6 +171,11 @@ impl Bank {
     }
 }
 
+/// Memoized next-event sentinel: the cache is stale, recompute.
+const NE_DIRTY: u64 = u64::MAX;
+/// Memoized next-event sentinel: no pending events at all.
+const NE_NONE: u64 = u64::MAX - 1;
+
 /// The banked DRAM timing + functional model.
 ///
 /// Owns a [`MainMemory`] so reads return real data and writes persist —
@@ -181,6 +187,20 @@ pub struct DramModel {
     input: MsgQueue<MemReq>,
     resp: MsgQueue<MemResp>,
     banks: Vec<Bank>,
+    /// Banks with a transaction in service, one bit per bank (meaningful
+    /// for the first 128 banks; larger geometries fall back to full
+    /// scans). Lets the per-tick retire/start loops visit only active
+    /// banks — shared-port drivers tick the model on most cycles, so the
+    /// idle-bank scan is pure per-tick overhead.
+    svc_mask: u128,
+    /// Banks with a non-empty request queue (same convention).
+    q_mask: u128,
+    /// Memoized un-clamped next-event time ([`NE_DIRTY`] = recompute,
+    /// [`NE_NONE`] = idle). `next_event` is pure in the model state, so
+    /// the O(banks) fold runs once per state change instead of once per
+    /// caller — shared ports fan a single cycle's query out to several
+    /// requesters.
+    ne_raw: Cell<u64>,
     /// Per-channel data bus free-from time.
     bus_free_at: Vec<Cycle>,
     /// Next scheduled refresh (Cycle::NEVER when disabled).
@@ -225,6 +245,9 @@ impl DramModel {
             input: MsgQueue::new("dram.in", cfg.input_queue_depth, 1),
             resp: MsgQueue::new("dram.resp", cfg.resp_queue_depth, 1),
             banks,
+            svc_mask: 0,
+            q_mask: 0,
+            ne_raw: Cell::new(NE_DIRTY),
             bus_free_at: vec![Cycle::ZERO; cfg.channels],
             next_refresh,
             memory: MainMemory::new(),
@@ -320,6 +343,132 @@ impl DramModel {
         }
         done
     }
+
+    /// The mask bit for bank `b` (zero past the 128-bank mask width).
+    #[inline]
+    fn mask_bit(b: usize) -> u128 {
+        if b < 128 {
+            1u128 << b
+        } else {
+            0
+        }
+    }
+
+    /// Retires bank `b`'s in-service transaction if it finished by `now`
+    /// (tick step 1, one bank).
+    fn retire_bank(&mut self, b: usize, now: Cycle) {
+        let Some((req, _)) = &self.banks[b].in_service else {
+            return;
+        };
+        let finished = matches!(&self.banks[b].in_service,
+            Some((_, done)) if *done <= now);
+        if !finished {
+            return;
+        }
+        // Injected fill drop: the transaction completes (bank frees)
+        // but its response is never delivered. Pure per-id decision,
+        // so every retry/replay of the same id agrees.
+        if req.kind == MemReqKind::Read
+            && self.fault_hit(FaultKind::DramDropFill, req.id.0).is_some()
+        {
+            self.banks[b].in_service = None;
+            self.svc_mask &= !Self::mask_bit(b);
+            self.stats.incr_id(counter!("dram.fault.dropped_fill"));
+            return;
+        }
+        if self.resp.is_full() {
+            self.stats.incr_id(counter!("dram.resp_stall"));
+            return; // hold in service until the response queue drains
+        }
+        let Some((req, done)) = self.banks[b].in_service.take() else {
+            // Defensive: checked above; route through the fault
+            // counters rather than panicking if it ever regresses.
+            self.stats.incr_id(counter!("dram.fault.underflow"));
+            return;
+        };
+        self.svc_mask &= !Self::mask_bit(b);
+        let data = match req.kind {
+            MemReqKind::Read => {
+                self.stats.incr_id(counter!("dram.reads"));
+                let mut bytes = self.memory.read_vec(req.addr, req.len as usize);
+                // Injected ECC flip: one payload bit, chosen by the
+                // decision's auxiliary hash.
+                if let Some(h) = self.fault_hit(FaultKind::DramEccFlip, req.id.0) {
+                    if !bytes.is_empty() {
+                        let bit = (h.aux as usize) % (bytes.len() * 8);
+                        bytes[bit / 8] ^= 1u8 << (bit % 8);
+                        self.stats.incr_id(counter!("dram.fault.ecc_flip"));
+                    }
+                }
+                Bytes::from(bytes)
+            }
+            MemReqKind::Write => {
+                self.stats.incr_id(counter!("dram.writes"));
+                self.memory.write(req.addr, &req.data);
+                Bytes::new()
+            }
+        };
+        let resp = MemResp {
+            id: req.id,
+            addr: req.addr,
+            data,
+            completed_at: done,
+        };
+        // Full-queue case handled above; if the push is ever refused
+        // anyway, hold the transaction in service (backpressure)
+        // instead of crashing.
+        if self.resp.try_push(now, resp).is_err() {
+            self.stats.incr_id(counter!("dram.fault.resp_overflow"));
+            self.banks[b].in_service = Some((req, done));
+            self.svc_mask |= Self::mask_bit(b);
+        }
+    }
+
+    /// Starts servicing the head of bank `b`'s queue if the bank is idle
+    /// (tick step 2, one bank).
+    fn start_bank(&mut self, b: usize, now: Cycle) {
+        if self.banks[b].in_service.is_some() || self.banks[b].busy_until > now {
+            return;
+        }
+        if let Some(req) = self.banks[b].queue.pop_front() {
+            let done = self.service(b, &req, now);
+            self.banks[b].in_service = Some((req, done));
+            self.banks[b].busy_until = done;
+            self.svc_mask |= Self::mask_bit(b);
+            if self.banks[b].queue.is_empty() {
+                self.q_mask &= !Self::mask_bit(b);
+            }
+        }
+    }
+
+    /// The un-clamped earliest pending event, in the [`NE_DIRTY`]/
+    /// [`NE_NONE`] encoding (candidates are all state-derived, so the
+    /// `max(now + 1)` clamp distributes over the fold and can be applied
+    /// at query time).
+    fn compute_ne_raw(&self) -> u64 {
+        let mut next = u64::MAX;
+        if self.next_refresh != Cycle::NEVER {
+            next = next.min(self.next_refresh.raw());
+        }
+        if let Some(ready) = self.input.next_ready() {
+            next = next.min(ready.raw());
+        }
+        for b in &self.banks {
+            match &b.in_service {
+                Some((_, done)) => next = next.min(done.raw()),
+                None if !b.queue.is_empty() => next = next.min(b.busy_until.raw()),
+                None => {}
+            }
+        }
+        if let Some(ready) = self.resp.next_ready() {
+            next = next.min(ready.raw());
+        }
+        if next == u64::MAX {
+            NE_NONE
+        } else {
+            next
+        }
+    }
 }
 
 impl MemoryPort for DramModel {
@@ -333,8 +482,10 @@ impl MemoryPort for DramModel {
         let extra = self
             .fault_hit(FaultKind::DramPortStall, req.id.0)
             .map_or(0, |h| h.magnitude.max(1));
-        match self.input.push_after(now, extra, req) {
+        let pushed = self.input.push_after(now, extra, req);
+        match pushed {
             Ok(()) => {
+                self.ne_raw.set(NE_DIRTY);
                 if extra > 0 {
                     self.stats.incr_id(counter!("dram.fault.port_stall"));
                 }
@@ -352,10 +503,15 @@ impl MemoryPort for DramModel {
     }
 
     fn take_response(&mut self, now: Cycle) -> Option<MemResp> {
-        self.resp.pop(now)
+        let resp = self.resp.pop(now);
+        if resp.is_some() {
+            self.ne_raw.set(NE_DIRTY);
+        }
+        resp
     }
 
     fn tick(&mut self, now: Cycle) {
+        self.ne_raw.set(NE_DIRTY);
         // 0. Refresh: periodically block every bank for tRFC and close
         //    the row buffers (in-flight transfers complete normally).
         if now >= self.next_refresh {
@@ -368,80 +524,29 @@ impl MemoryPort for DramModel {
         }
 
         // 1. Retire finished bank transactions into the response queue.
-        for b in 0..self.banks.len() {
-            let Some((req, _)) = &self.banks[b].in_service else {
-                continue;
-            };
-            let finished = matches!(&self.banks[b].in_service,
-                Some((_, done)) if *done <= now);
-            if !finished {
-                continue;
-            }
-            // Injected fill drop: the transaction completes (bank frees)
-            // but its response is never delivered. Pure per-id decision,
-            // so every retry/replay of the same id agrees.
-            if req.kind == MemReqKind::Read
-                && self.fault_hit(FaultKind::DramDropFill, req.id.0).is_some()
-            {
-                self.banks[b].in_service = None;
-                self.stats.incr_id(counter!("dram.fault.dropped_fill"));
-                continue;
-            }
-            if self.resp.is_full() {
-                self.stats.incr_id(counter!("dram.resp_stall"));
-                continue; // hold in service until the response queue drains
-            }
-            let Some((req, done)) = self.banks[b].in_service.take() else {
-                // Defensive: checked above; route through the fault
-                // counters rather than panicking if it ever regresses.
-                self.stats.incr_id(counter!("dram.fault.underflow"));
-                continue;
-            };
-            let data = match req.kind {
-                MemReqKind::Read => {
-                    self.stats.incr_id(counter!("dram.reads"));
-                    let mut bytes = self.memory.read_vec(req.addr, req.len as usize);
-                    // Injected ECC flip: one payload bit, chosen by the
-                    // decision's auxiliary hash.
-                    if let Some(h) = self.fault_hit(FaultKind::DramEccFlip, req.id.0) {
-                        if !bytes.is_empty() {
-                            let bit = (h.aux as usize) % (bytes.len() * 8);
-                            bytes[bit / 8] ^= 1u8 << (bit % 8);
-                            self.stats.incr_id(counter!("dram.fault.ecc_flip"));
-                        }
-                    }
-                    Bytes::from(bytes)
-                }
-                MemReqKind::Write => {
-                    self.stats.incr_id(counter!("dram.writes"));
-                    self.memory.write(req.addr, &req.data);
-                    Bytes::new()
-                }
-            };
-            let resp = MemResp {
-                id: req.id,
-                addr: req.addr,
-                data,
-                completed_at: done,
-            };
-            // Full-queue case handled above; if the push is ever refused
-            // anyway, hold the transaction in service (backpressure)
-            // instead of crashing.
-            if self.resp.try_push(now, resp).is_err() {
-                self.stats.incr_id(counter!("dram.fault.resp_overflow"));
-                self.banks[b].in_service = Some((req, done));
-            }
-        }
-
         // 2. Start servicing the head of each idle bank's queue.
-        for b in 0..self.banks.len() {
-            if self.banks[b].in_service.is_some() || self.banks[b].busy_until > now {
-                continue;
+        // Both loops visit only banks their mask proves relevant (service
+        // in flight / queue non-empty); bit order is ascending, so the
+        // scan order matches the plain 0..banks loop exactly.
+        if self.banks.len() <= 128 {
+            let mut m = self.svc_mask;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.retire_bank(b, now);
             }
-            if let Some(req) = self.banks[b].queue.pop_front() {
-                let done = self.service(b, &req, now);
-                self.banks[b].in_service = Some((req, done));
-                self.banks[b].busy_until = done;
+            let mut m = self.q_mask;
+            while m != 0 {
+                let b = m.trailing_zeros() as usize;
+                m &= m - 1;
+                self.start_bank(b, now);
+            }
+        } else {
+            for b in 0..self.banks.len() {
+                self.retire_bank(b, now);
+            }
+            for b in 0..self.banks.len() {
+                self.start_bank(b, now);
             }
         }
 
@@ -459,6 +564,7 @@ impl MemoryPort for DramModel {
             };
             self.stats.incr_id(counter!("dram.requests"));
             self.banks[bank].queue.push_back(req);
+            self.q_mask |= Self::mask_bit(bank);
         }
     }
 
@@ -472,37 +578,25 @@ impl MemoryPort for DramModel {
     }
 
     fn next_event(&self, now: Cycle) -> Option<Cycle> {
-        let mut next = Cycle::NEVER;
-        let mut wake = |t: Cycle| next = next.min(t);
-
-        // Refresh is a hard event even when idle: it must fire at exactly
-        // `next_refresh` because bank blocking is computed as
-        // `max(busy_until, now + tRFC)` — firing late would diverge.
-        if self.next_refresh != Cycle::NEVER {
-            wake(self.next_refresh.max(now.next()));
+        // Candidates (all un-clamped state, folded by `compute_ne_raw`):
+        //
+        // * Refresh is a hard event even when idle: it must fire at
+        //   exactly `next_refresh` because bank blocking is computed as
+        //   `max(busy_until, now + tRFC)` — firing late would diverge.
+        // * The input head moves into a bank queue when it becomes
+        //   visible; a visible head blocked on a full bank queue counts a
+        //   stall every tick, so it pins the wake-up to the next cycle.
+        // * An in-service transaction retires at `done`; `done <= now`
+        //   means the retire was held back by a full response queue this
+        //   tick (counted per tick), so re-evaluate next cycle.
+        // * A queued request starts service once its bank frees up.
+        // * The head response becoming poppable is the consumer's wake.
+        let mut raw = self.ne_raw.get();
+        if raw == NE_DIRTY {
+            raw = self.compute_ne_raw();
+            self.ne_raw.set(raw);
         }
-        // Input head moves into a bank queue when it becomes visible; a
-        // visible head blocked on a full bank queue counts a stall every
-        // tick, so it pins the wake-up to the very next cycle.
-        if let Some(ready) = self.input.next_ready() {
-            wake(ready.max(now.next()));
-        }
-        for b in &self.banks {
-            match &b.in_service {
-                // Retires at `done`; `done <= now` means the retire was
-                // held back by a full response queue this tick (counted
-                // per tick), so re-evaluate next cycle.
-                Some((_, done)) => wake((*done).max(now.next())),
-                // A queued request starts service once the bank frees up.
-                None if !b.queue.is_empty() => wake(b.busy_until.max(now.next())),
-                None => {}
-            }
-        }
-        // The head response becoming poppable is the consumer's wake-up.
-        if let Some(ready) = self.resp.next_ready() {
-            wake(ready.max(now.next()));
-        }
-        (next != Cycle::NEVER).then_some(next)
+        (raw != NE_NONE).then(|| Cycle(raw).max(now.next()))
     }
 }
 

@@ -28,6 +28,7 @@ use std::collections::HashMap;
 use std::fs::{self, File, OpenOptions};
 use std::io::{Read, Write};
 use std::path::{Path, PathBuf};
+use std::sync::atomic::{AtomicU64, Ordering};
 use std::sync::Mutex;
 
 use xcache_bench::{CellOutcome, CellStatus, CheckpointStore};
@@ -37,6 +38,21 @@ use crate::json::{self, json_str, Value};
 /// Journal schema version; a mismatch is an explicit error, never a
 /// guessed resume.
 pub const SCHEMA: &str = "xcache-journal/1";
+
+/// Process-wide count of journal `sync_all` calls, surfaced by the
+/// server's `/metrics` endpoint (durability work is the service's main
+/// per-cell overhead, so operators want it visible).
+static FSYNC_COUNT: AtomicU64 = AtomicU64::new(0);
+
+fn note_fsync() {
+    FSYNC_COUNT.fetch_add(1, Ordering::Relaxed);
+}
+
+/// Number of journal fsyncs performed by this process so far.
+#[must_use]
+pub fn fsync_count() -> u64 {
+    FSYNC_COUNT.load(Ordering::Relaxed)
+}
 
 /// Why a journal could not be opened.
 #[derive(Debug)]
@@ -110,9 +126,11 @@ fn write_atomic(dir: &Path, name: &str, bytes: &[u8]) -> std::io::Result<()> {
         let mut f = File::create(&tmp)?;
         f.write_all(bytes)?;
         f.sync_all()?;
+        note_fsync();
     }
     fs::rename(&tmp, dir.join(name))?;
     File::open(dir)?.sync_all()?;
+    note_fsync();
     Ok(())
 }
 
@@ -241,6 +259,7 @@ impl Journal {
         file.seek(std::io::SeekFrom::End(0))?;
         if stats.discarded > 0 {
             file.sync_all()?;
+            note_fsync();
         }
         Ok((
             manifest,
@@ -279,6 +298,7 @@ impl Journal {
         let _ = f.write_all(line.as_bytes());
         if durable {
             let _ = f.sync_all();
+            note_fsync();
         }
     }
 

@@ -13,7 +13,7 @@
 use std::collections::{HashMap, VecDeque};
 use std::net::{SocketAddr, TcpListener, TcpStream};
 use std::path::PathBuf;
-use std::sync::atomic::{AtomicBool, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::{Arc, Condvar, Mutex};
 use std::thread::JoinHandle;
 use std::time::Instant;
@@ -195,6 +195,25 @@ impl Job {
     }
 }
 
+/// Operational counters surfaced by `GET /metrics`.
+#[derive(Default)]
+struct Metrics {
+    /// Submissions shed by the token bucket (429 + `Retry-After`).
+    shed_rate_limited: AtomicU64,
+    /// Submissions shed because the job queue was full (429).
+    shed_queue_full: AtomicU64,
+    /// Submissions refused during a drain (503).
+    shed_draining: AtomicU64,
+    /// `(label, wall µs)` per cell executed by this process, in
+    /// completion order (journal-reused cells don't run, so they don't
+    /// appear). Completion order is deterministic only for sequential
+    /// runners, so consumers treat this as an operational log, not a
+    /// result artifact.
+    cell_walls: Mutex<Vec<(String, u128)>>,
+    /// Start stamps of in-flight cells, keyed by cell index.
+    cell_started: Mutex<HashMap<usize, Instant>>,
+}
+
 /// Per-client token bucket.
 struct Bucket {
     tokens: f64,
@@ -213,6 +232,7 @@ struct State {
     /// drain window so clients can observe the 503 and job states).
     stop_accept: AtomicBool,
     buckets: Mutex<HashMap<String, Bucket>>,
+    metrics: Metrics,
 }
 
 /// The journal-plus-events checkpoint store a running job uses: every
@@ -220,6 +240,7 @@ struct State {
 /// subscribers — durability before visibility.
 struct EventingStore<'a> {
     job: &'a Job,
+    metrics: &'a Metrics,
 }
 
 impl EventingStore<'_> {
@@ -250,6 +271,19 @@ impl CheckpointStore for EventingStore<'_> {
 
     fn commit(&self, outcome: &CellOutcome) {
         self.job.journal.commit(outcome);
+        if let Some(at) = self
+            .metrics
+            .cell_started
+            .lock()
+            .expect("metrics lock")
+            .remove(&outcome.index)
+        {
+            self.metrics
+                .cell_walls
+                .lock()
+                .expect("metrics lock")
+                .push((outcome.label.clone(), at.elapsed().as_micros()));
+        }
         let status = match &outcome.status {
             CellStatus::Done(_) => "done",
             CellStatus::Failed(_) => "failed",
@@ -266,6 +300,11 @@ impl CheckpointStore for EventingStore<'_> {
     }
 
     fn started(&self, index: usize, label: &str, attempt: u32) {
+        self.metrics
+            .cell_started
+            .lock()
+            .expect("metrics lock")
+            .insert(index, Instant::now());
         self.job.journal.started(index, label, attempt);
         self.job.emit(format!(
             "{{\"event\":\"cell_started\",\"job\":{},\"index\":{index},\"label\":{},\"attempt\":{attempt}}}",
@@ -480,7 +519,10 @@ impl State {
             inner.phase = Phase::Running;
         }
         let cells = to_runner_cells(&job.spec.build_cells());
-        let store = EventingStore { job };
+        let store = EventingStore {
+            job,
+            metrics: &self.metrics,
+        };
         let runner = self
             .cfg
             .cell_jobs
@@ -584,6 +626,7 @@ impl Server {
             cancel: AtomicBool::new(false),
             stop_accept: AtomicBool::new(false),
             buckets: Mutex::new(HashMap::new()),
+            metrics: Metrics::default(),
         });
         state.recover();
 
@@ -683,6 +726,10 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
         ("POST", ["jobs"]) => {
             let client = client_key(&req, &stream);
             if let Err(retry_secs) = state.admit(&client) {
+                state
+                    .metrics
+                    .shed_rate_limited
+                    .fetch_add(1, Ordering::Relaxed);
                 respond(
                     &mut stream,
                     429,
@@ -700,13 +747,22 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
                     &[],
                     "{\"error\":\"job id already exists with a different spec\"}",
                 ),
-                Submit::QueueFull => respond(
-                    &mut stream,
-                    429,
-                    &[("Retry-After", "1")],
-                    "{\"error\":\"queue full\"}",
-                ),
-                Submit::Draining => respond(&mut stream, 503, &[], "{\"error\":\"draining\"}"),
+                Submit::QueueFull => {
+                    state
+                        .metrics
+                        .shed_queue_full
+                        .fetch_add(1, Ordering::Relaxed);
+                    respond(
+                        &mut stream,
+                        429,
+                        &[("Retry-After", "1")],
+                        "{\"error\":\"queue full\"}",
+                    );
+                }
+                Submit::Draining => {
+                    state.metrics.shed_draining.fetch_add(1, Ordering::Relaxed);
+                    respond(&mut stream, 503, &[], "{\"error\":\"draining\"}");
+                }
                 Submit::Bad(e) => {
                     respond(
                         &mut stream,
@@ -749,15 +805,44 @@ fn handle_connection(state: &Arc<State>, mut stream: TcpStream) {
             Some(job) => stream_events(&job, &req, stream),
             None => respond(&mut stream, 404, &[], "{\"error\":\"no such job\"}"),
         },
+        ("GET", ["metrics"]) => {
+            respond(&mut stream, 200, &[], &render_metrics(state));
+        }
         ("POST", ["drain"]) => {
             respond(&mut stream, 200, &[], "{\"draining\":true}");
             state.begin_drain();
         }
-        (_, ["healthz" | "jobs" | "drain", ..]) => {
+        (_, ["healthz" | "jobs" | "drain" | "metrics", ..]) => {
             respond(&mut stream, 405, &[], "{\"error\":\"method not allowed\"}");
         }
         _ => respond(&mut stream, 404, &[], "{\"error\":\"no such endpoint\"}"),
     }
+}
+
+/// Operational metrics as order-preserving JSON: fields render in a
+/// fixed order and the `cells` array keeps completion order, so two
+/// reads differ only where the underlying counters moved.
+fn render_metrics(state: &Arc<State>) -> String {
+    let queue_depth = state.queue.lock().expect("queue lock").len();
+    let walls = state.metrics.cell_walls.lock().expect("metrics lock");
+    let mut cells = String::new();
+    for (i, (label, us)) in walls.iter().enumerate() {
+        if i > 0 {
+            cells.push(',');
+        }
+        cells.push_str(&format!(
+            "{{\"label\":{},\"wall_us\":{us}}}",
+            json_str(label)
+        ));
+    }
+    drop(walls);
+    format!(
+        "{{\"queue_depth\":{queue_depth},\"shed\":{{\"rate_limited\":{},\"queue_full\":{},\"draining\":{}}},\"journal_fsyncs\":{},\"cells\":[{cells}]}}",
+        state.metrics.shed_rate_limited.load(Ordering::Relaxed),
+        state.metrics.shed_queue_full.load(Ordering::Relaxed),
+        state.metrics.shed_draining.load(Ordering::Relaxed),
+        journal::fsync_count(),
+    )
 }
 
 fn lookup_job(state: &Arc<State>, id: &str) -> Option<Arc<Job>> {

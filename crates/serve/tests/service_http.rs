@@ -124,6 +124,67 @@ fn submit_runs_job_and_serves_result() {
 }
 
 #[test]
+fn metrics_reports_cells_sheds_and_fsyncs() {
+    let dir = tmpdir("metrics");
+    let (server, addr) = spawn(test_config(dir.clone()));
+
+    let spec = r#"{"id":"met","grid":"demo","cells":3,"seed":9}"#;
+    let (status, _) = http::request(&addr, "POST", "/jobs", &[], Some(spec)).unwrap();
+    assert_eq!(status, 202);
+    wait_done(&addr, "met", Duration::from_secs(10));
+
+    let (status, body) = http::request(&addr, "GET", "/metrics", &[], None).unwrap();
+    assert_eq!(status, 200, "{body}");
+    let v = json::parse(&body).expect("metrics parses");
+    assert_eq!(v.get("queue_depth").and_then(Value::as_u64), Some(0));
+    // Terminal cells fsync before they are visible, so a finished job
+    // implies journal fsyncs.
+    assert!(v.get("journal_fsyncs").and_then(Value::as_u64).unwrap() > 0);
+    // Every executed cell reports a wall time under its label.
+    let cells = v.get("cells").and_then(Value::as_arr).expect("cells");
+    assert_eq!(cells.len(), 3);
+    for c in cells {
+        assert!(c
+            .get("label")
+            .and_then(Value::as_str)
+            .unwrap()
+            .starts_with("demo-"));
+        assert!(c.get("wall_us").and_then(Value::as_u64).is_some());
+    }
+    let shed = v.get("shed").expect("shed object");
+    assert_eq!(shed.get("rate_limited").and_then(Value::as_u64), Some(0));
+    assert_eq!(shed.get("queue_full").and_then(Value::as_u64), Some(0));
+    assert_eq!(shed.get("draining").and_then(Value::as_u64), Some(0));
+    // Field order is stable: two consecutive reads are byte-identical
+    // when nothing ran in between.
+    let (_, body2) = http::request(&addr, "GET", "/metrics", &[], None).unwrap();
+    assert_eq!(body, body2);
+
+    // A submission during drain is counted as shed.
+    server.drain();
+    let (status, _) = http::request(
+        &addr,
+        "POST",
+        "/jobs",
+        &[],
+        Some(r#"{"id":"met2","grid":"demo","cells":1}"#),
+    )
+    .unwrap();
+    assert_eq!(status, 503);
+    let (_, body) = http::request(&addr, "GET", "/metrics", &[], None).unwrap();
+    let v = json::parse(&body).unwrap();
+    assert_eq!(
+        v.get("shed")
+            .unwrap()
+            .get("draining")
+            .and_then(Value::as_u64),
+        Some(1)
+    );
+    server.join();
+    let _ = std::fs::remove_dir_all(&dir);
+}
+
+#[test]
 fn event_stream_is_exactly_once() {
     let dir = tmpdir("events");
     let (server, addr) = spawn(test_config(dir.clone()));

@@ -31,14 +31,43 @@ impl RunResult {
     }
 }
 
+/// Boxed components keep the old heterogeneous-registration API working:
+/// `Engine<Box<dyn Component>>` (the default) behaves exactly as before.
+impl Component for Box<dyn Component> {
+    fn name(&self) -> &str {
+        self.as_ref().name()
+    }
+    fn tick(&mut self, now: Cycle) {
+        self.as_mut().tick(now);
+    }
+    fn busy(&self) -> bool {
+        self.as_ref().busy()
+    }
+    fn next_event(&self, now: Cycle) -> Option<Cycle> {
+        self.as_ref().next_event(now)
+    }
+    fn report(&self, stats: &mut Stats) {
+        self.as_ref().report(stats);
+    }
+}
+
 /// Drives a set of [`Component`]s cycle by cycle.
 ///
-/// The engine owns its components (boxed), ticks them in registration order,
-/// and harvests their statistics when the run ends. Most experiments in this
+/// The engine owns its components, ticks them in registration order, and
+/// harvests their statistics when the run ends. Most experiments in this
 /// workspace instead hand-roll their tick loop around a single top-level
 /// model (the models compose by ownership, like module instantiation in
 /// RTL); `Engine` exists for tests and for multi-model scenarios such as the
 /// cache hierarchies.
+///
+/// `Engine` is generic over its component type. The default,
+/// `Box<dyn Component>`, accepts a heterogeneous set through
+/// [`add`](Engine::add) and dispatches virtually. A scenario whose
+/// component set is closed can instead define an enum implementing
+/// [`Component`] and use `Engine<MyEnum>` with
+/// [`add_component`](Engine::add_component): the tick/wake loops then
+/// compile to a branch-predictable match instead of an indirect call per
+/// component per step.
 ///
 /// ```
 /// use xcache_sim::{Component, Cycle, Engine};
@@ -55,22 +84,42 @@ impl RunResult {
 /// let result = e.run_until_quiescent(1_000);
 /// assert_eq!(result.cycles(), 10);
 /// ```
-#[derive(Default)]
-pub struct Engine {
-    components: Vec<Box<dyn Component>>,
+pub struct Engine<C: Component = Box<dyn Component>> {
+    components: Vec<C>,
     now: Cycle,
 }
 
+impl<C: Component> Default for Engine<C> {
+    fn default() -> Self {
+        Engine {
+            components: Vec::new(),
+            now: Cycle(0),
+        }
+    }
+}
+
 impl Engine {
-    /// Creates an engine at cycle zero with no components.
+    /// Creates a type-erased engine at cycle zero with no components.
+    /// (Enum-dispatched engines are built with `Engine::<C>::default()`.)
     #[must_use]
     pub fn new() -> Self {
         Self::default()
     }
 
-    /// Registers a component; it will tick after all previously added ones.
-    pub fn add<C: Component + 'static>(&mut self, component: C) -> &mut Self {
+    /// Registers a boxed component; it will tick after all previously
+    /// added ones. Only available on the default (type-erased) engine —
+    /// enum-dispatched engines register through
+    /// [`add_component`](Engine::add_component).
+    pub fn add<T: Component + 'static>(&mut self, component: T) -> &mut Self {
         self.components.push(Box::new(component));
+        self
+    }
+}
+
+impl<C: Component> Engine<C> {
+    /// Registers a component; it will tick after all previously added ones.
+    pub fn add_component(&mut self, component: C) -> &mut Self {
+        self.components.push(component);
         self
     }
 
@@ -126,11 +175,7 @@ impl Engine {
     /// contract already requires skipped ticks to be complete no-ops, and
     /// wheel mode additionally relies on a component's wake-up being a
     /// function of its state (stable between its own ticks).
-    pub fn run_until(
-        &mut self,
-        max_cycles: u64,
-        mut stop: impl FnMut(&Engine) -> bool,
-    ) -> RunResult {
+    pub fn run_until(&mut self, max_cycles: u64, mut stop: impl FnMut(&Self) -> bool) -> RunResult {
         let deadline = self.now + max_cycles;
         let outcome = if crate::skip_enabled() && crate::sched_mode() == SchedMode::Wheel {
             self.run_wheel(deadline, &mut stop)
@@ -149,7 +194,7 @@ impl Engine {
     }
 
     /// The fold-based reference loop (also the no-skip stepping loop).
-    fn run_scan(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Engine) -> bool) -> RunOutcome {
+    fn run_scan(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Self) -> bool) -> RunOutcome {
         loop {
             if stop(self) || !self.components.iter().any(|c| c.busy()) {
                 break RunOutcome::Completed;
@@ -169,7 +214,7 @@ impl Engine {
 
     /// The event-scheduled loop: each component has at most one pending
     /// wake-up in the wheel, and only due components are ticked.
-    fn run_wheel(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Engine) -> bool) -> RunOutcome {
+    fn run_wheel(&mut self, deadline: Cycle, stop: &mut impl FnMut(&Self) -> bool) -> RunOutcome {
         // Seed every component at the current time; the first pop ticks
         // them all once, after which their own reports drive scheduling.
         let mut wheel: TimingWheel<usize> = TimingWheel::new(self.now);
@@ -227,7 +272,7 @@ impl Engine {
     }
 }
 
-impl std::fmt::Debug for Engine {
+impl<C: Component> std::fmt::Debug for Engine<C> {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         f.debug_struct("Engine")
             .field("now", &self.now)
@@ -374,6 +419,75 @@ mod tests {
         });
         assert_eq!(r.outcome, RunOutcome::CycleLimit);
         assert_eq!(r.cycles(), 10);
+    }
+
+    /// A closed component set dispatched by match — the enum-dispatch
+    /// pattern `Engine<C>` exists for.
+    enum Dual {
+        Work(Work),
+        Alarm(Alarm),
+    }
+
+    impl Component for Dual {
+        fn name(&self) -> &str {
+            match self {
+                Dual::Work(w) => w.name(),
+                Dual::Alarm(a) => a.name(),
+            }
+        }
+        fn tick(&mut self, now: Cycle) {
+            match self {
+                Dual::Work(w) => w.tick(now),
+                Dual::Alarm(a) => a.tick(now),
+            }
+        }
+        fn busy(&self) -> bool {
+            match self {
+                Dual::Work(w) => w.busy(),
+                Dual::Alarm(a) => a.busy(),
+            }
+        }
+        fn next_event(&self, now: Cycle) -> Option<Cycle> {
+            match self {
+                Dual::Work(w) => w.next_event(now),
+                Dual::Alarm(a) => a.next_event(now),
+            }
+        }
+        fn report(&self, stats: &mut Stats) {
+            match self {
+                Dual::Work(w) => w.report(stats),
+                Dual::Alarm(a) => a.report(stats),
+            }
+        }
+    }
+
+    #[test]
+    fn enum_dispatch_matches_boxed_dispatch() {
+        let mut boxed = Engine::new();
+        boxed.add(Work {
+            remaining: 5,
+            done_at: None,
+        });
+        boxed.add(Alarm {
+            fires_at: Cycle(30),
+            armed: true,
+        });
+        let rb = boxed.run_until_quiescent(1_000);
+
+        let mut matched: Engine<Dual> = Engine::default();
+        matched.add_component(Dual::Work(Work {
+            remaining: 5,
+            done_at: None,
+        }));
+        matched.add_component(Dual::Alarm(Alarm {
+            fires_at: Cycle(30),
+            armed: true,
+        }));
+        let rm = matched.run_until_quiescent(1_000);
+
+        assert_eq!(rb.outcome, rm.outcome);
+        assert_eq!(rb.end, rm.end);
+        assert_eq!(rb.stats.snapshot(), rm.stats.snapshot());
     }
 
     #[test]

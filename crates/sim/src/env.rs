@@ -90,6 +90,25 @@ pub fn env_parse_map<T>(
     }
 }
 
+/// Reads a boolean knob: `1`/`true` enable, `0`/`false` disable, unset
+/// or empty → `Ok(None)`. Anything else is a structured [`EnvError`] —
+/// the flag-shaped knobs (`XCACHE_NO_SKIP`, `XCACHE_PROF`) funnel through
+/// here so a typo'd value is rejected instead of silently coerced.
+///
+/// # Errors
+///
+/// Returns [`EnvError`] when the variable is set, non-empty, and is not
+/// one of `0`, `1`, `true`, `false`.
+pub fn env_flag(var: &str) -> Result<Option<bool>, EnvError> {
+    env_parse_map(var, |s| match s {
+        "1" | "true" => Ok(true),
+        "0" | "false" => Ok(false),
+        other => Err(format!(
+            "unknown flag value `{other}` (expected `0`, `1`, `true` or `false`)"
+        )),
+    })
+}
+
 /// CLI failure policy: unwraps an env-knob result, printing the
 /// structured error and exiting with status 2 (usage error) on failure.
 pub fn exit2<T>(r: Result<T, EnvError>) -> T {
@@ -140,6 +159,21 @@ mod tests {
         assert!(env_parse::<u64>("XCACHE_ENVTEST_NEG").is_err());
         std::env::set_var("XCACHE_ENVTEST_HUGE", "99999999999999999999999999");
         assert!(env_parse::<u64>("XCACHE_ENVTEST_HUGE").is_err());
+    }
+
+    #[test]
+    fn flag_values_parse_and_reject() {
+        assert_eq!(env_flag("XCACHE_ENVTEST_FLAG_UNSET"), Ok(None));
+        std::env::set_var("XCACHE_ENVTEST_FLAG_ON", "1");
+        assert_eq!(env_flag("XCACHE_ENVTEST_FLAG_ON"), Ok(Some(true)));
+        std::env::set_var("XCACHE_ENVTEST_FLAG_TRUE", "true");
+        assert_eq!(env_flag("XCACHE_ENVTEST_FLAG_TRUE"), Ok(Some(true)));
+        std::env::set_var("XCACHE_ENVTEST_FLAG_OFF", "0");
+        assert_eq!(env_flag("XCACHE_ENVTEST_FLAG_OFF"), Ok(Some(false)));
+        std::env::set_var("XCACHE_ENVTEST_FLAG_BAD", "yes");
+        let err = env_flag("XCACHE_ENVTEST_FLAG_BAD").unwrap_err();
+        assert_eq!(err.var, "XCACHE_ENVTEST_FLAG_BAD");
+        assert!(err.reason.contains("expected"), "{err}");
     }
 
     #[test]

@@ -44,18 +44,20 @@ pub use clock::Cycle;
 pub use component::Component;
 pub use context::SimContext;
 pub use engine::{Engine, RunOutcome, RunResult};
-pub use env::{env_parse, env_parse_map, exit2, EnvError};
+pub use env::{env_flag, env_parse, env_parse_map, exit2, EnvError};
 pub use fault::{with_fault_plan, FaultHit, FaultKind, FaultPlan};
 pub use fxhash::{FxHashMap, FxHashSet, FxHasher};
 pub use parallel::{
-    par_mode, par_threads, run_horizons, with_par_mode, with_par_threads, ParCell, ParMode,
+    par_mode, par_threads, parallel_fallbacks, run_horizons, with_par_mode, with_par_threads,
+    ParCell, ParMode,
 };
 pub use prof::{prof_enabled, prof_record, prof_reset, prof_snapshot, ProfEntry, ProfGuard};
 pub use queue::{MsgQueue, PushError};
 pub use skip::{
-    earliest, fast_forward, sched_mode, skip_enabled, with_sched_mode, with_skip, SchedMode,
+    earliest, exec_mode, fast_forward, sched_mode, skip_enabled, with_exec_mode, with_sched_mode,
+    with_skip, ExecMode, SchedMode,
 };
-pub use stats::{CounterId, Histogram, Stats, StatsSnapshot};
+pub use stats::{CounterId, EpochStats, Histogram, Stats, StatsSnapshot};
 pub use trace::{TraceBuffer, TraceEvent, TraceKind};
 pub use watchdog::{
     watchdog_budget, with_watchdog_budget, HostDeadline, StallReport, DEFAULT_WATCHDOG_CYCLES,

@@ -119,6 +119,24 @@ pub fn with_par_threads<T>(threads: usize, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Process-global count of sharded runs that fell back to sequential
+/// horizon execution because the requested pool was wider than the
+/// machine (see [`run_horizons`]). Deliberately *not* a [`Stats`] counter:
+/// whether the fallback fires depends on the host's core count, and cell
+/// statistics must stay byte-identical across hosts and thread counts —
+/// the bench harness surfaces this through its (diff-exempt) meta
+/// envelope instead.
+///
+/// [`Stats`]: crate::Stats
+static PAR_FALLBACKS: AtomicU64 = AtomicU64::new(0);
+
+/// Number of [`run_horizons`] calls so far that degraded an oversubscribed
+/// `Par` pool to sequential execution (the `parallel.fallback` count).
+#[must_use]
+pub fn parallel_fallbacks() -> u64 {
+    PAR_FALLBACKS.load(Ordering::Relaxed)
+}
+
 /// A cell that [`run_horizons`] can advance on a worker thread.
 ///
 /// `advance(to)` must bring the cell's local clock exactly to `to`, doing
@@ -211,6 +229,19 @@ pub fn run_horizons<C: ParCell>(
     let threads = match par_mode() {
         ParMode::Seq => 1,
         ParMode::Par => par_threads().min(cells.len()).max(1),
+    };
+    // A pool wider than the machine cannot run its horizon legs
+    // concurrently anyway: every barrier crossing degenerates into
+    // scheduler round-trips between waiters and the straggler sharing a
+    // core, which made `par` measurably *slower* than `seq` on small
+    // hosts. Skip the barrier entirely and run the horizons sequentially
+    // — byte-identical by construction — counting the degradation.
+    let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+    let threads = if threads > 1 && threads > cores {
+        PAR_FALLBACKS.fetch_add(1, Ordering::Relaxed);
+        1
+    } else {
+        threads
     };
     if threads == 1 {
         let mut t = start;
@@ -363,6 +394,41 @@ mod tests {
                 assert_eq!(seen.len(), 9);
             });
         });
+    }
+
+    #[test]
+    fn oversubscribed_pool_falls_back_to_seq() {
+        let cores = std::thread::available_parallelism().map_or(1, std::num::NonZeroUsize::get);
+        let width = cores + 1;
+        let run = |mode: ParMode| {
+            with_par_mode(mode, || {
+                with_par_threads(width, || {
+                    let cells = (0..width + 1)
+                        .map(|_| Counter {
+                            now: Cycle(0),
+                            steps: 0,
+                        })
+                        .collect();
+                    let mut rounds = 0;
+                    let cells = run_horizons(cells, Cycle(0), |_, t| {
+                        rounds += 1;
+                        (rounds <= 4).then(|| t + 3)
+                    });
+                    cells.iter().map(|c| c.steps).collect::<Vec<_>>()
+                })
+            })
+        };
+        let before = parallel_fallbacks();
+        let par = run(ParMode::Par);
+        assert!(
+            parallel_fallbacks() > before,
+            "a pool of {width} on {cores} cores must degrade to seq"
+        );
+        // Seq mode never counts a fallback, and both agree byte-for-byte.
+        let mid = parallel_fallbacks();
+        let seq = run(ParMode::Seq);
+        assert_eq!(parallel_fallbacks(), mid);
+        assert_eq!(par, seq);
     }
 
     #[test]

@@ -24,9 +24,10 @@ use std::time::Instant;
 
 /// Whether `XCACHE_PROF` arms wall-time attribution for this process.
 #[must_use]
+#[inline]
 pub fn prof_enabled() -> bool {
     static ENABLED: OnceLock<bool> = OnceLock::new();
-    *ENABLED.get_or_init(|| std::env::var("XCACHE_PROF").is_ok_and(|v| !v.is_empty() && v != "0"))
+    *ENABLED.get_or_init(|| crate::env::exit2(crate::env::env_flag("XCACHE_PROF")).unwrap_or(false))
 }
 
 #[derive(Default)]

@@ -22,7 +22,7 @@ use crate::Cycle;
 fn env_no_skip() -> bool {
     static NO_SKIP: OnceLock<bool> = OnceLock::new();
     *NO_SKIP
-        .get_or_init(|| std::env::var("XCACHE_NO_SKIP").is_ok_and(|v| !v.is_empty() && v != "0"))
+        .get_or_init(|| crate::env::exit2(crate::env::env_flag("XCACHE_NO_SKIP")).unwrap_or(false))
 }
 
 thread_local! {
@@ -32,6 +32,7 @@ thread_local! {
 /// Whether fast-forwarding is active on this thread: a [`with_skip`]
 /// override wins, otherwise skipping is on unless `XCACHE_NO_SKIP` is set.
 #[must_use]
+#[inline]
 pub fn skip_enabled() -> bool {
     SKIP_OVERRIDE
         .with(Cell::get)
@@ -101,6 +102,61 @@ pub fn with_sched_mode<T>(mode: SchedMode, f: impl FnOnce() -> T) -> T {
     out
 }
 
+/// Granularity of walker execution inside the controller.
+///
+/// Both modes must produce byte-identical statistics and end cycles;
+/// `Micro` is retained as the reference implementation for differential
+/// testing and as an escape hatch (`XCACHE_EXEC=micro`), mirroring
+/// `XCACHE_SCHED=scan`.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ExecMode {
+    /// One micro-op per walker per cycle — the PR 6 reference path.
+    Micro,
+    /// Macro-step execution (the default): verifier-proven straight-line
+    /// op runs execute as one fused superinstruction, the lane then sleeps
+    /// until the cycle the last op would have finished at, and stats/trace
+    /// updates are epoch-aggregated per batch.
+    Macro,
+}
+
+fn env_exec_mode() -> ExecMode {
+    static MODE: OnceLock<ExecMode> = OnceLock::new();
+    *MODE.get_or_init(|| {
+        crate::env::exit2(crate::env::env_parse_map("XCACHE_EXEC", |s| match s {
+            "micro" => Ok(ExecMode::Micro),
+            "macro" => Ok(ExecMode::Macro),
+            other => Err(format!(
+                "unknown mode `{other}` (expected `micro` or `macro`)"
+            )),
+        }))
+        .unwrap_or(ExecMode::Macro)
+    })
+}
+
+thread_local! {
+    static EXEC_OVERRIDE: Cell<Option<ExecMode>> = const { Cell::new(None) };
+}
+
+/// The active execution granularity on this thread: a [`with_exec_mode`]
+/// override wins, otherwise `XCACHE_EXEC` (`micro` selects the
+/// one-op-per-cycle reference path; anything else, including unset,
+/// selects macro-step execution).
+#[must_use]
+#[inline]
+pub fn exec_mode() -> ExecMode {
+    EXEC_OVERRIDE.with(Cell::get).unwrap_or_else(env_exec_mode)
+}
+
+/// Runs `f` with the execution granularity forced for the current thread,
+/// restoring the previous setting afterwards — the macro-vs-micro
+/// differential tests' analogue of [`with_sched_mode`].
+pub fn with_exec_mode<T>(mode: ExecMode, f: impl FnOnce() -> T) -> T {
+    let prev = EXEC_OVERRIDE.with(|c| c.replace(Some(mode)));
+    let out = f();
+    EXEC_OVERRIDE.with(|c| c.set(prev));
+    out
+}
+
 /// The next value of `now` for a tick loop: `next` (a component's reported
 /// wake-up) when skipping is enabled and the report is a usable future
 /// cycle, else `now + 1`.
@@ -109,6 +165,7 @@ pub fn with_sched_mode<T>(mode: SchedMode, f: impl FnOnce() -> T) -> T {
 /// than terminating the loop, so quiescence and deadlock detection stay
 /// where they always were — in `busy()` checks and cycle limits.
 #[must_use]
+#[inline]
 pub fn fast_forward(now: Cycle, next: Option<Cycle>) -> Cycle {
     if !skip_enabled() {
         return now.next();
@@ -123,6 +180,7 @@ pub fn fast_forward(now: Cycle, next: Option<Cycle>) -> Cycle {
 /// Drivers watching several components fold their reports with this before
 /// handing the result to [`fast_forward`].
 #[must_use]
+#[inline]
 pub fn earliest(a: Option<Cycle>, b: Option<Cycle>) -> Option<Cycle> {
     match (a, b) {
         (Some(x), Some(y)) => Some(x.min(y)),
@@ -165,6 +223,17 @@ mod tests {
             assert!(!skip_enabled());
             with_skip(true, || assert!(skip_enabled()));
             assert!(!skip_enabled());
+        });
+    }
+
+    #[test]
+    fn exec_mode_override_nests_and_restores() {
+        with_exec_mode(ExecMode::Micro, || {
+            assert_eq!(exec_mode(), ExecMode::Micro);
+            with_exec_mode(ExecMode::Macro, || {
+                assert_eq!(exec_mode(), ExecMode::Macro);
+            });
+            assert_eq!(exec_mode(), ExecMode::Micro);
         });
     }
 

@@ -216,7 +216,7 @@ proptest! {
         for &k in &keys {
             if tags.peek(MetaKey(k)).is_none() {
                 if let Some((r, evicted)) = tags.alloc(MetaKey(k), StateId::DEFAULT, &mut stats) {
-                    tags.entry_mut(r).active = false;
+                    tags.update_entry(r, |e| e.active = false);
                     inserted.insert(k);
                     if let Some(v) = evicted {
                         inserted.remove(&v.key.0);
